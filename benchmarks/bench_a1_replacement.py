@@ -1,0 +1,12 @@
+"""Bench A1: Replacement-policy ablation.
+
+Ablation: measured Q under LRU/PLRU/FIFO/random L3 replacement
+around the capacity boundary.
+See DESIGN.md experiment index (A1).
+"""
+
+from .conftest import run_experiment
+
+
+def test_a1_replacement(benchmark, bench_config):
+    run_experiment(benchmark, "A1", bench_config)

@@ -1,0 +1,12 @@
+"""Bench A2: Reissue-interval ablation.
+
+Ablation: the cold-cache W overcount shrinks as replays become
+rarer and vanishes when replay latency is hidden.
+See DESIGN.md experiment index (A2).
+"""
+
+from .conftest import run_experiment
+
+
+def test_a2_reissue(benchmark, bench_config):
+    run_experiment(benchmark, "A2", bench_config)

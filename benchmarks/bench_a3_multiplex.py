@@ -1,0 +1,13 @@
+"""Bench A3: counter-multiplexing ablation.
+
+Ablation: perf-style counter multiplexing misestimates W on bursty
+measurement windows once the event set exceeds the programmable slots;
+the error shrinks with the rotation quantum.
+See DESIGN.md experiment index (A3).
+"""
+
+from .conftest import run_experiment
+
+
+def test_a3_multiplex(benchmark, bench_config):
+    run_experiment(benchmark, "A3", bench_config)

@@ -1,0 +1,13 @@
+"""Bench E1: cache-aware roofline extension.
+
+Extension: per-memory-level bandwidth ceilings measured with the same
+microbenchmark discipline, placing cache-resident kernels against the
+roof of the level they actually work from.
+See DESIGN.md experiment index (E1).
+"""
+
+from .conftest import run_experiment
+
+
+def test_e1_cache_aware(benchmark, bench_config):
+    run_experiment(benchmark, "E1", bench_config)

@@ -1,0 +1,12 @@
+"""Bench E2: SpMV roofline extension.
+
+Extension: sparse matrix-vector multiply with a gather-capable ISA;
+gather locality moves performance at near-constant intensity.
+See DESIGN.md experiment index (E2).
+"""
+
+from .conftest import run_experiment
+
+
+def test_e2_spmv(benchmark, bench_config):
+    run_experiment(benchmark, "E2", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F10: Cold-vs-warm protocol figure.
+
+Regenerates the protocol comparison: warm caches filter traffic,
+raising measured intensity (the paper's inner-product observation).
+See DESIGN.md experiment index (F10).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f10_coldwarm(benchmark, bench_config):
+    run_experiment(benchmark, "F10", bench_config)

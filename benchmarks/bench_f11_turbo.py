@@ -1,0 +1,12 @@
+"""Bench F11: Turbo instability figure.
+
+Regenerates the justification for pinning the clock: per-core peak
+varies with active cores when Turbo Boost is enabled.
+See DESIGN.md experiment index (F11).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f11_turbo(benchmark, bench_config):
+    run_experiment(benchmark, "F11", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F12: NUMA binding figure.
+
+Regenerates the numactl discipline study: node-bound memory beats
+unbound placement on a two-socket platform.
+See DESIGN.md experiment index (F12).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f12_numa(benchmark, bench_config):
+    run_experiment(benchmark, "F12", bench_config)

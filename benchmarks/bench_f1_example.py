@@ -1,0 +1,12 @@
+"""Bench F1: Example roofline figure.
+
+Regenerates the illustrative roofline (Figure 1): ceilings, ridge
+point, and the min(pi, I*beta) bound.
+See DESIGN.md experiment index (F1).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f1_example(benchmark, bench_config):
+    run_experiment(benchmark, "F1", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F2: Work-counter validation figure.
+
+Regenerates the W validation: measured/expected flops per kernel,
+warm (exact) vs cold (reissue overcount), the paper's core finding.
+See DESIGN.md experiment index (F2).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f2_work_validation(benchmark, bench_config):
+    run_experiment(benchmark, "F2", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F2b: FMA counter increment check.
+
+Regenerates the FMA-vs-ADD counter experiment: one retired FMA
+increments the FP event twice, a plain vector op once.
+See DESIGN.md experiment index (F2b).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f2b_fma_counter(benchmark, bench_config):
+    run_experiment(benchmark, "F2b", bench_config)

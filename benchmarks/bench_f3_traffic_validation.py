@@ -1,0 +1,12 @@
+"""Bench F3: Traffic-counter validation figure.
+
+Regenerates the Q validation: LLC-event counting vs IMC CAS
+counting, with prefetchers on and off.
+See DESIGN.md experiment index (F3).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f3_traffic_validation(benchmark, bench_config):
+    run_experiment(benchmark, "F3", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F4: Roofline figure: daxpy.
+
+Regenerates the daxpy roofline trajectory across sizes under cold
+and warm protocols; DRAM-resident points ride the bandwidth roof.
+See DESIGN.md experiment index (F4).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f4_daxpy(benchmark, bench_config):
+    run_experiment(benchmark, "F4", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F5: Roofline figure: dgemv.
+
+Regenerates the dgemv roofline: row-major vs column-major layouts
+and the locality cliff between them.
+See DESIGN.md experiment index (F5).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f5_dgemv(benchmark, bench_config):
+    run_experiment(benchmark, "F5", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F6: Roofline figure: dgemm.
+
+Regenerates the dgemm roofline: naive/ikj/register-tiled variants
+approaching the compute ceiling.
+See DESIGN.md experiment index (F6).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f6_dgemm(benchmark, bench_config):
+    run_experiment(benchmark, "F6", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F7: Roofline figure: FFT.
+
+Regenerates the FFT roofline: intermediate intensity growing with
+log n while cache-resident.
+See DESIGN.md experiment index (F7).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f7_fft(benchmark, bench_config):
+    run_experiment(benchmark, "F7", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F8: Parallel roofline figure.
+
+Regenerates the multithreaded rooflines: dgemm scales with cores,
+memory-bound daxpy saturates at socket bandwidth.
+See DESIGN.md experiment index (F8).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f8_parallel(benchmark, bench_config):
+    run_experiment(benchmark, "F8", bench_config)

@@ -1,0 +1,12 @@
+"""Bench F9: Prefetch effect figure.
+
+Regenerates the prefetch study: runtime gain on streams, genuine
+traffic overfetch on line-skipping strides.
+See DESIGN.md experiment index (F9).
+"""
+
+from .conftest import run_experiment
+
+
+def test_f9_prefetch(benchmark, bench_config):
+    run_experiment(benchmark, "F9", bench_config)

@@ -1,0 +1,12 @@
+"""Bench T1: Platform characteristics table.
+
+Regenerates the paper's platform table: simulated machine
+specifications and their theoretical peaks.
+See DESIGN.md experiment index (T1).
+"""
+
+from .conftest import run_experiment
+
+
+def test_t1_platforms(benchmark, bench_config):
+    run_experiment(benchmark, "T1", bench_config)

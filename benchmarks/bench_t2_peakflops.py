@@ -1,0 +1,12 @@
+"""Bench T2: Peak computational performance table.
+
+Regenerates the measured-vs-theoretical peak flop/s table produced
+by the runtime-generated FP chain microbenchmark (paper section 2.1).
+See DESIGN.md experiment index (T2).
+"""
+
+from .conftest import run_experiment
+
+
+def test_t2_peakflops(benchmark, bench_config):
+    run_experiment(benchmark, "T2", bench_config)

@@ -1,0 +1,12 @@
+"""Bench T3: Peak memory bandwidth table.
+
+Regenerates the bandwidth table: read/memset/memcpy/triad and their
+non-temporal variants, single-threaded and socket-wide (section 2.2).
+See DESIGN.md experiment index (T3).
+"""
+
+from .conftest import run_experiment
+
+
+def test_t3_peakbw(benchmark, bench_config):
+    run_experiment(benchmark, "T3", bench_config)

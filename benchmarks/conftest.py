@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` file regenerates one table or figure of the paper
+(ids from DESIGN.md) under pytest-benchmark, printing the reproduced
+rows and asserting the experiment's shape checks.  Benchmarks run the
+experiments at 1/16 cache scale (vs. 1/8 for the official
+EXPERIMENTS.md run) so the full harness stays quick; shapes are
+scale-invariant by construction.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable
+
+import pytest
+
+from repro.experiments import ExperimentConfig, make_experiment
+
+BENCH_SCALE = 0.0625
+
+
+@dataclass
+class BenchContext:
+    """Experiment config plus a capture-bypassing reporter."""
+
+    config: ExperimentConfig
+    emit: Callable[[str], None]
+
+
+@pytest.fixture
+def bench_config(request) -> BenchContext:
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def emit(text: str) -> None:
+        """Print past pytest's capture so the regenerated rows appear
+        inline in ``pytest benchmarks/ --benchmark-only`` output."""
+        if capman is not None:
+            capman.suspend_global_capture(in_=False)
+        sys.stdout.write(text)
+        sys.stdout.flush()
+        if capman is not None:
+            capman.resume_global_capture()
+
+    return BenchContext(
+        config=ExperimentConfig(scale=BENCH_SCALE, quick=True, reps=1),
+        emit=emit,
+    )
+
+
+def run_experiment(benchmark, experiment_id: str, context: BenchContext):
+    """Run one experiment once under the benchmark timer and report."""
+    experiment = make_experiment(experiment_id)
+    result = benchmark.pedantic(
+        lambda: experiment.run(context.config), rounds=1, iterations=1
+    )
+    context.emit("\n" + result.render() + "\n")
+    failed = [c.name for c in result.checks if not c.passed]
+    assert result.passed, f"shape checks failed: {failed}"
+    return result

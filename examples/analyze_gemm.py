@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Roofline-guided optimisation of dgemm — the paper's use case of
+"explaining the efficiency of an existing kernel".
+
+Three implementations of C += A @ B are measured and placed on the same
+roofline.  The plot answers the optimisation questions the paper poses:
+which kernels are memory bound, which have headroom at their current
+intensity, and which are done (near the roof, change the algorithm).
+
+Writes `examples/output/gemm_roofline.svg`.
+
+Run:  python examples/analyze_gemm.py
+"""
+
+import os
+
+from repro import paper_machine
+from repro.kernels import Dgemm
+from repro.measure import measure_kernel
+from repro.roofline import (
+    Trajectory,
+    analyze_point,
+    build_roofline,
+    save_svg,
+    svg_plot,
+)
+
+
+def main() -> None:
+    machine = paper_machine()
+    model = build_roofline(machine, cores=(0,))
+    print(model)
+    print()
+
+    sizes = [32, 64, 96]
+    trajectories = []
+    analyses = []
+    for variant in ("naive", "ikj", "tiled"):
+        kernel = Dgemm(variant=variant)
+        measurements = [
+            measure_kernel(machine, kernel, n, protocol="warm", reps=1)
+            for n in sizes
+        ]
+        trajectory = Trajectory.from_measurements(kernel.name, measurements)
+        trajectories.append(trajectory)
+        analysis = analyze_point(model, trajectory.points[-1])
+        analyses.append(analysis)
+        print(analysis.summary())
+
+    print()
+    tiled = analyses[-1]
+    naive = analyses[0]
+    print("Interpretation (the judgements the paper draws from its plots):")
+    print(f"- {naive.point.series}: {naive.bound}; its intensity is held "
+          f"down by the strided B walk — blocking, not micro-tuning, is "
+          f"the fix (potential {naive.headroom_factor:.1f}x at its I).")
+    print(f"- {tiled.point.series}: {tiled.utilization_of_peak:.0%} of "
+          f"peak; with so little headroom, further optimisation of this "
+          f"implementation is futile — change the algorithm instead.")
+
+    out_dir = os.path.join(os.path.dirname(__file__), "output")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "gemm_roofline.svg")
+    save_svg(svg_plot(model, trajectories=trajectories,
+                      title="dgemm implementations on one roofline"), path)
+    print(f"\nSVG written to {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: build a measured roofline and place a kernel on it.
+
+Mirrors the paper's minimal workflow:
+
+1. measure the platform (peak flops microbenchmark, bandwidth checks),
+2. measure a kernel's work W, traffic Q, and runtime T with the
+   two-run counter methodology,
+3. plot the kernel point against the roofline and interpret it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import paper_machine
+from repro.kernels import Daxpy
+from repro.measure import measure_kernel
+from repro.roofline import (
+    KernelPoint,
+    analyze_point,
+    ascii_plot,
+    build_roofline,
+)
+from repro.units import format_bytes, format_flops, format_time
+
+
+def main() -> None:
+    # a 1/8-cache-scale Sandy Bridge-EP socket (see presets docstring)
+    machine = paper_machine()
+    print(f"platform: {machine}")
+
+    # 1. measure the platform -> the roofline model
+    model = build_roofline(machine, cores=(0,))
+    print(model)
+
+    # 2. measure daxpy at a DRAM-resident size, cold caches
+    n = 1 << 17
+    measurement = measure_kernel(machine, Daxpy(), n, protocol="cold",
+                                 reps=2)
+    print(f"\ndaxpy n={n} ({format_bytes(Daxpy().footprint_bytes(n))} "
+          f"working set):")
+    print(f"  W counted  {measurement.work_flops:.0f} flops "
+          f"(true {measurement.true_flops}, "
+          f"overcount x{measurement.work_overcount:.2f})")
+    print(f"  Q measured {format_bytes(measurement.traffic_bytes)} "
+          f"(compulsory {format_bytes(measurement.compulsory_bytes)})")
+    print(f"  T runtime  {format_time(measurement.runtime_seconds)}")
+    print(f"  P = {format_flops(measurement.performance)}, "
+          f"I = {measurement.intensity:.3f} flops/byte")
+
+    # 3. plot and interpret
+    point = KernelPoint.from_measurement(measurement)
+    print()
+    print(ascii_plot(model, points=[point]))
+    print(analyze_point(model, point).summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Applying the Roofline Model" (ISPASS 2014).
+
+A counter-based roofline measurement methodology implemented end to end
+on a simulated x86-like machine: ISA + interpreter, cache hierarchy with
+prefetchers, core/uncore PMUs (including the Sandy Bridge FP overcount
+artifact), peak microbenchmarks, measurement protocols, kernels, and the
+roofline model/plots themselves.
+
+Quickstart::
+
+    from repro import paper_machine
+    from repro.roofline import build_roofline
+    from repro.measure import measure_kernel
+    from repro.kernels import Daxpy
+
+    machine = paper_machine()
+    model = build_roofline(machine)
+    measurement = measure_kernel(machine, Daxpy(), n=1 << 16)
+"""
+
+from .errors import ReproError
+from .machine import (
+    Machine,
+    MachineSpec,
+    dual_socket_ep,
+    haswell_node,
+    ivy_bridge_desktop,
+    make_machine,
+    paper_machine,
+    sandy_bridge_ep,
+    tiny_test_machine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MachineSpec",
+    "ReproError",
+    "__version__",
+    "dual_socket_ep",
+    "haswell_node",
+    "ivy_bridge_desktop",
+    "make_machine",
+    "paper_machine",
+    "sandy_bridge_ep",
+    "tiny_test_machine",
+]

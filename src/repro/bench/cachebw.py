@@ -1,0 +1,96 @@
+"""Per-cache-level bandwidth microbenchmarks.
+
+The classic roofline has one slanted roof (DRAM).  Its cache-aware
+extension (Ilic et al.) adds one bandwidth ceiling per memory level,
+each measured the same way the paper measures DRAM bandwidth: stream a
+working set sized to *reside in that level* and time repeated sweeps.
+
+These measurements feed :func:`repro.roofline.cache_aware.
+build_cache_aware_roofline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..isa.builder import ProgramBuilder
+from ..machine.machine import Machine
+from ..units import median
+
+#: level name -> how its resident working set is derived
+LEVELS = ("L1", "L2", "L3", "DRAM")
+
+
+@dataclass(frozen=True)
+class LevelBandwidth:
+    """Measured streaming bandwidth out of one memory level."""
+
+    level: str
+    working_set_bytes: int
+    bytes_per_second: float
+
+
+def _resident_bytes(machine: Machine, level: str) -> int:
+    hierarchy = machine.spec.hierarchy
+    if level == "L1":
+        return hierarchy.l1.size_bytes // 2
+    if level == "L2":
+        # large enough to spill L1, small enough to stay in L2
+        return (hierarchy.l1.size_bytes + hierarchy.l2.size_bytes) // 2
+    if level == "L3":
+        return (hierarchy.l2.size_bytes + hierarchy.l3.size_bytes) // 2
+    if level == "DRAM":
+        return 4 * hierarchy.l3.size_bytes
+    raise ConfigurationError(f"unknown memory level {level!r}")
+
+
+def _sweep_program(machine: Machine, ws_bytes: int, reps: int):
+    """``reps`` repeated vector-load sweeps over one buffer."""
+    width = machine.ports.max_simd_width
+    step = width // 8
+    ws_bytes -= ws_bytes % step
+    if ws_bytes < step:
+        raise ConfigurationError("working set smaller than one vector")
+    b = ProgramBuilder()
+    buf = b.buffer("ws", ws_bytes)
+    with b.loop(reps, "rep"):
+        with b.loop(ws_bytes // step, "i") as i:
+            b.load(buf[i * step], width=width)
+    return b.build(), ws_bytes
+
+
+def measure_level_bandwidth(machine: Machine, level: str, core: int = 0,
+                            sweeps: int = 8,
+                            timing_reps: int = 3) -> LevelBandwidth:
+    """Measure the read bandwidth a core sees from one level."""
+    ws = _resident_bytes(machine, level)
+    program, ws = _sweep_program(machine, ws, sweeps)
+    loaded = machine.load(program)
+    machine.bust_caches()
+    machine.run(loaded, core_id=core)  # populate the level
+    seconds = []
+    for _ in range(timing_reps):
+        seconds.append(machine.run(loaded, core_id=core).seconds)
+    return LevelBandwidth(
+        level=level,
+        working_set_bytes=ws,
+        bytes_per_second=sweeps * ws / median(seconds),
+    )
+
+
+def measure_level_bandwidths(machine: Machine, core: int = 0,
+                             sweeps: int = 8,
+                             levels: Optional[List[str]] = None
+                             ) -> Dict[str, LevelBandwidth]:
+    """All levels' bandwidths (the cache-aware model's inputs)."""
+    levels = list(levels) if levels else list(LEVELS)
+    results = {}
+    for level in levels:
+        # DRAM sweeps are long; one repetition suffices there
+        n_sweeps = 2 if level == "DRAM" else sweeps
+        results[level] = measure_level_bandwidth(
+            machine, level, core=core, sweeps=n_sweeps
+        )
+    return results

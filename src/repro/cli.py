@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro`` / ``repro-roofline``.
+
+Subcommands:
+
+* ``list``        — show machines, kernels, and experiments
+* ``roofline``    — build and print a machine's measured roofline
+* ``measure``     — measure one kernel and print its W/Q/T and point
+* ``experiment``  — run experiments and write EXPERIMENTS-style output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .errors import ReproError
+from .experiments import ExperimentConfig, experiment_ids, run_experiments
+from .experiments.report import render_report, write_artifacts
+from .kernels import kernel_names, make_kernel
+from .machine.presets import PRESETS, make_machine
+from .measure import explain_kernel, measure_kernel
+from .roofline import KernelPoint, analyze_point, ascii_plot, build_roofline
+from .units import format_bandwidth, format_bytes, format_flops, format_time
+
+
+def _cmd_list(_args) -> int:
+    print("machines: ", ", ".join(sorted(PRESETS)))
+    print("kernels:  ", ", ".join(kernel_names()))
+    print("experiments:", ", ".join(experiment_ids()))
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    machine = make_machine(args.machine, scale=args.scale)
+    cores = machine.topology.first_cores(args.threads)
+    model = build_roofline(machine, cores=cores,
+                           include_thread_scaling=args.threads > 1)
+    print(ascii_plot(model))
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    machine = make_machine(args.machine, scale=args.scale)
+    kernel = make_kernel(args.kernel)
+    cores = machine.topology.first_cores(args.threads)
+    m = measure_kernel(machine, kernel, args.n, protocol=args.protocol,
+                       cores=cores, reps=args.reps)
+    print(f"kernel    : {kernel.describe()}")
+    print(f"machine   : {machine.spec.name}, {args.threads} thread(s), "
+          f"{args.protocol} caches")
+    print(f"W counted : {m.work_flops:.0f} flops "
+          f"(true {m.true_flops}, x{m.work_overcount:.2f})")
+    print(f"Q measured: {format_bytes(m.traffic_bytes)} "
+          f"(compulsory {format_bytes(m.compulsory_bytes)}, "
+          f"x{m.traffic_ratio:.2f})")
+    print(f"T runtime : {format_time(m.runtime_seconds)}")
+    print(f"P         : {format_flops(m.performance)}")
+    print(f"I         : {m.intensity:.4f} flops/byte")
+    if args.plot:
+        model = build_roofline(machine, cores=cores)
+        point = KernelPoint.from_measurement(m)
+        print()
+        print(ascii_plot(model, points=[point]))
+        print(analyze_point(model, point).summary())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    machine = make_machine(args.machine, scale=args.scale)
+    kernel = make_kernel(args.kernel)
+    report = explain_kernel(machine, kernel, args.n, protocol=args.protocol)
+    print(report.render())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    config = ExperimentConfig(scale=args.scale, quick=args.quick,
+                              reps=args.reps)
+    ids = args.ids or None
+    results = run_experiments(ids, config)
+    report = render_report(results, config)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    if args.artifacts:
+        written = write_artifacts(results, args.artifacts)
+        print(f"{len(written)} artifact(s) written to {args.artifacts}")
+    return 0 if all(r.passed for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-roofline",
+        description="Measured roofline models on a simulated machine "
+                    "(ISPASS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list machines, kernels, experiments")
+
+    p_roof = sub.add_parser("roofline", help="print a measured roofline")
+    p_roof.add_argument("--machine", default="snb-ep")
+    p_roof.add_argument("--scale", type=float, default=0.125)
+    p_roof.add_argument("--threads", type=int, default=1)
+
+    p_meas = sub.add_parser("measure", help="measure one kernel")
+    p_meas.add_argument("kernel", choices=kernel_names())
+    p_meas.add_argument("n", type=int)
+    p_meas.add_argument("--machine", default="snb-ep")
+    p_meas.add_argument("--scale", type=float, default=0.125)
+    p_meas.add_argument("--threads", type=int, default=1)
+    p_meas.add_argument("--protocol", choices=("cold", "warm"),
+                        default="cold")
+    p_meas.add_argument("--reps", type=int, default=2)
+    p_meas.add_argument("--plot", action="store_true")
+
+    p_expl = sub.add_parser("explain", help="attribute a kernel's cycles")
+    p_expl.add_argument("kernel", choices=kernel_names())
+    p_expl.add_argument("n", type=int)
+    p_expl.add_argument("--machine", default="snb-ep")
+    p_expl.add_argument("--scale", type=float, default=0.125)
+    p_expl.add_argument("--protocol", choices=("cold", "warm"),
+                        default="warm")
+
+    p_exp = sub.add_parser("experiment", help="run paper experiments")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    p_exp.add_argument("--scale", type=float, default=0.125)
+    p_exp.add_argument("--quick", action="store_true")
+    p_exp.add_argument("--reps", type=int, default=2)
+    p_exp.add_argument("--output", help="write markdown report here")
+    p_exp.add_argument("--artifacts", help="directory for SVG/CSV artifacts")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "roofline": _cmd_roofline,
+        "measure": _cmd_measure,
+        "explain": _cmd_explain,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,491 @@
+"""Core interpreter: executes ISA programs over the memory hierarchy.
+
+The interpreter is structural: it does not compute numeric values, it
+reproduces every *observable* the measurement methodology depends on —
+the demand line-access stream (fed to the functional caches), the PMU
+event increments (FP ops at issue, including reissue overcounts), and
+the cycle cost (via :mod:`repro.cpu.timing`).
+
+Innermost loops take a vectorised fast path: every memory instruction's
+address sequence is affine in the induction variable, so the whole trip
+sequence is evaluated with numpy, collapsed to its cache-line touch
+stream, and fed to the core's port in one batch.  Loop bodies are
+analysed once (FP mix, load-dependence taint, carried accumulator
+chains) and the analysis is cached per loop object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..isa.instructions import (
+    Flush,
+    GatherLoad,
+    Load,
+    Loop,
+    PrefetchHint,
+    Store,
+    VecOp,
+)
+from ..isa.program import Program
+from ..memory.allocator import Allocation
+from ..memory.hierarchy import BatchStats, CorePort, HierarchyConfig
+from ..pmu.core_pmu import CorePmu
+from .port_model import PortModel
+from .timing import PhaseCost, TimingParams, phase_cycles, reissue_slots
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one program execution produced on one core."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    batch: BatchStats = field(default_factory=BatchStats)
+    phases: List[PhaseCost] = field(default_factory=list)
+    true_flops: int = 0
+
+    def merge(self, other: "ExecutionResult") -> None:
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        self.batch.merge(other.batch)
+        self.phases.extend(other.phases)
+        self.true_flops += other.true_flops
+
+
+@dataclass
+class _MemSite:
+    """One memory instruction inside a loop body."""
+
+    instr: object
+    kind: str          # 'load' | 'store' | 'ntstore' | 'prefetch' | 'flush'
+    width_bits: int
+    site_id: int
+
+
+@dataclass
+class _LoopInfo:
+    """Cached per-body analysis of a flat (innermost) loop."""
+
+    fp_ops: Dict[Tuple[str, int], int]            # (op, width) -> per-iter count
+    fp_events: Dict[Tuple[int, str, bool], int]   # (width, prec, is_fma) -> instrs
+    dep_fp_events: Dict[Tuple[int, str, bool], int]
+    chain_latency: int
+    mem_sites: List[_MemSite]
+    load_widths: Dict[int, int]
+    store_widths: Dict[int, int]
+    body_instructions: int
+
+
+class Core:
+    """One simulated core: interpreter + PMU + port binding."""
+
+    def __init__(self, core_id: int, ports: PortModel,
+                 hierarchy_config: HierarchyConfig, port: CorePort,
+                 pmu: CorePmu, timing: TimingParams) -> None:
+        self.core_id = core_id
+        self.ports = ports
+        self.config = hierarchy_config
+        self.port = port
+        self.pmu = pmu
+        self.timing = timing
+        self._line_shift = hierarchy_config.line_bytes.bit_length() - 1
+        self._loop_info: Dict[int, Tuple[Loop, _LoopInfo]] = {}
+        self._tables: Dict[str, object] = {}
+        self._next_site_id = core_id << 20  # site ids unique per core
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def execute(self, program: Program, buffer_map: Dict[str, Allocation],
+                dram_bytes_per_cycle: float) -> ExecutionResult:
+        """Run ``program`` with buffers mapped per ``buffer_map``.
+
+        ``dram_bytes_per_cycle`` is this core's share of DRAM bandwidth
+        for the run (the machine computes it from active-core contention).
+        """
+        for name in program.buffers:
+            if name not in buffer_map:
+                raise ExecutionError(f"buffer {name!r} not mapped")
+        result = ExecutionResult()
+        self._tables = program.tables
+        self._exec_nodes(program.body, {}, buffer_map, dram_bytes_per_cycle, result)
+        counts = program.static_counts()
+        result.true_flops = counts.flops
+        self.pmu.add("cycles", int(result.cycles))
+        self.pmu.add("instructions", result.instructions)
+        batch = result.batch
+        self.pmu.add("l1_replacement", max(batch.accesses - batch.l1_hits, 0))
+        self.pmu.add(
+            "l2_lines_in",
+            batch.l3_hits + batch.dram_reads + batch.hw_prefetch_issued,
+        )
+        self.pmu.add("llc_misses", batch.dram_reads)
+        self.pmu.add("dtlb_walks", batch.tlb_misses)
+        return result
+
+    # ------------------------------------------------------------------
+    # tree walk
+    # ------------------------------------------------------------------
+    def _exec_nodes(self, nodes, ivs, buffers, dram_bpc, result) -> None:
+        for node in nodes:
+            if isinstance(node, Loop):
+                if node.trips == 0:
+                    continue
+                if any(isinstance(child, Loop) for child in node.body):
+                    for trip in range(node.trips):
+                        ivs[node.loop_id] = trip
+                        self._exec_nodes(node.body, ivs, buffers, dram_bpc, result)
+                    del ivs[node.loop_id]
+                else:
+                    self._exec_flat_loop(node, ivs, buffers, dram_bpc, result)
+            else:
+                self._exec_single(node, ivs, buffers, dram_bpc, result)
+
+    # ------------------------------------------------------------------
+    # fast path: flat innermost loop
+    # ------------------------------------------------------------------
+    def _exec_flat_loop(self, loop: Loop, ivs, buffers, dram_bpc, result) -> None:
+        info = self._analyze(loop)
+        trips = loop.trips
+
+        # true FP event increments
+        for (width, prec, is_fma), instrs in info.fp_events.items():
+            self.pmu.add_fp(width, prec, instrs * trips, is_fma)
+
+        # functional memory traffic: a single site can stream its whole
+        # trip range in one batch; multi-site bodies must interleave so
+        # that cross-site locality within an iteration (load then store
+        # of the same line) is preserved.
+        if len(info.mem_sites) <= 1:
+            batch = BatchStats()
+            for site in info.mem_sites:
+                line_list, node = self._site_lines(
+                    site, loop.loop_id, trips, ivs, buffers
+                )
+                batch.merge(self._dispatch_site(site, line_list, node))
+        else:
+            batch = self._exec_interleaved(info, loop, ivs, buffers)
+
+        # cycle cost of the phase
+        fp_ops = {key: count * trips for key, count in info.fp_ops.items()}
+        load_widths = {w: c * trips for w, c in info.load_widths.items()}
+        store_widths = {w: c * trips for w, c in info.store_widths.items()}
+        cost = phase_cycles(
+            self.ports, self.config, fp_ops, load_widths, store_widths,
+            chain_cycles=float(info.chain_latency * trips),
+            batch=batch, params=self.timing,
+            dram_bytes_per_cycle=dram_bpc,
+        )
+
+        # the reissue overcount artifact: each slot re-counts the body's
+        # load-dependent FP instructions once
+        if info.dep_fp_events:
+            slots = reissue_slots(self.config, batch, self.timing)
+            if slots:
+                for (width, prec, is_fma), instrs in info.dep_fp_events.items():
+                    self.pmu.add_fp(width, prec, instrs * slots, is_fma)
+
+        result.cycles += cost.total
+        result.instructions += info.body_instructions * trips
+        result.batch.merge(batch)
+        result.phases.append(cost)
+
+    def _dispatch_site(self, site: _MemSite, line_list, node: int) -> BatchStats:
+        """Route one site's line batch to the right port operation."""
+        if site.kind == "prefetch":
+            return self.port.software_prefetch(line_list, node=node)
+        if site.kind == "flush":
+            return self.port.flush_lines(line_list, node=node)
+        return self.port.access_lines(
+            line_list,
+            is_write=(site.kind in ("store", "ntstore")),
+            nt=(site.kind == "ntstore"),
+            node=node,
+            stream_id=site.site_id,
+        )
+
+    def _site_base_stride(self, site: _MemSite, loop_id: str, ivs,
+                          buffers) -> Tuple[int, int, int]:
+        """(absolute base, stride w.r.t. the loop iv, home node)."""
+        addr = site.instr.addr
+        alloc = buffers[addr.buffer]
+        base = alloc.base + addr.offset
+        stride = 0
+        for lid, s in addr.strides:
+            if lid == loop_id:
+                stride = s
+            else:
+                base += ivs[lid] * s
+        return base, stride, alloc.node
+
+    def _exec_interleaved(self, info: _LoopInfo, loop: Loop, ivs,
+                          buffers) -> BatchStats:
+        """Walk a multi-site loop in iteration order at line granularity.
+
+        The chunk size is chosen so that no site advances more than one
+        cache line per chunk; each site then issues only its *new* lines
+        per chunk, preserving both intra-iteration locality across sites
+        and the per-site coalescing of repeated same-line touches.
+        """
+        trips = loop.trips
+        shift = self._line_shift
+        line_bytes = self.config.line_bytes
+        sites = []
+        chunk = trips
+        for site in info.mem_sites:
+            if site.kind == "gather":
+                positions, node = self._gather_positions(
+                    site, loop.loop_id, trips, ivs, buffers
+                )
+                width = site.width_bits // 8
+                # base/stride unused for gathers; positions precomputed
+                sites.append([site, positions, None, node, width, -1])
+                chunk = 1
+                continue
+            base, stride, node = self._site_base_stride(
+                site, loop.loop_id, ivs, buffers
+            )
+            if stride < 0:
+                raise ExecutionError(
+                    "negative loop strides are not supported in loop bodies "
+                    "with multiple memory instructions"
+                )
+            width = site.width_bits // 8
+            sites.append([site, base, stride, node, width, -1])
+            if stride > 0:
+                chunk = min(chunk, max(1, line_bytes // stride))
+        batch = BatchStats()
+        for start in range(0, trips, chunk):
+            span = min(chunk, trips - start)
+            for record in sites:
+                site, base, stride, node, width, last = record
+                if stride is None:  # gather: positions precomputed
+                    positions = base
+                    pos = int(positions[min(start, positions.size - 1)])
+                    first = pos >> shift
+                    end = (pos + width - 1) >> shift
+                    if first == last and end == last:
+                        continue
+                    lines = [first] if end == first else [first, end]
+                    record[5] = end
+                    batch.merge(self._dispatch_site(site, lines, node))
+                    continue
+                pos = base + start * stride
+                first = pos >> shift
+                end = (pos + (span - 1) * stride + width - 1) >> shift
+                if end <= last:
+                    continue
+                lo = first if first > last else last + 1
+                if lo == end:
+                    lines = [end]
+                else:
+                    lines = list(range(lo, end + 1))
+                record[5] = end
+                batch.merge(self._dispatch_site(site, lines, node))
+        return batch
+
+    def _gather_positions(self, site: _MemSite, loop_id: str, trips: int,
+                          ivs, buffers):
+        """(absolute byte positions array, home node) for a gather."""
+        instr = site.instr
+        alloc = buffers[instr.buffer]
+        table = self._tables[instr.index_addr.buffer]
+        idx0 = instr.index_addr.offset
+        stride = 0
+        for lid, st in instr.index_addr.strides:
+            if lid == loop_id:
+                stride = st
+            else:
+                idx0 += ivs[lid] * st
+        if stride == 0:
+            indices = np.array([idx0], dtype=np.int64)
+        else:
+            indices = idx0 + np.arange(trips, dtype=np.int64) * stride
+        return alloc.base + table[indices], alloc.node
+
+    def _site_lines(self, site: _MemSite, loop_id: str, trips: int,
+                    ivs, buffers) -> Tuple[list, int]:
+        if site.kind == "gather":
+            positions, node = self._gather_positions(
+                site, loop_id, trips, ivs, buffers
+            )
+            shift = self._line_shift
+            width_bytes = site.width_bits // 8
+            start = positions >> shift
+            end = (positions + (width_bytes - 1)) >> shift
+            if np.array_equal(start, end):
+                lines = start
+            else:
+                lines = np.column_stack((start, end)).ravel()
+            if lines.size > 1:
+                keep = np.empty(lines.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+                lines = lines[keep]
+            return lines.tolist(), node
+        base, stride, node = self._site_base_stride(site, loop_id, ivs, buffers)
+        width_bytes = site.width_bits // 8
+        shift = self._line_shift
+        if stride == 0:
+            first = base >> shift
+            last = (base + width_bytes - 1) >> shift
+            return list(range(first, last + 1)), node
+        positions = base + np.arange(trips, dtype=np.int64) * stride
+        start = positions >> shift
+        end = (positions + (width_bytes - 1)) >> shift
+        if np.array_equal(start, end):
+            lines = start
+        else:
+            lines = np.column_stack((start, end)).ravel()
+        if lines.size > 1:
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+            lines = lines[keep]
+        return lines.tolist(), node
+
+    # ------------------------------------------------------------------
+    # slow path: straight-line instruction
+    # ------------------------------------------------------------------
+    def _exec_single(self, node, ivs, buffers, dram_bpc, result) -> None:
+        result.instructions += 1
+        if isinstance(node, VecOp):
+            if node.flops:
+                self.pmu.add_fp(node.width_bits, node.precision, 1,
+                                node.op == "fma")
+            cost = self.ports.fp_issue_cycles({(node.op, node.width_bits): 1})
+            result.cycles += cost
+            return
+        if isinstance(node, GatherLoad):
+            alloc = buffers[node.buffer]
+            table = self._tables[node.index_addr.buffer]
+            base = alloc.base + int(table[node.index_addr.evaluate(ivs)])
+            shift = self._line_shift
+            first = base >> shift
+            last = (base + node.bytes - 1) >> shift
+            stats = self.port.access_lines(
+                list(range(first, last + 1)), is_write=False, node=alloc.node
+            )
+            cost = phase_cycles(
+                self.ports, self.config, {}, {node.width_bits: 1}, {},
+                chain_cycles=0.0, batch=stats, params=self.timing,
+                dram_bytes_per_cycle=dram_bpc,
+            )
+            result.cycles += cost.total
+            result.batch.merge(stats)
+            result.phases.append(cost)
+            return
+        addr = node.addr
+        alloc = buffers[addr.buffer]
+        base = alloc.base + addr.offset + sum(
+            ivs[lid] * s for lid, s in addr.strides
+        )
+        width_bytes = getattr(node, "width_bits", 64) // 8
+        shift = self._line_shift
+        first = base >> shift
+        last = (base + max(width_bytes - 1, 0)) >> shift
+        lines = list(range(first, last + 1))
+        if isinstance(node, PrefetchHint):
+            stats = self.port.software_prefetch(lines, node=alloc.node)
+        elif isinstance(node, Flush):
+            stats = self.port.flush_lines(lines, node=alloc.node)
+        elif isinstance(node, Load):
+            stats = self.port.access_lines(lines, is_write=False,
+                                           node=alloc.node)
+        elif isinstance(node, Store):
+            stats = self.port.access_lines(lines, is_write=True, nt=node.nt,
+                                           node=alloc.node)
+        else:
+            raise ExecutionError(f"cannot execute node {node!r}")
+        cost = phase_cycles(
+            self.ports, self.config,
+            {},
+            {node.width_bits: 1} if isinstance(node, Load) else {},
+            {node.width_bits: 1} if isinstance(node, Store) else {},
+            chain_cycles=0.0, batch=stats, params=self.timing,
+            dram_bytes_per_cycle=dram_bpc,
+        )
+        result.cycles += cost.total
+        result.batch.merge(stats)
+        result.phases.append(cost)
+
+    # ------------------------------------------------------------------
+    # body analysis (cached)
+    # ------------------------------------------------------------------
+    def _analyze(self, loop: Loop) -> _LoopInfo:
+        # keyed by id() for speed; the cached tuple holds a strong
+        # reference to the loop so its id can never be recycled
+        cached = self._loop_info.get(id(loop))
+        if cached is not None:
+            return cached[1]
+        fp_ops: Dict[Tuple[str, int], int] = {}
+        fp_events: Dict[Tuple[int, str, bool], int] = {}
+        dep_fp_events: Dict[Tuple[int, str, bool], int] = {}
+        chains: Dict[str, int] = {}
+        mem_sites: List[_MemSite] = []
+        load_widths: Dict[int, int] = {}
+        store_widths: Dict[int, int] = {}
+        tainted = set()
+
+        for instr in loop.body:
+            if isinstance(instr, VecOp):
+                key = (instr.op, instr.width_bits)
+                fp_ops[key] = fp_ops.get(key, 0) + 1
+                if instr.flops:
+                    ekey = (instr.width_bits, instr.precision, instr.op == "fma")
+                    fp_events[ekey] = fp_events.get(ekey, 0) + 1
+                    if any(src.name in tainted for src in instr.srcs):
+                        dep_fp_events[ekey] = dep_fp_events.get(ekey, 0) + 1
+                        tainted.add(instr.dst.name)
+                if instr.dst in instr.srcs:
+                    chains[instr.dst.name] = (
+                        chains.get(instr.dst.name, 0) + self.ports.latency(instr.op)
+                    )
+            elif isinstance(instr, Load):
+                tainted.add(instr.dst.name)
+                load_widths[instr.width_bits] = (
+                    load_widths.get(instr.width_bits, 0) + 1
+                )
+                mem_sites.append(self._site(instr, "load", instr.width_bits))
+            elif isinstance(instr, GatherLoad):
+                tainted.add(instr.dst.name)
+                load_widths[instr.width_bits] = (
+                    load_widths.get(instr.width_bits, 0) + 1
+                )
+                mem_sites.append(self._site(instr, "gather",
+                                            instr.width_bits))
+            elif isinstance(instr, Store):
+                kind = "ntstore" if instr.nt else "store"
+                store_widths[instr.width_bits] = (
+                    store_widths.get(instr.width_bits, 0) + 1
+                )
+                mem_sites.append(self._site(instr, kind, instr.width_bits))
+            elif isinstance(instr, PrefetchHint):
+                mem_sites.append(self._site(instr, "prefetch", 64))
+            elif isinstance(instr, Flush):
+                mem_sites.append(self._site(instr, "flush", 64))
+            else:
+                raise ExecutionError(f"unexpected node in flat loop: {instr!r}")
+
+        info = _LoopInfo(
+            fp_ops=fp_ops,
+            fp_events=fp_events,
+            dep_fp_events=dep_fp_events,
+            chain_latency=max(chains.values(), default=0),
+            mem_sites=mem_sites,
+            load_widths=load_widths,
+            store_widths=store_widths,
+            body_instructions=len(loop.body),
+        )
+        self._loop_info[id(loop)] = (loop, info)
+        return info
+
+    def _site(self, instr, kind: str, width_bits: int) -> _MemSite:
+        site = _MemSite(instr, kind, width_bits, self._next_site_id)
+        self._next_site_id += 1
+        return site

@@ -1,0 +1,55 @@
+"""Core frequency governor with a Turbo Boost model.
+
+The paper disables Turbo Boost for every experiment because a clock that
+depends on the number of active cores (and drifts thermally) makes both
+the measured roofs and the kernel points irreproducible.  The governor
+models exactly that hazard: with turbo enabled the frequency is a
+function of active-core count, so experiment F11 can demonstrate *why*
+the paper pins the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class FrequencyGovernor:
+    """Clock source for all cores of a machine.
+
+    ``turbo_steps[k-1]`` is the frequency with ``k`` active cores; with
+    more active cores than steps, the last entry applies.
+    """
+
+    base_hz: float
+    turbo_steps: Tuple[float, ...] = ()
+    turbo_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.base_hz <= 0:
+            raise ConfigurationError("base frequency must be positive")
+        if any(step < self.base_hz for step in self.turbo_steps):
+            raise ConfigurationError("turbo steps cannot be below base frequency")
+
+    def frequency(self, active_cores: int = 1) -> float:
+        """Clock in Hz given how many cores are busy."""
+        if active_cores <= 0:
+            raise ConfigurationError("active core count must be positive")
+        if not self.turbo_enabled or not self.turbo_steps:
+            return self.base_hz
+        idx = min(active_cores, len(self.turbo_steps)) - 1
+        return self.turbo_steps[idx]
+
+    def disable_turbo(self) -> None:
+        """The paper's configuration: fixed base clock."""
+        self.turbo_enabled = False
+
+    def enable_turbo(self) -> None:
+        self.turbo_enabled = True
+
+    def cycles_to_seconds(self, cycles: float, active_cores: int = 1) -> float:
+        """Convert a cycle count to wall time at the operative clock."""
+        return cycles / self.frequency(active_cores)

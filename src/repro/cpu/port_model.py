@@ -1,0 +1,197 @@
+"""Execution-port throughput model of one core.
+
+Mirrors the structure that determines peak performance on the paper's
+machines: Sandy Bridge issues one FP add (port 1) and one FP mul
+(port 0) per cycle and has no FMA — its double-precision AVX peak is
+8 flops/cycle from *balanced* add+mul code.  Haswell-class cores add two
+FMA ports (16 flops/cycle).  The peak-performance microbenchmark adapts
+to whichever structure the preset declares, exactly like the paper's
+runtime-generated benchmark targets the host ISA.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..errors import ConfigurationError, IsaError
+
+#: default instruction latencies in cycles
+DEFAULT_LATENCIES = {
+    "add": 3,
+    "sub": 3,
+    "mul": 5,
+    "fma": 5,
+    "div": 21,
+    "max": 3,
+    "min": 3,
+}
+
+
+@dataclass(frozen=True)
+class PortModel:
+    """Issue resources of one core.
+
+    ``load_width_bits`` is the widest load one port moves per cycle:
+    Sandy Bridge splits 256-bit loads into two 128-bit port-cycles,
+    which halves its L1 bandwidth for AVX code — visible in the paper's
+    cache-resident measurements.
+    """
+
+    name: str = "generic"
+    fp_add_ports: int = 1
+    fp_mul_ports: int = 1
+    fma_ports: int = 0
+    div_recip_throughput: float = 14.0  # cycles per div instruction
+    load_ports: int = 2
+    store_ports: int = 1
+    load_width_bits: int = 128
+    store_width_bits: int = 128
+    issue_width: int = 4
+    max_simd_width: int = 256
+    latencies: Tuple[Tuple[str, int], ...] = tuple(sorted(DEFAULT_LATENCIES.items()))
+
+    def __post_init__(self) -> None:
+        if self.fp_add_ports < 0 or self.fp_mul_ports < 0 or self.fma_ports < 0:
+            raise ConfigurationError("port counts must be non-negative")
+        if self.fma_ports == 0 and (self.fp_add_ports == 0 or self.fp_mul_ports == 0):
+            raise ConfigurationError("a core needs FP add+mul ports or FMA ports")
+        if self.load_ports <= 0 or self.store_ports <= 0:
+            raise ConfigurationError("need positive load/store ports")
+        if self.max_simd_width not in (64, 128, 256, 512):
+            raise ConfigurationError(f"bad max SIMD width {self.max_simd_width}")
+
+    # ------------------------------------------------------------------
+    # capabilities
+    # ------------------------------------------------------------------
+    @property
+    def has_fma(self) -> bool:
+        return self.fma_ports > 0
+
+    def supports_width(self, width_bits: int) -> bool:
+        return width_bits <= self.max_simd_width
+
+    def latency(self, op: str) -> int:
+        for name, cycles in self.latencies:
+            if name == op:
+                return cycles
+        raise IsaError(f"no latency defined for op {op!r}")
+
+    # ------------------------------------------------------------------
+    # peak throughput
+    # ------------------------------------------------------------------
+    def peak_flops_per_cycle(self, width_bits: int, precision: str = "f64") -> float:
+        """Best-case counted flops per cycle at one SIMD width."""
+        if not self.supports_width(width_bits):
+            raise ConfigurationError(
+                f"{self.name} does not support {width_bits}-bit SIMD"
+            )
+        lanes = width_bits // (8 if precision == "f64" else 4) // 8
+        if self.has_fma:
+            return 2.0 * lanes * self.fma_ports
+        return float(lanes) * (self.fp_add_ports + self.fp_mul_ports)
+
+    # ------------------------------------------------------------------
+    # issue-cost accounting
+    # ------------------------------------------------------------------
+    def fp_issue_cycles(self, op_counts: Mapping[Tuple[str, int], float]) -> float:
+        """Cycles to issue a mix of FP ops, keyed by ``(op, width)``.
+
+        Adds and muls occupy distinct ports and overlap; FMA-capable
+        cores can also route adds/muls to the FMA ports.  ``div`` is
+        unpipelined and serialises.
+        """
+        adds = muls = fmas = 0.0
+        div_cycles = 0.0
+        total = 0.0
+        for (op, width), count in op_counts.items():
+            if not self.supports_width(width):
+                raise ConfigurationError(
+                    f"{self.name}: {width}-bit {op} not supported"
+                )
+            total += count
+            if op in ("add", "sub", "max", "min"):
+                adds += count
+            elif op == "mul":
+                muls += count
+            elif op == "fma":
+                if not self.has_fma:
+                    raise ConfigurationError(f"{self.name} has no FMA ports")
+                fmas += count
+            elif op == "div":
+                div_cycles += count * self.div_recip_throughput
+            else:
+                raise IsaError(f"unknown FP op {op!r}")
+        if self.has_fma:
+            # adds/muls/fmas all share the FMA-capable ports
+            port_cycles = (adds + muls + fmas) / self.fma_ports
+        else:
+            port_cycles = max(
+                adds / self.fp_add_ports if self.fp_add_ports else math.inf,
+                muls / self.fp_mul_ports if self.fp_mul_ports else math.inf,
+            )
+        issue_cycles = total / self.issue_width
+        return max(port_cycles, issue_cycles, 0.0) + div_cycles
+
+    def mem_issue_cycles(self, load_widths: Mapping[int, float],
+                         store_widths: Mapping[int, float]) -> float:
+        """Cycles for the load/store ports to issue a mix of accesses.
+
+        Accesses wider than a port's width take multiple port-cycles
+        (the Sandy Bridge 256-bit-load split).
+        """
+        load_pc = sum(
+            count * max(1, -(-width // self.load_width_bits))
+            for width, count in load_widths.items()
+        )
+        store_pc = sum(
+            count * max(1, -(-width // self.store_width_bits))
+            for width, count in store_widths.items()
+        )
+        return max(load_pc / self.load_ports, store_pc / self.store_ports)
+
+
+def sandy_bridge_ports() -> PortModel:
+    """SNB-like: separate add/mul ports, no FMA, 128-bit load ports."""
+    return PortModel(
+        name="snb",
+        fp_add_ports=1,
+        fp_mul_ports=1,
+        fma_ports=0,
+        load_ports=2,
+        store_ports=1,
+        load_width_bits=128,
+        store_width_bits=128,
+        max_simd_width=256,
+    )
+
+
+def haswell_ports() -> PortModel:
+    """HSW-like: two FMA ports, full-width 256-bit load/store ports."""
+    return PortModel(
+        name="hsw",
+        fp_add_ports=1,
+        fp_mul_ports=1,
+        fma_ports=2,
+        load_ports=2,
+        store_ports=1,
+        load_width_bits=256,
+        store_width_bits=256,
+        max_simd_width=256,
+    )
+
+
+def skylake_avx512_ports() -> PortModel:
+    """SKX-like: two 512-bit FMA ports."""
+    return PortModel(
+        name="skx",
+        fp_add_ports=1,
+        fp_mul_ports=1,
+        fma_ports=2,
+        load_ports=2,
+        store_ports=1,
+        load_width_bits=512,
+        store_width_bits=512,
+        max_simd_width=512,
+    )

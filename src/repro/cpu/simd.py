@@ -1,0 +1,68 @@
+"""SIMD capability levels of the simulated cores.
+
+The paper draws one compute ceiling per ISA level (scalar, SSE, AVX) and
+per thread count; these definitions give the machinery a single source
+of truth for widths and names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimdLevel:
+    """One vector capability tier."""
+
+    name: str
+    width_bits: int
+
+    @property
+    def lanes_f64(self) -> int:
+        return self.width_bits // 64
+
+    @property
+    def lanes_f32(self) -> int:
+        return self.width_bits // 32
+
+    def __str__(self) -> str:
+        return self.name
+
+
+SCALAR = SimdLevel("scalar", 64)
+SSE = SimdLevel("sse", 128)
+AVX = SimdLevel("avx", 256)
+AVX512 = SimdLevel("avx512", 512)
+
+ALL_LEVELS = (SCALAR, SSE, AVX, AVX512)
+_BY_NAME = {level.name: level for level in ALL_LEVELS}
+_BY_WIDTH = {level.width_bits: level for level in ALL_LEVELS}
+
+
+def level_by_name(name: str) -> SimdLevel:
+    """Look up a SIMD level by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown SIMD level {name!r}; known: {sorted(_BY_NAME)}"
+        ) from exc
+
+
+def level_by_width(width_bits: int) -> SimdLevel:
+    """Look up a SIMD level by register width."""
+    try:
+        return _BY_WIDTH[width_bits]
+    except KeyError as exc:
+        raise ConfigurationError(f"no SIMD level of width {width_bits}") from exc
+
+
+def levels_up_to(max_width_bits: int) -> List[SimdLevel]:
+    """All levels a machine with ``max_width_bits`` registers supports."""
+    levels = [lvl for lvl in ALL_LEVELS if lvl.width_bits <= max_width_bits]
+    if not levels:
+        raise ConfigurationError(f"max SIMD width {max_width_bits} too small")
+    return levels

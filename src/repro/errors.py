@@ -1,0 +1,52 @@
+"""Exception hierarchy for the roofline reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch package failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction, register misuse, or invalid program IR."""
+
+
+class AssemblerError(IsaError):
+    """Textual assembly could not be parsed or formatted."""
+
+
+class MemoryError_(ReproError):
+    """Cache/DRAM/allocator configuration or access error.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class AllocationError(MemoryError_):
+    """The simulated allocator ran out of space or got a bad request."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, cache, or experiment was configured inconsistently."""
+
+
+class ExecutionError(ReproError):
+    """The interpreter hit a state it cannot execute."""
+
+
+class PmuError(ReproError):
+    """Counter programming error (unknown event, session misuse)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement protocol was violated or produced unusable data."""
+
+
+class ExperimentError(ReproError):
+    """An experiment failed to run or validate its shape criteria."""

@@ -1,0 +1,19 @@
+"""Experiments: one class per paper table/figure, plus ablations,
+with shape checks and report generation."""
+
+from .base import Check, Experiment, ExperimentConfig, ExperimentResult, Table
+from .registry import experiment_ids, make_experiment
+from .report import render_report, run_experiments, write_artifacts
+
+__all__ = [
+    "Check",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Table",
+    "experiment_ids",
+    "make_experiment",
+    "render_report",
+    "run_experiments",
+    "write_artifacts",
+]

@@ -1,0 +1,209 @@
+"""Ablations A1/A2: sensitivity of the methodology to substrate choices.
+
+These go beyond the paper: they quantify how much the simulated
+machine's internal knobs (replacement policy, reissue interval) move
+the measured quantities, demonstrating that the reproduced effects are
+mechanical rather than tuned-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..cpu.timing import TimingParams
+from ..kernels.blas1 import StreamTriad
+from ..kernels.blas2 import Dgemv
+from ..machine.machine import Machine, MachineSpec
+from ..measure.runner import measure_kernel
+from ..memory.replacement import policy_names
+from .base import Experiment, ExperimentConfig, ExperimentResult, Table
+from .validation import round_to
+
+
+def _with_l3_policy(config: ExperimentConfig, policy: str) -> Machine:
+    base = config.machine()
+    hierarchy = base.spec.hierarchy
+    l3 = hierarchy.l3
+    if policy == "plru" and l3.assoc & (l3.assoc - 1):
+        # tree-PLRU needs power-of-two ways; keep the set count, trim
+        # the ways (capacity changes slightly — noted in the table)
+        assoc = 1 << (l3.assoc.bit_length() - 1)
+        l3 = replace(l3, assoc=assoc,
+                     size_bytes=l3.nsets * assoc * l3.line_bytes)
+    spec = replace(
+        base.spec,
+        name=f"{base.spec.name}+{policy}",
+        hierarchy=replace(hierarchy, l3=replace(l3, policy=policy)),
+    )
+    return Machine(spec)
+
+
+class ReplacementAblation(Experiment):
+    """A1: L3 replacement policy vs measured traffic.
+
+    Around the L3 capacity boundary the victim choice decides how much
+    of the matrix survives between dgemv rows, so measured Q separates
+    the policies.
+    """
+
+    id = "A1"
+    title = "Replacement-policy ablation (measured Q)"
+    paper_item = "ablation (ours): substrate sensitivity"
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        import math
+
+        result = self.new_result()
+        probe = config.machine()
+        l3 = probe.spec.hierarchy.l3.size_bytes
+        n = round_to(int(math.sqrt(1.25 * l3 / 8)), 8)
+        kernel = Dgemv(layout="row")
+        table = Table(
+            f"dgemv-row at n={n} (footprint ~1.25x L3), warm protocol",
+            ["L3 policy", "Q / compulsory", "P [Gflop/s]"],
+        )
+        ratios = {}
+        for policy in policy_names():
+            machine = _with_l3_policy(config, policy)
+            m = measure_kernel(machine, kernel, n, protocol="warm",
+                               reps=1)
+            ratios[policy] = m.traffic_ratio
+            table.add(policy, f"{m.traffic_ratio:.3f}",
+                      f"{m.performance / 1e9:.3f}")
+        result.tables.append(table)
+        result.check(
+            "every policy's traffic stays within 4x of compulsory",
+            all(0.1 <= r <= 4.0 for r in ratios.values()),
+            str({k: f"{v:.2f}" for k, v in sorted(ratios.items())}),
+        )
+        result.check(
+            "policies disagree (the substrate is sensitive to the choice)",
+            max(ratios.values()) > min(ratios.values()),
+        )
+        return result
+
+
+class MultiplexAblation(Experiment):
+    """A3: why the methodology limits itself to four FP events.
+
+    perf-style counter multiplexing scales observed counts by scheduled
+    time, assuming uniform activity.  A measurement window is bursty by
+    construction (idle, setup, kernel), so the scaled W estimate drifts
+    once the event set exceeds the programmable slots — and the error
+    grows with the rotation quantum.
+    """
+
+    id = "A3"
+    title = "Counter-multiplexing ablation (W estimate error)"
+    paper_item = "ablation (ours): event-set size vs slot count"
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        from ..kernels.base import CodegenCaps
+        from ..pmu.multiplex import MultiplexedPerfSession
+
+        result = self.new_result()
+        table = Table(
+            "Multiplexed fp_256_f64 estimate vs ground truth (triad burst "
+            "inside an idle window)",
+            ["events programmed", "groups", "rotation quantum [cycles]",
+             "estimate / true"],
+        )
+        dedicated_events = ["fp_256_f64", "cycles", "instructions",
+                            "llc_misses"]
+        oversubscribed = dedicated_events + ["l1_replacement",
+                                             "l2_lines_in", "dtlb_walks"]
+        rows = []
+        for events, quantum in ((dedicated_events, 100_000.0),
+                                (oversubscribed, 100_000.0),
+                                (oversubscribed, 10_000.0),
+                                (oversubscribed, 1_000.0)):
+            machine = config.machine()
+            caps = CodegenCaps.from_machine(machine)
+            kernel = StreamTriad()
+            n = round_to(machine.spec.hierarchy.l2.size_bytes // 24, 32)
+            loaded = machine.load(kernel.build(n, caps))
+            with MultiplexedPerfSession(machine, events, slots=4,
+                                        rotation_cycles=quantum) as session:
+                machine.advance_tsc(quantum * 1.1)  # skewed idle lead-in
+                machine.run(loaded, core_id=0)
+                machine.advance_tsc(quantum * 0.9)
+            ratio = (session.estimate("fp_256_f64")
+                     / session.true_delta("fp_256_f64"))
+            groups = len(session.groups)
+            table.add(len(events), groups, int(quantum), f"{ratio:.3f}")
+            rows.append((groups, quantum, ratio))
+        result.tables.append(table)
+        result.check(
+            "within the slot budget the estimate is exact",
+            abs(rows[0][2] - 1.0) < 1e-9,
+        )
+        result.check(
+            "oversubscribed coarse-quantum estimates are visibly wrong",
+            abs(rows[1][2] - 1.0) > 0.05,
+            f"ratio {rows[1][2]:.2f}",
+        )
+        result.check(
+            "finer rotation quanta reduce the error",
+            abs(rows[3][2] - 1.0) < abs(rows[1][2] - 1.0),
+            f"{rows[1][2]:.2f} -> {rows[3][2]:.2f}",
+        )
+        result.note(
+            "The paper's W measurement needs exactly the four FP-width "
+            "events, which fit Sandy Bridge's four programmable counters "
+            "— no multiplexing, no estimation error."
+        )
+        return result
+
+
+class ReissueAblation(Experiment):
+    """A2: the overcount artifact vs the reissue interval.
+
+    The cold-cache work overcount must shrink as re-dispatch becomes
+    rarer and vanish when replay latency is fully hidden — evidence the
+    F2 effect is produced by the modelled mechanism.
+    """
+
+    id = "A2"
+    title = "Reissue-interval ablation (W overcount)"
+    paper_item = "ablation (ours): source of the FP overcount"
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        result = self.new_result()
+        base = config.machine()
+        l3 = base.spec.hierarchy.l3.size_bytes
+        kernel = StreamTriad()
+        n = round_to(2 * l3 // 24, 32)
+        table = Table(
+            f"triad cold-cache overcount at n={n}",
+            ["reissue interval [cycles]", "max reissues/miss",
+             "measured W / true W"],
+        )
+        rows = []
+        for interval, cap in ((8, 8), (16, 4), (32, 2), (64, 1)):
+            timing = TimingParams(reissue_interval_cycles=interval,
+                                  max_reissue_per_miss=cap)
+            machine = Machine(replace(base.spec, timing=timing))
+            # prefetchers off so replays wait on full DRAM latency —
+            # otherwise L2-hit replays (one per line) flatten the sweep
+            machine.prefetch_control.disable_all()
+            m = measure_kernel(machine, kernel, n, protocol="cold", reps=1)
+            rows.append(m.work_overcount)
+            table.add(interval, cap, f"{m.work_overcount:.2f}")
+        # the hide-everything configuration: replays never fire
+        timing = TimingParams(reissue_hide_cycles=10_000)
+        machine = Machine(replace(base.spec, timing=timing))
+        machine.prefetch_control.disable_all()
+        m = measure_kernel(machine, kernel, n, protocol="cold", reps=1)
+        table.add("hidden (no replays)", 0, f"{m.work_overcount:.2f}")
+        result.tables.append(table)
+        result.check(
+            "overcount decreases monotonically with rarer replays",
+            all(rows[i] >= rows[i + 1] for i in range(len(rows) - 1)),
+            str([f"{r:.2f}" for r in rows]),
+        )
+        result.check(
+            "with replays disabled, cold W measurement is exact",
+            abs(m.work_overcount - 1.0) < 0.02,
+            f"{m.work_overcount:.3f}",
+        )
+        return result

@@ -1,0 +1,139 @@
+"""Experiment framework: one class per paper table/figure.
+
+Every experiment produces tables (the rows the paper reports), shape
+*checks* (the qualitative claims that must hold for the reproduction to
+count — who wins, what inflates, where crossovers sit), optional plot
+artifacts, and free-form notes.  ``report.py`` renders the lot into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from ..machine.presets import sandy_bridge_ep
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``scale`` shrinks preset cache capacities (see presets docstring);
+    ``quick`` trims sweep sizes and repetitions for test/bench runs.
+    """
+
+    scale: float = 0.125
+    quick: bool = False
+    reps: int = 2
+    machine_factory: Optional[Callable] = None
+
+    def machine(self, sockets: int = 1):
+        """A fresh machine for this experiment run."""
+        if self.machine_factory is not None:
+            return self.machine_factory()
+        return sandy_bridge_ep(scale=self.scale, sockets=sockets)
+
+
+@dataclass
+class Table:
+    """One reported table."""
+
+    title: str
+    columns: List[str]
+    rows: List[List] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"row width {len(values)} != {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """GitHub-flavoured markdown."""
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+        return "\n".join(lines)
+
+
+@dataclass
+class Check:
+    """One shape criterion with its verdict."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        return f"- [{mark}] {self.name}" + (f" — {self.detail}" if self.detail else "")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    paper_item: str
+    tables: List[Table] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    artifacts: Dict[str, str] = field(default_factory=dict)  # name -> content
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def check(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(Check(name, bool(passed), detail))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        lines = [f"### {self.experiment_id} — {self.title}",
+                 "",
+                 f"*Paper item:* {self.paper_item}",
+                 ""]
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        if self.checks:
+            lines.append("**Shape checks**")
+            lines.append("")
+            lines.extend(c.render() for c in self.checks)
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"> {note}")
+            lines.append("")
+        return "\n".join(lines)
+
+
+class Experiment(ABC):
+    """Base class: subclasses define id/title/paper_item and run()."""
+
+    id: str = "X0"
+    title: str = "abstract"
+    paper_item: str = ""
+
+    @abstractmethod
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Execute and return results (must not mutate global state)."""
+
+    def new_result(self) -> ExperimentResult:
+        return ExperimentResult(self.id, self.title, self.paper_item)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self.id})"

@@ -1,0 +1,68 @@
+"""Experiment registry: id -> experiment class."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..errors import ExperimentError
+from .ablations import MultiplexAblation, ReissueAblation, ReplacementAblation
+from .base import Experiment
+from .effects import ColdWarmEffect, NumaBindingEffect, PrefetchEffect, TurboEffect
+from .extensions import CacheAwareRoofline, SpmvRoofline
+from .rooflines import (
+    DaxpyRoofline,
+    DgemmRoofline,
+    DgemvRoofline,
+    ExampleRoofline,
+    FftRoofline,
+    ParallelRoofline,
+)
+from .tables import PeakBandwidthTable, PeakFlopsTable, PlatformTable
+from .validation import FmaCounterCheck, TrafficValidation, WorkValidation
+
+_EXPERIMENTS: Dict[str, Type[Experiment]] = {
+    cls.id: cls
+    for cls in (
+        PlatformTable,
+        PeakFlopsTable,
+        PeakBandwidthTable,
+        ExampleRoofline,
+        WorkValidation,
+        FmaCounterCheck,
+        TrafficValidation,
+        DaxpyRoofline,
+        DgemvRoofline,
+        DgemmRoofline,
+        FftRoofline,
+        ParallelRoofline,
+        PrefetchEffect,
+        ColdWarmEffect,
+        TurboEffect,
+        NumaBindingEffect,
+        CacheAwareRoofline,
+        SpmvRoofline,
+        ReplacementAblation,
+        ReissueAblation,
+        MultiplexAblation,
+    )
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids in run order."""
+    order = ["T1", "T2", "T3", "F1", "F2", "F2b", "F3", "F4", "F5", "F6",
+             "F7", "F8", "F9", "F10", "F11", "F12", "E1", "E2", "A1", "A2", "A3"]
+    missing = set(_EXPERIMENTS) - set(order)
+    if missing:
+        raise ExperimentError(f"experiments missing from run order: {missing}")
+    return [i for i in order if i in _EXPERIMENTS]
+
+
+def make_experiment(experiment_id: str) -> Experiment:
+    """Instantiate one experiment by id."""
+    try:
+        return _EXPERIMENTS[experiment_id]()
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
+        ) from exc

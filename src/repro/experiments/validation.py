@@ -1,0 +1,203 @@
+"""Experiments F2/F3: counter validation — the paper's core contribution.
+
+F2 validates work measurement: for kernels with exactly known flop
+counts, the FP counters are exact under warm caches but **overcount**
+under cold caches because µops dependent on missing loads are reissued
+and counted again (the Sandy Bridge artifact the paper quantifies).
+
+F3 validates traffic measurement: IMC-counted bytes match a streaming
+kernel's compulsory traffic only once hardware prefetchers are disabled;
+with prefetch on, run-ahead overfetch inflates Q.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..kernels.blas1 import Daxpy, Dot, StreamTriad, SumReduction
+from ..kernels.blas2 import Dgemv
+from ..measure.runner import Measurement, measure_kernel
+from ..units import format_bytes
+from .base import Experiment, ExperimentConfig, ExperimentResult, Table
+
+
+def round_to(value: int, multiple: int) -> int:
+    """Round ``value`` to the nearest positive multiple of ``multiple``."""
+    return max(multiple, int(round(value / multiple)) * multiple)
+
+
+class WorkValidation(Experiment):
+    """F2: measured flops / true flops, warm vs cold."""
+
+    id = "F2"
+    title = "Work (W) counter validation"
+    paper_item = "FP-counter validation figure (overcount on cold caches)"
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        result = self.new_result()
+        machine = config.machine()
+        l1 = machine.spec.hierarchy.l1.size_bytes
+        l3 = machine.spec.hierarchy.l3.size_bytes
+        granule = 32  # lanes * max accumulators used below
+        kernels = [
+            (StreamTriad(), 24),
+            (Daxpy(), 16),
+            (Dot(accumulators=8), 16),
+            (SumReduction(accumulators=4), 8),
+        ]
+        table = Table(
+            "Measured W / expected W (FP instruction counters)",
+            ["kernel", "warm n", "warm ratio", "cold n", "cold ratio"],
+        )
+        worst_warm = 0.0
+        min_cold = float("inf")
+        for kernel, bytes_per_elem in kernels:
+            warm_n = round_to(l1 // (2 * bytes_per_elem), granule)
+            cold_n = round_to(4 * l3 // bytes_per_elem, granule)
+            if config.quick:
+                cold_n = round_to(2 * l3 // bytes_per_elem, granule)
+            warm = measure_kernel(machine, kernel, warm_n, protocol="warm",
+                                  reps=config.reps)
+            cold = measure_kernel(machine, kernel, cold_n, protocol="cold",
+                                  reps=config.reps)
+            table.add(kernel.name, warm_n, f"{warm.work_overcount:.3f}",
+                      cold_n, f"{cold.work_overcount:.3f}")
+            worst_warm = max(worst_warm, abs(warm.work_overcount - 1.0))
+            min_cold = min(min_cold, cold.work_overcount)
+        result.tables.append(table)
+        result.check(
+            "warm-cache W measurement is exact within 10%",
+            worst_warm <= 0.10, f"worst warm deviation {worst_warm:.1%}",
+        )
+        result.check(
+            "cold-cache W overcounts by >= 1.3x for streaming kernels",
+            min_cold >= 1.3, f"smallest cold overcount {min_cold:.2f}x",
+        )
+        result.note(
+            "The overcount is mechanical: FP events increment at issue and "
+            "µops dependent on cache-missing loads are re-dispatched — "
+            "measure W with warm caches (or validate against known flops)."
+        )
+        return result
+
+
+class FmaCounterCheck(Experiment):
+    """F2b: the paper's FMA-vs-ADD counter experiment.
+
+    A retired FMA must bump the FP counter twice (one fused op counts
+    both the multiply and the add); a plain vector add bumps it once.
+    """
+
+    id = "F2b"
+    title = "FMA counter increment check"
+    paper_item = "FMA counting validation, section 2.3"
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        from ..bench.peakflops import peak_flops_program
+        from ..machine.presets import haswell_node
+        from ..pmu.perf import PerfSession
+
+        result = self.new_result()
+        machine = haswell_node(scale=config.scale)
+        trips = 1024
+        fma_prog = peak_flops_program(256, has_fma=True, chains=4,
+                                      trips=trips)
+        add_prog = peak_flops_program(256, has_fma=False, chains=4,
+                                      trips=trips)
+        table = Table(
+            "Counter increments per retired instruction",
+            ["code", "instructions", "counter delta", "delta per instr"],
+        )
+        ratios = []
+        for label, program in (("FMA chains", fma_prog),
+                               ("ADD/MUL chains", add_prog)):
+            loaded = machine.load(program)
+            instr = 4 * trips
+            with PerfSession(machine, core_events=("fp_256_f64",),
+                             cores=(0,)) as session:
+                machine.run(loaded, core_id=0)
+            delta = session.core_delta("fp_256_f64")
+            table.add(label, instr, delta, f"{delta / instr:.2f}")
+            ratios.append(delta / instr)
+        result.tables.append(table)
+        result.check("FMA increments the counter by 2 per instruction",
+                     abs(ratios[0] - 2.0) < 1e-9)
+        result.check("plain vector ops increment by 1 per instruction",
+                     abs(ratios[1] - 1.0) < 1e-9)
+        return result
+
+
+class TrafficValidation(Experiment):
+    """F3: three ways to measure Q against known compulsory traffic.
+
+    The paper's progression: counting last-level-cache miss events
+    *undercounts* badly when prefetchers fetch the data (no demand miss
+    ever happens); disabling the prefetch MSR fixes the event-based
+    count for simple kernels; counting raw CAS transfers at the IMC is
+    accurate regardless.
+    """
+
+    id = "F3"
+    title = "Traffic (Q) counter validation"
+    paper_item = "traffic-measurement validation (LLC events vs IMC)"
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        result = self.new_result()
+        machine = config.machine()
+        l3 = machine.spec.hierarchy.l3.size_bytes
+        kernel = StreamTriad()
+        factors = [2, 4] if config.quick else [2, 4, 8]
+        table = Table(
+            "Measured Q / expected Q for the STREAM triad (cold caches)",
+            ["working set", "n", "LLC events, pf ON", "LLC events, pf OFF",
+             "IMC, pf ON", "IMC, pf OFF"],
+        )
+        llc_on_r: List[float] = []
+        llc_off_r: List[float] = []
+        imc_r: List[float] = []
+        for factor in factors:
+            n = round_to(factor * l3 // 24, 32)
+            expected_reads = 24 * n   # b, c, and the RFO of a
+            expected_total = kernel.compulsory_bytes(n)
+            machine.prefetch_control.enable_all()
+            on = measure_kernel(machine, kernel, n, protocol="cold",
+                                reps=config.reps)
+            machine.prefetch_control.disable_all()
+            off = measure_kernel(machine, kernel, n, protocol="cold",
+                                 reps=config.reps)
+            machine.prefetch_control.enable_all()
+            llc_on = on.llc_bytes / expected_reads
+            llc_off = off.llc_bytes / expected_reads
+            table.add(format_bytes(kernel.footprint_bytes(n)), n,
+                      f"{llc_on:.3f}", f"{llc_off:.3f}",
+                      f"{on.traffic_bytes / expected_total:.3f}",
+                      f"{off.traffic_bytes / expected_total:.3f}")
+            llc_on_r.append(llc_on)
+            llc_off_r.append(llc_off)
+            imc_r.extend([on.traffic_bytes / expected_total,
+                          off.traffic_bytes / expected_total])
+        result.tables.append(table)
+        result.check(
+            "LLC-miss events undercount badly while prefetchers run",
+            all(r <= 0.6 for r in llc_on_r),
+            f"ratios {['%.2f' % r for r in llc_on_r]}",
+        )
+        result.check(
+            "disabling the prefetch MSR fixes the event-based count "
+            "(within 15%)",
+            all(abs(r - 1.0) <= 0.15 for r in llc_off_r),
+            f"ratios {['%.2f' % r for r in llc_off_r]}",
+        )
+        result.check(
+            "IMC CAS counting matches expected traffic within 15% with "
+            "prefetchers ON or OFF",
+            all(abs(r - 1.0) <= 0.15 for r in imc_r),
+            f"ratios {['%.2f' % r for r in imc_r]}",
+        )
+        result.note(
+            "Useful prefetches replace demand misses one-for-one at the "
+            "controller, so the IMC stays accurate for streams; LLC-event "
+            "counting silently attributes that traffic to nobody — the "
+            "reason the methodology reads uncore counters."
+        )
+        return result

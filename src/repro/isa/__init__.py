@@ -1,0 +1,49 @@
+"""Simulated vector ISA: registers, instructions, program IR, builder,
+and a textual assembler.
+
+This subpackage is the substrate the paper's runtime code generation
+(Xbyak-style) maps onto: microbenchmarks and kernels are real programs in
+this ISA, executed by :mod:`repro.cpu`.
+"""
+
+from .assembler import format_program, parse_addr, parse_program
+from .builder import AffineExpr, BufferHandle, LoopVar, ProgramBuilder
+from .instructions import (
+    AddrExpr,
+    Flush,
+    Load,
+    Loop,
+    PrefetchHint,
+    Store,
+    VecOp,
+    flops_of,
+    lanes,
+)
+from .program import Program, StaticCounts
+from .registers import Register, RegisterAllocator, gpr, parse_register, vec
+
+__all__ = [
+    "AddrExpr",
+    "AffineExpr",
+    "BufferHandle",
+    "Flush",
+    "Load",
+    "Loop",
+    "LoopVar",
+    "PrefetchHint",
+    "Program",
+    "ProgramBuilder",
+    "Register",
+    "RegisterAllocator",
+    "StaticCounts",
+    "Store",
+    "VecOp",
+    "flops_of",
+    "format_program",
+    "gpr",
+    "lanes",
+    "parse_addr",
+    "parse_program",
+    "parse_register",
+    "vec",
+]

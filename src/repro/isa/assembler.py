@@ -1,0 +1,188 @@
+"""Textual assembly for the simulated ISA.
+
+The format round-trips through :func:`format_program` / :func:`parse_program`
+and exists for three reasons: debuggability (dump what a kernel builder
+generated), golden tests, and letting examples ship literal listings that
+mirror the runtime-generated assembly the paper shows.
+
+Example listing::
+
+    buffer x 32768
+    buffer y 32768
+    loop i 1024
+      vload.256 v0, x[i*32]
+      vload.256 v1, y[i*32]
+      vfma.f64.256 v1, v2, v0, v1
+      vstore.256 v1, y[i*32]
+    end
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..errors import AssemblerError
+from .instructions import (
+    AddrExpr,
+    Flush,
+    GatherLoad,
+    Load,
+    Loop,
+    PrefetchHint,
+    Store,
+    VecOp,
+)
+from .program import Program
+from .registers import parse_register
+
+_INDENT = "  "
+
+_ADDR_RE = re.compile(r"^(\w+)\[(.*)\]$")
+_TERM_RE = re.compile(r"^(\w+)\*(-?\d+)$")
+_VECOP_RE = re.compile(r"^v(add|sub|mul|div|fma|max|min)\.(f32|f64)\.(\d+)$")
+_MEM_RE = re.compile(r"^(vload|vstore|vstorent)\.(\d+)$")
+
+
+# ----------------------------------------------------------------------
+# formatting
+# ----------------------------------------------------------------------
+def format_program(program: Program) -> str:
+    """Render a program to its canonical textual form.
+
+    Gather index tables carry data, not structure, so programs with
+    :class:`GatherLoad` instructions are not textually representable.
+    """
+    if any(isinstance(node, GatherLoad) for node in program.walk()):
+        raise AssemblerError(
+            "programs with gather loads are not representable in text "
+            "(index tables are data)"
+        )
+    lines: List[str] = []
+    for name in sorted(program.buffers):
+        lines.append(f"buffer {name} {program.buffers[name]}")
+    _format_nodes(program.body, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _format_nodes(nodes, depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    for node in nodes:
+        if isinstance(node, Loop):
+            lines.append(f"{pad}loop {node.loop_id} {node.trips}")
+            _format_nodes(node.body, depth + 1, lines)
+            lines.append(f"{pad}end")
+        else:
+            lines.append(f"{pad}{node}")
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def parse_program(text: str) -> Program:
+    """Parse the canonical textual form back into a :class:`Program`."""
+    buffers: Dict[str, int] = {}
+    root: List[object] = []
+    stack: List[Tuple[str, int, List[object]]] = []
+    current = root
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith("buffer "):
+                _parse_buffer(line, buffers)
+            elif line.startswith("loop "):
+                parts = line.split()
+                if len(parts) != 3:
+                    raise AssemblerError("loop expects 'loop <id> <trips>'")
+                stack.append((parts[1], int(parts[2]), current))
+                current = []
+            elif line == "end":
+                if not stack:
+                    raise AssemblerError("'end' without open loop")
+                loop_id, trips, parent = stack.pop()
+                parent.append(Loop(loop_id, trips, tuple(current)))
+                current = parent
+            else:
+                current.append(_parse_instruction(line))
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+        except Exception as exc:  # noqa: BLE001 - rewrap with location
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+
+    if stack:
+        raise AssemblerError(f"unterminated loop {stack[-1][0]!r}")
+    return Program(root, buffers)
+
+
+def _parse_buffer(line: str, buffers: Dict[str, int]) -> None:
+    parts = line.split()
+    if len(parts) != 3:
+        raise AssemblerError("buffer expects 'buffer <name> <bytes>'")
+    name, size = parts[1], int(parts[2])
+    if name in buffers:
+        raise AssemblerError(f"buffer {name!r} declared twice")
+    buffers[name] = size
+
+
+def parse_addr(text: str) -> AddrExpr:
+    """Parse ``buf[i*32+j*8+16]`` style address expressions."""
+    match = _ADDR_RE.match(text.strip())
+    if not match:
+        raise AssemblerError(f"bad address {text!r}")
+    buffer, inner = match.group(1), match.group(2).strip()
+    offset = 0
+    strides: List[Tuple[str, int]] = []
+    if inner:
+        for part in inner.split("+"):
+            part = part.strip()
+            term = _TERM_RE.match(part)
+            if term:
+                strides.append((term.group(1), int(term.group(2))))
+            else:
+                try:
+                    offset += int(part)
+                except ValueError as exc:
+                    raise AssemblerError(f"bad address term {part!r}") from exc
+    return AddrExpr(buffer, offset, tuple(strides))
+
+
+def _parse_instruction(line: str):
+    mnemonic, _, rest = line.partition(" ")
+    operands = [op.strip() for op in rest.split(",")] if rest.strip() else []
+
+    vecop = _VECOP_RE.match(mnemonic)
+    if vecop:
+        op, precision, width = vecop.group(1), vecop.group(2), int(vecop.group(3))
+        expected = 4 if op == "fma" else 3
+        if len(operands) != expected:
+            raise AssemblerError(f"{mnemonic} expects {expected} operands")
+        regs = [parse_register(o) for o in operands]
+        return VecOp(op, width, regs[0], tuple(regs[1:]), precision)
+
+    mem = _MEM_RE.match(mnemonic)
+    if mem:
+        kind, width = mem.group(1), int(mem.group(2))
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} expects 2 operands")
+        if kind == "vload":
+            return Load(parse_register(operands[0]), parse_addr(operands[1]), width)
+        return Store(
+            parse_register(operands[0]),
+            parse_addr(operands[1]),
+            width,
+            nt=(kind == "vstorent"),
+        )
+
+    if mnemonic == "prefetch":
+        if len(operands) != 1:
+            raise AssemblerError("prefetch expects 1 operand")
+        return PrefetchHint(parse_addr(operands[0]))
+    if mnemonic == "clflush":
+        if len(operands) != 1:
+            raise AssemblerError("clflush expects 1 operand")
+        return Flush(parse_addr(operands[0]))
+
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}")

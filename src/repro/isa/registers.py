@@ -1,0 +1,93 @@
+"""Register model for the simulated vector ISA.
+
+The simulator is structural rather than value-accurate: registers are
+identities used for dependency analysis (which instruction feeds which),
+not containers of numeric data.  A vector register can be used at any
+width up to the machine's maximum; the *instruction* carries the width,
+matching how AVX encodes xmm/ymm views of the same physical register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import IsaError
+
+GPR_COUNT = 16
+VEC_COUNT = 32
+
+KIND_GPR = "gpr"
+KIND_VEC = "vec"
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named architectural register.
+
+    Attributes:
+        name:  Assembly name, e.g. ``"v3"`` or ``"r11"``.
+        index: Register number within its file.
+        kind:  ``"gpr"`` for scalar/address registers, ``"vec"`` for
+               SIMD registers.
+    """
+
+    name: str
+    index: int
+    kind: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_vector(self) -> bool:
+        return self.kind == KIND_VEC
+
+
+def gpr(index: int) -> Register:
+    """Return general-purpose register ``r<index>``."""
+    if not 0 <= index < GPR_COUNT:
+        raise IsaError(f"GPR index {index} out of range [0, {GPR_COUNT})")
+    return Register(f"r{index}", index, KIND_GPR)
+
+
+def vec(index: int) -> Register:
+    """Return vector register ``v<index>``."""
+    if not 0 <= index < VEC_COUNT:
+        raise IsaError(f"vector register index {index} out of range [0, {VEC_COUNT})")
+    return Register(f"v{index}", index, KIND_VEC)
+
+
+def parse_register(name: str) -> Register:
+    """Parse an assembly register name such as ``"v7"`` or ``"r2"``."""
+    name = name.strip()
+    if len(name) < 2 or name[0] not in ("v", "r"):
+        raise IsaError(f"unrecognised register name {name!r}")
+    try:
+        index = int(name[1:])
+    except ValueError as exc:
+        raise IsaError(f"unrecognised register name {name!r}") from exc
+    return vec(index) if name[0] == "v" else gpr(index)
+
+
+class RegisterAllocator:
+    """Hands out fresh vector registers, wrapping when exhausted.
+
+    Wrapping is acceptable because the simulator only uses register
+    identity for intra-loop-body dependence analysis; kernels that need
+    precise long-range chains allocate registers explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def fresh(self) -> Register:
+        """Allocate the next vector register (round-robin)."""
+        reg = vec(self._next % VEC_COUNT)
+        self._next += 1
+        return reg
+
+    def reserve(self, count: int) -> list:
+        """Allocate ``count`` distinct registers at once."""
+        if count > VEC_COUNT:
+            raise IsaError(f"cannot reserve {count} > {VEC_COUNT} vector registers")
+        return [self.fresh() for _ in range(count)]

@@ -1,0 +1,35 @@
+"""Kernels: the paper's evaluation subjects, with exact analytic work
+and compulsory-traffic models used as counter-validation ground truth."""
+
+from .base import CodegenCaps, Kernel, partition_range
+from .blas1 import Daxpy, Dot, Scale, StreamTriad, StridedSum, SumReduction
+from .blas2 import Dgemv
+from .blas3 import Dgemm
+from .fft import Fft
+from .memops import Memcpy, Memset, ReadStream
+from .registry import kernel_names, make_kernel, register_kernel
+from .spmv import Spmv
+from .stencil import Stencil3
+
+__all__ = [
+    "CodegenCaps",
+    "Daxpy",
+    "Dgemm",
+    "Dgemv",
+    "Dot",
+    "Fft",
+    "Kernel",
+    "Memcpy",
+    "Memset",
+    "ReadStream",
+    "Scale",
+    "Spmv",
+    "Stencil3",
+    "StreamTriad",
+    "StridedSum",
+    "SumReduction",
+    "kernel_names",
+    "make_kernel",
+    "partition_range",
+    "register_kernel",
+]

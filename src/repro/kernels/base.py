@@ -1,0 +1,147 @@
+"""Kernel framework.
+
+A kernel knows three things:
+
+* how to *build* its ISA program for given codegen capabilities
+  (SIMD width, FMA availability) and an optional thread partition,
+* its exact analytic work ``W(n)`` in flops,
+* its compulsory memory traffic (the cold-cache minimum ``Q``).
+
+The analytic values are the ground truth the paper validates its
+counter measurements against; the test suite holds every built program
+to them exactly (``program.static_counts().flops == kernel.flops(n)``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..isa.builder import ProgramBuilder
+from ..isa.program import Program
+from ..units import DOUBLE_BYTES
+
+
+@dataclass(frozen=True)
+class CodegenCaps:
+    """What the target core lets the kernel generator use."""
+
+    width_bits: int = 256
+    has_fma: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width_bits not in (64, 128, 256, 512):
+            raise ConfigurationError(f"bad SIMD width {self.width_bits}")
+
+    @property
+    def lanes(self) -> int:
+        """Doubles per vector register."""
+        return self.width_bits // 64
+
+    @property
+    def vec_bytes(self) -> int:
+        return self.width_bits // 8
+
+    @classmethod
+    def from_machine(cls, machine, width_bits: Optional[int] = None) -> "CodegenCaps":
+        """Capabilities for a machine, optionally narrowed to a width."""
+        ports = machine.ports
+        width = width_bits or ports.max_simd_width
+        if not ports.supports_width(width):
+            raise ConfigurationError(
+                f"{machine.spec.name} does not support {width}-bit SIMD"
+            )
+        return cls(width_bits=width, has_fma=ports.has_fma)
+
+
+def partition_range(n: int, rank: int, nranks: int) -> Tuple[int, int]:
+    """Contiguous static partition ``[lo, hi)`` of ``range(n)``.
+
+    The remainder is spread over the first ranks, matching a static
+    OpenMP schedule.
+    """
+    if nranks <= 0 or not 0 <= rank < nranks:
+        raise ConfigurationError(f"bad partition rank {rank}/{nranks}")
+    base = n // nranks
+    extra = n % nranks
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+class Kernel(ABC):
+    """One measurable algorithm implementation."""
+
+    #: registry identifier, e.g. ``"daxpy"``
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # program generation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        """Build the rank's program for problem size ``n``."""
+
+    # ------------------------------------------------------------------
+    # analytic ground truth
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def flops(self, n: int) -> int:
+        """Exact flop count across all ranks."""
+
+    @abstractmethod
+    def compulsory_bytes(self, n: int) -> int:
+        """Minimum memory traffic with a cold cache (compulsory misses
+        plus unavoidable writebacks), across all ranks."""
+
+    @abstractmethod
+    def footprint_bytes(self, n: int) -> int:
+        """Bytes of data the kernel touches (working-set size)."""
+
+    def expected_flops(self, n: int, caps: CodegenCaps, nranks: int = 1) -> int:
+        """Exact flops the *generated code* executes (across all ranks).
+
+        Defaults to the mathematical :meth:`flops`; kernels whose codegen
+        adds structural work (e.g. dgemv's reduction tree) override this.
+        Counter validation compares measured W against this value — the
+        implementation's flop count, exactly as the paper does.
+        """
+        return self.flops(n)
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def operational_intensity(self, n: int) -> float:
+        """The analytic cold-cache intensity ``W/Q`` in flops/byte."""
+        return self.flops(n) / self.compulsory_bytes(n)
+
+    def validate_n(self, n: int, caps: CodegenCaps, nranks: int = 1) -> None:
+        """Reject sizes the generator cannot tile exactly."""
+        if n <= 0:
+            raise ConfigurationError(f"{self.name}: n must be positive")
+        lanes = caps.lanes
+        if (n // nranks) % lanes or n % nranks:
+            raise ConfigurationError(
+                f"{self.name}: n={n} must divide into {nranks} rank(s) of "
+                f"whole {lanes}-lane vectors"
+            )
+
+    def describe(self) -> str:
+        """One-line human description (reports, plot legends)."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def elements_bytes(n: int) -> int:
+    """Size in bytes of ``n`` double-precision elements."""
+    return n * DOUBLE_BYTES
+
+
+def new_builder() -> ProgramBuilder:
+    """A fresh builder (one per build call)."""
+    return ProgramBuilder()

@@ -1,0 +1,333 @@
+"""BLAS-1 style streaming kernels (daxpy, triad, dot, scale, sum).
+
+These are the memory-bound end of the paper's kernel spectrum.  Their
+analytic work and traffic are exact, which is why the paper uses them to
+validate counter-based W and Q measurement:
+
+=========  =====================  ========  ==========================
+kernel     operation              flops     compulsory bytes
+=========  =====================  ========  ==========================
+daxpy      y += alpha*x           2n        24n  (read x,y; write y)
+triad      a = b + alpha*c        2n        32n  (read b,c; RFO+write a)
+dot        s += x[i]*y[i]         2n        16n
+scale      y = alpha*x            n         24n  (16n with NT stores)
+sum        s += x[i]              n         8n
+=========  =====================  ========  ==========================
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..isa.program import Program
+from .base import CodegenCaps, Kernel, elements_bytes, new_builder, partition_range
+
+
+class Daxpy(Kernel):
+    """``y[i] += alpha * x[i]`` — the classic memory-bound BLAS-1 case."""
+
+    name = "daxpy"
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        x = b.buffer("x", elements_bytes(n))
+        y = b.buffer("y", elements_bytes(n))
+        alpha = b.reg()
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop((hi - lo) // caps.lanes) as i:
+            vx = b.load(x[i * step + base], width=width)
+            vy = b.load(y[i * step + base], width=width)
+            if caps.has_fma:
+                out = b.fma(alpha, vx, vy, width=width)
+            else:
+                t = b.mul(alpha, vx, width=width)
+                out = b.add(t, vy, width=width)
+            b.store(out, y[i * step + base], width=width)
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return 2 * n
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 24 * n  # read x + read y + write back y
+
+    def footprint_bytes(self, n: int) -> int:
+        return 16 * n
+
+    def describe(self) -> str:
+        return "daxpy: y += a*x"
+
+
+class StreamTriad(Kernel):
+    """``a[i] = b[i] + alpha * c[i]`` — STREAM triad, three arrays.
+
+    The written array is not read first, so write-allocate caches incur
+    read-for-ownership traffic; its compulsory traffic is 32 bytes per
+    element, against daxpy's 24.
+    """
+
+    name = "triad"
+
+    def __init__(self, nt_stores: bool = False) -> None:
+        self.nt_stores = nt_stores
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        a = b.buffer("a", elements_bytes(n))
+        bb = b.buffer("b", elements_bytes(n))
+        c = b.buffer("c", elements_bytes(n))
+        alpha = b.reg()
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop((hi - lo) // caps.lanes) as i:
+            vb = b.load(bb[i * step + base], width=width)
+            vc = b.load(c[i * step + base], width=width)
+            if caps.has_fma:
+                out = b.fma(alpha, vc, vb, width=width)
+            else:
+                t = b.mul(alpha, vc, width=width)
+                out = b.add(t, vb, width=width)
+            b.store(out, a[i * step + base], width=width, nt=self.nt_stores)
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return 2 * n
+
+    def compulsory_bytes(self, n: int) -> int:
+        if self.nt_stores:
+            return 24 * n  # read b,c; stream a without RFO
+        return 32 * n      # read b,c; RFO + write back a
+
+    def footprint_bytes(self, n: int) -> int:
+        return 24 * n
+
+    def describe(self) -> str:
+        suffix = " (NT stores)" if self.nt_stores else ""
+        return f"triad: a = b + alpha*c{suffix}"
+
+
+class Dot(Kernel):
+    """``s = sum(x[i] * y[i])`` — a reduction with a carried chain.
+
+    ``accumulators`` controls how many independent partial sums the
+    generated code keeps; 1 exposes the full FP latency (the ablation
+    experiment sweeps this), 8 reaches issue throughput.
+    """
+
+    name = "dot"
+
+    def __init__(self, accumulators: int = 8) -> None:
+        if accumulators <= 0:
+            raise ConfigurationError("need at least one accumulator")
+        self.accumulators = accumulators
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        local = hi - lo
+        k = self.accumulators
+        vectors = local // caps.lanes
+        if vectors % k:
+            raise ConfigurationError(
+                f"dot: {vectors} vectors not divisible by {k} accumulators"
+            )
+        b = new_builder()
+        x = b.buffer("x", elements_bytes(n))
+        y = b.buffer("y", elements_bytes(n))
+        accs = b.regs(k)
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop(vectors // k) as i:
+            for j in range(k):
+                off = i * (step * k) + (base + j * step)
+                vx = b.load(x[off], width=width)
+                vy = b.load(y[off], width=width)
+                if caps.has_fma:
+                    accs[j] = b.fma(vx, vy, accs[j], width=width)
+                else:
+                    t = b.mul(vx, vy, width=width)
+                    accs[j] = b.add(t, accs[j], width=width, dst=accs[j])
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return 2 * n
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 16 * n
+
+    def footprint_bytes(self, n: int) -> int:
+        return 16 * n
+
+    def validate_n(self, n: int, caps: CodegenCaps, nranks: int = 1) -> None:
+        super().validate_n(n, caps, nranks)
+        if (n // nranks) % (caps.lanes * self.accumulators):
+            raise ConfigurationError(
+                f"dot: per-rank n must divide into {self.accumulators} "
+                f"accumulator streams of {caps.lanes} lanes"
+            )
+
+    def describe(self) -> str:
+        return f"dot product ({self.accumulators} accumulators)"
+
+
+class StridedSum(Kernel):
+    """``s += x[i * stride]`` — a sparse walk that skips cache lines.
+
+    With ``stride_elems >= 16`` (two lines) the next-line prefetcher
+    fetches a neighbour line on every miss that the kernel never
+    touches: the cleanest demonstration of genuine prefetch overfetch
+    (experiment F9).  ``n`` counts *touched* elements; the footprint is
+    ``8 * n * stride_elems`` bytes.
+    """
+
+    name = "strided-sum"
+
+    def __init__(self, stride_elems: int = 16, accumulators: int = 4) -> None:
+        if stride_elems < 1:
+            raise ConfigurationError("stride must be at least one element")
+        if accumulators <= 0:
+            raise ConfigurationError("need at least one accumulator")
+        self.stride_elems = stride_elems
+        self.accumulators = accumulators
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        k = self.accumulators
+        stride = 8 * self.stride_elems
+        b = new_builder()
+        x = b.buffer("x", n * stride)
+        accs = b.regs(k)
+        base = lo * stride
+        with b.loop((hi - lo) // k) as i:
+            for j in range(k):
+                vx = b.load(x[i * (stride * k) + (base + j * stride)],
+                            width=64)
+                accs[j] = b.add(accs[j], vx, width=64, dst=accs[j])
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return n
+
+    def compulsory_bytes(self, n: int) -> int:
+        if self.stride_elems >= 8:
+            return 64 * n          # one distinct line per element
+        lines = (n * self.stride_elems * 8 + 63) // 64
+        return 64 * lines
+
+    def footprint_bytes(self, n: int) -> int:
+        return 8 * n * self.stride_elems
+
+    def validate_n(self, n: int, caps: CodegenCaps, nranks: int = 1) -> None:
+        if n <= 0 or n % nranks or (n // nranks) % self.accumulators:
+            raise ConfigurationError(
+                f"strided-sum: n={n} must divide into {nranks} rank(s) of "
+                f"{self.accumulators} accumulator streams"
+            )
+
+    def describe(self) -> str:
+        return (f"strided sum (every {self.stride_elems} elements, "
+                f"{self.accumulators} accumulators)")
+
+
+class Scale(Kernel):
+    """``y[i] = alpha * x[i]`` — one flop per element."""
+
+    name = "scale"
+
+    def __init__(self, nt_stores: bool = False) -> None:
+        self.nt_stores = nt_stores
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        x = b.buffer("x", elements_bytes(n))
+        y = b.buffer("y", elements_bytes(n))
+        alpha = b.reg()
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop((hi - lo) // caps.lanes) as i:
+            vx = b.load(x[i * step + base], width=width)
+            out = b.mul(alpha, vx, width=width)
+            b.store(out, y[i * step + base], width=width, nt=self.nt_stores)
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return n
+
+    def compulsory_bytes(self, n: int) -> int:
+        return (16 if self.nt_stores else 24) * n
+
+    def footprint_bytes(self, n: int) -> int:
+        return 16 * n
+
+    def describe(self) -> str:
+        return "scale: y = a*x" + (" (NT stores)" if self.nt_stores else "")
+
+
+class SumReduction(Kernel):
+    """``s = sum(x[i])`` — the paper's counter-validation footnote kernel
+    (simple enough that W and Q are beyond doubt)."""
+
+    name = "sum"
+
+    def __init__(self, accumulators: int = 4) -> None:
+        if accumulators <= 0:
+            raise ConfigurationError("need at least one accumulator")
+        self.accumulators = accumulators
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        k = self.accumulators
+        vectors = (hi - lo) // caps.lanes
+        if vectors % k:
+            raise ConfigurationError(
+                f"sum: {vectors} vectors not divisible by {k} accumulators"
+            )
+        b = new_builder()
+        x = b.buffer("x", elements_bytes(n))
+        accs = b.regs(k)
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop(vectors // k) as i:
+            for j in range(k):
+                vx = b.load(x[i * (step * k) + (base + j * step)], width=width)
+                accs[j] = b.add(accs[j], vx, width=width, dst=accs[j])
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return n
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 8 * n
+
+    def footprint_bytes(self, n: int) -> int:
+        return 8 * n
+
+    def validate_n(self, n: int, caps: CodegenCaps, nranks: int = 1) -> None:
+        super().validate_n(n, caps, nranks)
+        if (n // nranks) % (caps.lanes * self.accumulators):
+            raise ConfigurationError(
+                f"sum: per-rank n must divide into {self.accumulators} "
+                f"accumulator streams of {caps.lanes} lanes"
+            )
+
+    def describe(self) -> str:
+        return f"sum reduction ({self.accumulators} accumulators)"

@@ -1,0 +1,150 @@
+"""BLAS-2: dense matrix-vector multiply (dgemv), row- and column-major.
+
+dgemv sits between the streaming BLAS-1 kernels and compute-bound dgemm
+on the intensity axis: 2 flops per matrix element that is read exactly
+once.  The row-major variant walks the matrix at unit stride with vector
+loads (the good case); the column-major variant must use scalar loads
+that stride by a full row per inner iteration, so each element touch
+pulls a whole cache line unless the active line window fits in cache —
+the locality cliff the roofline plot makes visible.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..isa.program import Program
+from .base import CodegenCaps, Kernel, new_builder, partition_range
+
+_LAYOUTS = ("row", "col")
+
+
+class Dgemv(Kernel):
+    """``y = A @ x + y`` with an ``n x n`` matrix.
+
+    ``accumulators`` partial sums hide FP latency in the row dot
+    products; the generated reduction tree adds a few structural flops
+    per row (accounted by :meth:`expected_flops`).
+    """
+
+    def __init__(self, layout: str = "row", accumulators: int = 2) -> None:
+        if layout not in _LAYOUTS:
+            raise ConfigurationError(f"dgemv layout must be one of {_LAYOUTS}")
+        if accumulators <= 0:
+            raise ConfigurationError("need at least one accumulator")
+        self.layout = layout
+        self.accumulators = accumulators
+        self.name = f"dgemv-{layout}"
+
+    # ------------------------------------------------------------------
+    # codegen
+    # ------------------------------------------------------------------
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        row_lo, row_hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        a = b.buffer("A", 8 * n * n)
+        x = b.buffer("x", 8 * n)
+        y = b.buffer("y", 8 * n)
+        if self.layout == "row":
+            self._build_row(b, a, x, y, n, caps, row_lo, row_hi)
+        else:
+            self._build_col(b, a, x, y, n, row_lo, row_hi)
+        return b.build()
+
+    def _build_row(self, b, a, x, y, n, caps, row_lo, row_hi) -> None:
+        lanes = caps.lanes
+        width = caps.width_bits
+        k = self.accumulators
+        row_bytes = 8 * n
+        group = 8 * lanes * k
+        with b.loop(row_hi - row_lo, "i") as i:
+            accs = b.regs(k)
+            with b.loop(n // (lanes * k), "j") as j:
+                for t in range(k):
+                    off = 8 * t * lanes
+                    va = b.load(
+                        a[i * row_bytes + j * group
+                          + (row_lo * row_bytes + off)],
+                        width=width,
+                    )
+                    vx = b.load(x[j * group + off], width=width)
+                    if caps.has_fma:
+                        accs[t] = b.fma(va, vx, accs[t], width=width)
+                    else:
+                        prod = b.mul(va, vx, width=width)
+                        accs[t] = b.add(prod, accs[t], width=width,
+                                        dst=accs[t])
+            acc = accs[0]
+            for t in range(1, k):
+                acc = b.add(acc, accs[t], width=width)
+            for _ in range(lanes - 1):
+                acc = b.add(acc, acc, width=64)
+            self._finish_row(b, y, i, row_lo, acc)
+
+    def _build_col(self, b, a, x, y, n, row_lo, row_hi) -> None:
+        """Column-major storage forces scalar element loads ``row_bytes``
+        apart: the strided walk that ruins spatial locality."""
+        k = self.accumulators
+        row_bytes = 8 * n
+        with b.loop(row_hi - row_lo, "i") as i:
+            accs = b.regs(k)
+            with b.loop(n // k, "j") as j:
+                for t in range(k):
+                    va = b.load(
+                        a[j * (row_bytes * k) + i * 8
+                          + (8 * row_lo + t * row_bytes)],
+                        width=64,
+                    )
+                    vx = b.load(x[j * (8 * k) + 8 * t], width=64)
+                    prod = b.mul(va, vx, width=64)
+                    accs[t] = b.add(prod, accs[t], width=64, dst=accs[t])
+            acc = accs[0]
+            for t in range(1, k):
+                acc = b.add(acc, accs[t], width=64)
+            self._finish_row(b, y, i, row_lo, acc)
+
+    @staticmethod
+    def _finish_row(b, y, i, row_lo, acc) -> None:
+        vy = b.load(y[i * 8 + 8 * row_lo], width=64)
+        out = b.add(vy, acc, width=64)
+        b.store(out, y[i * 8 + 8 * row_lo], width=64)
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    def flops(self, n: int) -> int:
+        return 2 * n * n
+
+    def expected_flops(self, n: int, caps: CodegenCaps, nranks: int = 1) -> int:
+        k = self.accumulators
+        if self.layout == "row":
+            lanes = caps.lanes
+            per_row = (k - 1) * lanes + (lanes - 1) + 1
+        else:
+            per_row = (k - 1) + 1
+        return 2 * n * n + n * per_row
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 8 * n * n + 8 * n + 16 * n  # A once, x once, y read+write
+
+    def footprint_bytes(self, n: int) -> int:
+        return 8 * n * n + 16 * n
+
+    def validate_n(self, n: int, caps: CodegenCaps, nranks: int = 1) -> None:
+        if n <= 0:
+            raise ConfigurationError("dgemv: n must be positive")
+        if n % nranks:
+            raise ConfigurationError(f"dgemv: n={n} not divisible by {nranks} ranks")
+        lanes = caps.lanes if self.layout == "row" else 1
+        if n % (lanes * self.accumulators):
+            raise ConfigurationError(
+                f"dgemv: n={n} must divide into {self.accumulators} "
+                f"accumulator streams of {lanes} lane(s)"
+            )
+
+    def describe(self) -> str:
+        return f"dgemv ({self.layout}-major, y = A@x + y)"
+
+    def __repr__(self) -> str:
+        return f"Dgemv(layout={self.layout!r}, accumulators={self.accumulators})"

@@ -1,0 +1,265 @@
+"""BLAS-3: dense matrix-matrix multiply (dgemm) in three implementations.
+
+dgemm is the compute-bound anchor of the paper's kernel set: O(n^3)
+flops over O(n^2) data.  *How close* an implementation gets to the
+compute roof depends entirely on its loop order and blocking, which is
+exactly the story the roofline plot tells:
+
+* ``naive``   — ijk dot-product form; the B operand is walked down a
+  column (stride = one full row), so every inner iteration touches a
+  new cache line and the kernel behaves like a memory-bound code until
+  the column window fits in cache.
+* ``ikj``     — saxpy form; all three operands stream at unit stride,
+  but C is re-read/re-written n times.
+* ``blocked`` — ikj with i/k tiling so the C row slice and B block stay
+  cache-resident; fixes the traffic but stays load/store-port bound.
+* ``tiled``   — register-tiled outer-product micro-kernel (the MKL
+  analogue): an ``mu x nu``-vector C tile lives in registers across the
+  k loop, so each loaded operand feeds ``mu*nu`` FP operations and the
+  kernel becomes FP-issue bound, approaching the compute ceiling.
+
+All variants execute exactly ``2 n^3`` flops.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..isa.program import Program
+from .base import CodegenCaps, Kernel, new_builder, partition_range
+
+_VARIANTS = ("naive", "ikj", "blocked", "tiled")
+
+
+class Dgemm(Kernel):
+    """``C += A @ B`` with ``n x n`` row-major operands."""
+
+    def __init__(self, variant: str = "tiled", unroll: int = 4,
+                 block_i: int = 8, block_k: int = 16,
+                 mu: int = 4, nu: int = 2) -> None:
+        if variant not in _VARIANTS:
+            raise ConfigurationError(f"dgemm variant must be one of {_VARIANTS}")
+        if unroll <= 0 or block_i <= 0 or block_k <= 0:
+            raise ConfigurationError("dgemm parameters must be positive")
+        if mu <= 0 or nu <= 0 or mu * nu > 16:
+            raise ConfigurationError("register tile mu*nu must be in [1, 16]")
+        self.variant = variant
+        self.unroll = unroll
+        self.block_i = block_i
+        self.block_k = block_k
+        self.mu = mu
+        self.nu = nu
+        self.name = f"dgemm-{variant}"
+
+    # ------------------------------------------------------------------
+    # codegen
+    # ------------------------------------------------------------------
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        row_lo, row_hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        a = b.buffer("A", 8 * n * n)
+        bm = b.buffer("B", 8 * n * n)
+        c = b.buffer("C", 8 * n * n)
+        if self.variant == "naive":
+            self._build_naive(b, a, bm, c, n, caps, row_lo, row_hi)
+        elif self.variant == "ikj":
+            self._build_ikj(b, a, bm, c, n, caps, row_lo, row_hi)
+        elif self.variant == "blocked":
+            self._build_blocked(b, a, bm, c, n, caps, row_lo, row_hi)
+        else:
+            self._build_tiled(b, a, bm, c, n, caps, row_lo, row_hi)
+        return b.build()
+
+    def _build_naive(self, b, a, bm, c, n, caps, row_lo, row_hi) -> None:
+        """ijk: C[i, jv] = sum_k A[i,k] * B[k, jv]; B walked by column."""
+        lanes = caps.lanes
+        width = caps.width_bits
+        u = self.unroll
+        row = 8 * n
+        with b.loop(row_hi - row_lo, "i") as i:
+            with b.loop(n // lanes, "j") as j:
+                accs = b.regs(u)
+                cv = b.load(c[i * row + j * (8 * lanes) + row_lo * row],
+                            width=width)
+                with b.loop(n // u, "k") as k:
+                    for t in range(u):
+                        va = b.load(
+                            a[i * row + k * (8 * u) + (row_lo * row + 8 * t)],
+                            width=64,
+                        )
+                        vb = b.load(
+                            bm[k * (row * u) + j * (8 * lanes) + t * row],
+                            width=width,
+                        )
+                        if caps.has_fma:
+                            accs[t] = b.fma(va, vb, accs[t], width=width)
+                        else:
+                            prod = b.mul(va, vb, width=width)
+                            accs[t] = b.add(prod, accs[t], width=width,
+                                            dst=accs[t])
+                out = cv
+                for t in range(u):
+                    out = b.add(out, accs[t], width=width)
+                b.store(out, c[i * row + j * (8 * lanes) + row_lo * row],
+                        width=width)
+
+    def _build_ikj(self, b, a, bm, c, n, caps, row_lo, row_hi) -> None:
+        """ikj: C[i,:] += A[i,k] * B[k,:]; unit stride everywhere."""
+        lanes = caps.lanes
+        width = caps.width_bits
+        row = 8 * n
+        with b.loop(row_hi - row_lo, "i") as i:
+            with b.loop(n, "k") as k:
+                va = b.load(a[i * row + k * 8 + row_lo * row], width=64)
+                with b.loop(n // lanes, "j") as j:
+                    vb = b.load(bm[k * row + j * (8 * lanes)], width=width)
+                    cv = b.load(c[i * row + j * (8 * lanes) + row_lo * row],
+                                width=width)
+                    if caps.has_fma:
+                        out = b.fma(va, vb, cv, width=width)
+                    else:
+                        prod = b.mul(va, vb, width=width)
+                        out = b.add(prod, cv, width=width)
+                    b.store(out, c[i * row + j * (8 * lanes) + row_lo * row],
+                            width=width)
+
+    def _build_blocked(self, b, a, bm, c, n, caps, row_lo, row_hi) -> None:
+        """ikj with i/k tiling: B block rows and the C row slice stay hot."""
+        lanes = caps.lanes
+        width = caps.width_bits
+        bi, bk = self.block_i, self.block_k
+        row = 8 * n
+        rows = row_hi - row_lo
+        with b.loop(rows // bi, "it") as it:
+            with b.loop(n // bk, "kt") as kt:
+                with b.loop(bi, "i") as i:
+                    with b.loop(bk, "k") as k:
+                        va = b.load(
+                            a[it * (row * bi) + i * row
+                              + kt * (8 * bk) + k * 8 + row_lo * row],
+                            width=64,
+                        )
+                        with b.loop(n // lanes, "j") as j:
+                            vb = b.load(
+                                bm[kt * (row * bk) + k * row
+                                   + j * (8 * lanes)],
+                                width=width,
+                            )
+                            cv = b.load(
+                                c[it * (row * bi) + i * row
+                                  + j * (8 * lanes) + row_lo * row],
+                                width=width,
+                            )
+                            if caps.has_fma:
+                                out = b.fma(va, vb, cv, width=width)
+                            else:
+                                prod = b.mul(va, vb, width=width)
+                                out = b.add(prod, cv, width=width)
+                            b.store(
+                                out,
+                                c[it * (row * bi) + i * row
+                                  + j * (8 * lanes) + row_lo * row],
+                                width=width,
+                            )
+
+    def _build_tiled(self, b, a, bm, c, n, caps, row_lo, row_hi) -> None:
+        """Register-tiled micro-kernel: an mu x nu C tile stays in
+        registers across the whole k loop, loaded once and stored once.
+        Each A scalar feeds nu FP ops and each B vector feeds mu, which
+        is what lifts the kernel off the load/store-port bound."""
+        lanes = caps.lanes
+        width = caps.width_bits
+        mu, nu = self.mu, self.nu
+        row = 8 * n
+        tile_cols = nu * lanes
+        # jt outermost: the B panel (n x tile_cols) is reused across all
+        # row tiles and stays cache-resident, amortising its traffic
+        with b.loop(n // tile_cols, "jt") as jt:
+            with b.loop((row_hi - row_lo) // mu, "it") as it:
+                accs = []
+                for r in range(mu):
+                    for v in range(nu):
+                        accs.append(b.load(
+                            c[it * (row * mu) + jt * (8 * tile_cols)
+                              + (row_lo * row + r * row + 8 * v * lanes)],
+                            width=width,
+                        ))
+                with b.loop(n, "k") as k:
+                    avals = [
+                        b.load(a[it * (row * mu) + k * 8
+                                 + (row_lo * row + r * row)], width=64)
+                        for r in range(mu)
+                    ]
+                    bvals = [
+                        b.load(bm[k * row + jt * (8 * tile_cols)
+                                  + 8 * v * lanes], width=width)
+                        for v in range(nu)
+                    ]
+                    for r in range(mu):
+                        for v in range(nu):
+                            acc = accs[r * nu + v]
+                            if caps.has_fma:
+                                b.fma(avals[r], bvals[v], acc, width=width)
+                            else:
+                                prod = b.mul(avals[r], bvals[v], width=width)
+                                b.add(prod, acc, width=width, dst=acc)
+                for r in range(mu):
+                    for v in range(nu):
+                        b.store(
+                            accs[r * nu + v],
+                            c[it * (row * mu) + jt * (8 * tile_cols)
+                              + (row_lo * row + r * row + 8 * v * lanes)],
+                            width=width,
+                        )
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    def flops(self, n: int) -> int:
+        return 2 * n * n * n
+
+    def expected_flops(self, n: int, caps: CodegenCaps, nranks: int = 1) -> int:
+        if self.variant == "naive":
+            # the accumulator-combine tree adds `unroll` vector adds
+            # per C tile
+            tiles = n * (n // caps.lanes)
+            return 2 * n * n * n + tiles * self.unroll * caps.lanes
+        return 2 * n * n * n
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 8 * n * n * 4  # A + B read, C read + write back
+
+    def footprint_bytes(self, n: int) -> int:
+        return 24 * n * n
+
+    def validate_n(self, n: int, caps: CodegenCaps, nranks: int = 1) -> None:
+        if n <= 0:
+            raise ConfigurationError("dgemm: n must be positive")
+        if n % nranks:
+            raise ConfigurationError(f"dgemm: n={n} not divisible by {nranks} ranks")
+        rows = n // nranks
+        if n % caps.lanes:
+            raise ConfigurationError(f"dgemm: n={n} not a multiple of SIMD lanes")
+        if self.variant == "naive" and n % self.unroll:
+            raise ConfigurationError(
+                f"dgemm-naive: n={n} not a multiple of unroll={self.unroll}"
+            )
+        if self.variant == "blocked":
+            if rows % self.block_i or n % self.block_k:
+                raise ConfigurationError(
+                    f"dgemm-blocked: n={n} must tile into "
+                    f"{self.block_i}x{self.block_k} blocks per rank"
+                )
+        if self.variant == "tiled":
+            if rows % self.mu or n % (self.nu * caps.lanes):
+                raise ConfigurationError(
+                    f"dgemm-tiled: n={n} must tile into {self.mu}x{self.nu}"
+                    f"-vector register tiles per rank"
+                )
+
+    def describe(self) -> str:
+        return f"dgemm ({self.variant}, C += A@B)"
+
+    def __repr__(self) -> str:
+        return f"Dgemm(variant={self.variant!r})"

@@ -1,0 +1,130 @@
+"""Iterative radix-2 complex FFT (Cooley-Tukey, in place).
+
+The FFT is the paper's intermediate-intensity kernel: 5 n log2(n) flops
+over ~16 n bytes of data gives an operational intensity that grows with
+log(n) while the transform fits in cache, then saturates once every
+pass streams from DRAM — the characteristic bent trajectory on the
+roofline plot.
+
+Data layout: ``n`` complex doubles, re/im interleaved (16 bytes per
+element), so one 128-bit load/store moves one complex value.  Each of
+the log2(n) passes performs n/2 butterflies of 10 flops each
+(complex twiddle multiply: 4 mul + 2 add; butterfly combine: 2 add/sub,
+all on 2-lane vectors).
+
+Pass loop nesting is chosen per pass so the *flat* (vectorised) loop is
+always the longer one: early passes iterate groups innermost, late
+passes iterate butterflies innermost.  This mirrors how real FFT codes
+pick their inner loop for stride behaviour.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..isa.program import Program
+from ..units import is_power_of_two, log2_int
+from .base import CodegenCaps, Kernel, new_builder
+
+
+class Fft(Kernel):
+    """In-place radix-2 complex-to-complex FFT of size ``n``.
+
+    With ``nranks > 1`` each rank transforms an independent batch FFT of
+    size ``n // nranks`` (a batched-transform interpretation of the
+    parallel case; documented in DESIGN.md).
+    """
+
+    name = "fft"
+
+    #: complex element size in bytes (interleaved re/im doubles)
+    ELEM = 16
+    #: counted flops per butterfly
+    FLOPS_PER_BUTTERFLY = 10
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        local = n // nranks
+        b = new_builder()
+        data = b.buffer("data", self.ELEM * local)
+        tw = b.buffer("twiddle", max(8 * local, 16))
+        stages = log2_int(local)
+        for stage in range(1, stages + 1):
+            self._emit_stage(b, data, tw, local, stage)
+        return b.build()
+
+    def _emit_stage(self, b, data, tw, n, stage: int) -> None:
+        m = 1 << stage            # butterfly group span
+        half = m // 2             # butterflies per group
+        groups = n // m
+        elem = self.ELEM
+        if half >= groups:
+            # butterflies innermost: unit-ish stride within each group
+            with b.loop(groups, f"g{stage}") as g:
+                self._emit_butterflies(
+                    b, data, tw, outer=g, outer_stride=m * elem,
+                    inner_trips=half, inner_stride=elem,
+                    twiddle_stride=8, half_offset=half * elem,
+                )
+        else:
+            # groups innermost: stride m*elem, same butterfly index j
+            with b.loop(half, f"j{stage}") as j:
+                self._emit_butterflies(
+                    b, data, tw, outer=j, outer_stride=elem,
+                    inner_trips=groups, inner_stride=m * elem,
+                    twiddle_stride=0, half_offset=half * elem,
+                    twiddle_outer_stride=8,
+                )
+
+    def _emit_butterflies(self, b, data, tw, outer, outer_stride: int,
+                          inner_trips: int, inner_stride: int,
+                          twiddle_stride: int, half_offset: int,
+                          twiddle_outer_stride: int = 0) -> None:
+        with b.loop(inner_trips) as i:
+            u_addr = data[outer * outer_stride + i * inner_stride]
+            t_addr = data[outer * outer_stride + i * inner_stride
+                          + half_offset]
+            w_addr = tw[outer * twiddle_outer_stride + i * twiddle_stride]
+            vu = b.load(u_addr, width=128)
+            vt = b.load(t_addr, width=128)
+            vw = b.load(w_addr, width=128)
+            # complex twiddle multiply: 4 mul + 2 add (as two packed muls
+            # and one packed add after a swizzle), then combine: +/-.
+            m1 = b.mul(vw, vt, width=128)
+            m2 = b.mul(vw, vt, width=128)
+            tmul = b.add(m1, m2, width=128)
+            out_u = b.add(vu, tmul, width=128)
+            out_t = b.sub(vu, tmul, width=128)
+            b.store(out_u, u_addr, width=128)
+            b.store(out_t, t_addr, width=128)
+
+    # ------------------------------------------------------------------
+    # ground truth
+    # ------------------------------------------------------------------
+    def flops(self, n: int) -> int:
+        return self.FLOPS_PER_BUTTERFLY * (n // 2) * log2_int(n)
+
+    def expected_flops(self, n: int, caps: CodegenCaps, nranks: int = 1) -> int:
+        local = n // nranks
+        return nranks * self.flops(local)
+
+    def compulsory_bytes(self, n: int) -> int:
+        # one read + one write-back of the data, plus the twiddle table
+        return 2 * self.ELEM * n + 8 * n
+
+    def footprint_bytes(self, n: int) -> int:
+        return self.ELEM * n + 8 * n
+
+    def validate_n(self, n: int, caps: CodegenCaps, nranks: int = 1) -> None:
+        if n % nranks:
+            raise ConfigurationError(f"fft: n={n} not divisible by {nranks} ranks")
+        local = n // nranks
+        if not is_power_of_two(local) or local < 4:
+            raise ConfigurationError(
+                f"fft: per-rank size {local} must be a power of two >= 4"
+            )
+        if caps.width_bits < 128:
+            raise ConfigurationError("fft codegen needs at least 128-bit SIMD")
+
+    def describe(self) -> str:
+        return "radix-2 complex FFT (in place, interleaved)"

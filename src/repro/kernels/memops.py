@@ -1,0 +1,124 @@
+"""Pure data-movement kernels: memset, memcpy, read stream.
+
+These carry **zero counted flops** — they are the substrate of the
+bandwidth microbenchmarks, and they also demonstrate the methodology's
+applicability limit the paper discusses: work measured via FP counters
+says nothing about kernels whose work *is* data movement.
+
+``memset``/``memcpy`` come in write-allocate and non-temporal variants;
+the NT variants avoid read-for-ownership and are what achieve the
+highest measured bandwidth (the paper's fastest bandwidth check is a
+hand-written non-temporal memset).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..isa.program import Program
+from .base import CodegenCaps, Kernel, new_builder, partition_range
+
+
+class _MemKernel(Kernel):
+    """Shared scaffolding for flop-free streaming kernels.
+
+    ``n`` counts 8-byte elements, keeping the size convention uniform
+    with the FP kernels.
+    """
+
+    def flops(self, n: int) -> int:
+        return 0
+
+    def expected_flops(self, n: int, caps: CodegenCaps, nranks: int = 1) -> int:
+        return 0
+
+    def operational_intensity(self, n: int) -> float:
+        raise ConfigurationError(
+            f"{self.name} performs no counted flops; the FP-counter "
+            "methodology does not apply (see paper's applicability notes)"
+        )
+
+
+class ReadStream(_MemKernel):
+    """Load-only sweep (bandwidth 'read' check)."""
+
+    name = "read"
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        x = b.buffer("x", 8 * n)
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop((hi - lo) // caps.lanes) as i:
+            b.load(x[i * step + base], width=width)
+        return b.build()
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 8 * n
+
+    def footprint_bytes(self, n: int) -> int:
+        return 8 * n
+
+
+class Memset(_MemKernel):
+    """Store-only sweep; NT variant skips the RFO read."""
+
+    name = "memset"
+
+    def __init__(self, nt_stores: bool = False) -> None:
+        self.nt_stores = nt_stores
+        self.name = "memset-nt" if nt_stores else "memset"
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        x = b.buffer("x", 8 * n)
+        value = b.reg()
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop((hi - lo) // caps.lanes) as i:
+            b.store(value, x[i * step + base], width=width, nt=self.nt_stores)
+        return b.build()
+
+    def compulsory_bytes(self, n: int) -> int:
+        return (8 if self.nt_stores else 16) * n
+
+    def footprint_bytes(self, n: int) -> int:
+        return 8 * n
+
+
+class Memcpy(_MemKernel):
+    """Load+store sweep; NT variant streams the destination."""
+
+    name = "memcpy"
+
+    def __init__(self, nt_stores: bool = False) -> None:
+        self.nt_stores = nt_stores
+        self.name = "memcpy-nt" if nt_stores else "memcpy"
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        src = b.buffer("src", 8 * n)
+        dst = b.buffer("dst", 8 * n)
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        with b.loop((hi - lo) // caps.lanes) as i:
+            v = b.load(src[i * step + base], width=width)
+            b.store(v, dst[i * step + base], width=width, nt=self.nt_stores)
+        return b.build()
+
+    def compulsory_bytes(self, n: int) -> int:
+        return (16 if self.nt_stores else 24) * n
+
+    def footprint_bytes(self, n: int) -> int:
+        return 16 * n

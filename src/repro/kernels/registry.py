@@ -1,0 +1,63 @@
+"""Kernel registry: name -> factory, for the CLI and experiments."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .base import Kernel
+from .blas1 import Daxpy, Dot, Scale, StreamTriad, StridedSum, SumReduction
+from .blas2 import Dgemv
+from .blas3 import Dgemm
+from .fft import Fft
+from .memops import Memcpy, Memset, ReadStream
+from .spmv import Spmv
+from .stencil import Stencil3
+
+_FACTORIES: Dict[str, Callable[[], Kernel]] = {
+    "daxpy": Daxpy,
+    "triad": StreamTriad,
+    "triad-nt": lambda: StreamTriad(nt_stores=True),
+    "dot": Dot,
+    "scale": Scale,
+    "sum": SumReduction,
+    "strided-sum": StridedSum,
+    "dgemv-row": lambda: Dgemv(layout="row"),
+    "dgemv-col": lambda: Dgemv(layout="col"),
+    "dgemm-naive": lambda: Dgemm(variant="naive"),
+    "dgemm-ikj": lambda: Dgemm(variant="ikj"),
+    "dgemm-blocked": lambda: Dgemm(variant="blocked"),
+    "dgemm-tiled": lambda: Dgemm(variant="tiled"),
+    "fft": Fft,
+    "spmv": Spmv,
+    "spmv-wide": lambda: Spmv(bandwidth=1 << 20),
+    "stencil3": Stencil3,
+    "read": ReadStream,
+    "memset": Memset,
+    "memset-nt": lambda: Memset(nt_stores=True),
+    "memcpy": Memcpy,
+    "memcpy-nt": lambda: Memcpy(nt_stores=True),
+}
+
+
+def make_kernel(name: str) -> Kernel:
+    """Instantiate a kernel by registry name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown kernel {name!r}; known: {', '.join(kernel_names())}"
+        ) from exc
+    return factory()
+
+
+def kernel_names() -> List[str]:
+    """All registered kernel names, sorted."""
+    return sorted(_FACTORIES)
+
+
+def register_kernel(name: str, factory: Callable[[], Kernel]) -> None:
+    """Register a user-defined kernel (library extension point)."""
+    if name in _FACTORIES:
+        raise ConfigurationError(f"kernel {name!r} already registered")
+    _FACTORIES[name] = factory

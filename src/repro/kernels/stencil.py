@@ -1,0 +1,60 @@
+"""1-D 3-point stencil (extension kernel).
+
+``y[i] = c0*x[i-1] + c1*x[i] + c2*x[i+1]`` — 5 flops per element over a
+streaming footprint, landing between daxpy and dgemv on the intensity
+axis.  Its shifted loads are deliberately unaligned, exercising the
+simulator's split-line handling; the input buffer carries one vector of
+halo on each side so every access stays in bounds.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from .base import CodegenCaps, Kernel, elements_bytes, new_builder, partition_range
+
+
+class Stencil3(Kernel):
+    """Three-point stencil with constant coefficients."""
+
+    name = "stencil3"
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        width = caps.width_bits
+        lanes = caps.lanes
+        step = caps.vec_bytes
+        b = new_builder()
+        halo = step  # one vector of halo on each side
+        x = b.buffer("x", elements_bytes(n) + 2 * halo)
+        y = b.buffer("y", elements_bytes(n))
+        c0, c1, c2 = b.regs(3)
+        base = lo * 8 + halo
+        with b.loop((hi - lo) // lanes) as i:
+            left = b.load(x[i * step + (base - 8)], width=width)
+            mid = b.load(x[i * step + base], width=width)
+            right = b.load(x[i * step + (base + 8)], width=width)
+            acc = b.mul(c0, left, width=width)
+            if caps.has_fma:
+                acc = b.fma(c1, mid, acc, width=width)
+                acc = b.fma(c2, right, acc, width=width)
+            else:
+                t1 = b.mul(c1, mid, width=width)
+                acc = b.add(acc, t1, width=width)
+                t2 = b.mul(c2, right, width=width)
+                acc = b.add(acc, t2, width=width)
+            b.store(acc, y[i * step + lo * 8], width=width)
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return 5 * n
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 8 * n + 16 * n  # x streamed once, y RFO + write back
+
+    def footprint_bytes(self, n: int) -> int:
+        return 16 * n
+
+    def describe(self) -> str:
+        return "3-point stencil: y = c0*x[-1] + c1*x[0] + c2*x[+1]"

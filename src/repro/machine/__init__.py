@@ -1,0 +1,28 @@
+"""Machine assembly and platform presets."""
+
+from .machine import LoadedProgram, Machine, MachineSpec, RunResult
+from .presets import (
+    PRESETS,
+    dual_socket_ep,
+    haswell_node,
+    ivy_bridge_desktop,
+    make_machine,
+    paper_machine,
+    sandy_bridge_ep,
+    tiny_test_machine,
+)
+
+__all__ = [
+    "LoadedProgram",
+    "Machine",
+    "MachineSpec",
+    "PRESETS",
+    "RunResult",
+    "dual_socket_ep",
+    "haswell_node",
+    "ivy_bridge_desktop",
+    "make_machine",
+    "paper_machine",
+    "sandy_bridge_ep",
+    "tiny_test_machine",
+]

@@ -1,0 +1,179 @@
+"""Machine presets modelled on the paper's platforms.
+
+The ISPASS'14 measurements run on Sandy Bridge-class Xeons and a
+desktop Ivy Bridge; we provide analogous presets plus a Haswell-class
+FMA machine for contrast and a two-socket NUMA variant.
+
+Every preset accepts a ``scale`` factor that shrinks the *cache
+capacities* (never the bandwidths or latencies): a 1/8-scale machine
+reaches the DRAM-resident regime at 1/8 the working-set size, which
+keeps full experiment sweeps fast while preserving every shape the
+paper reports.  ``scale=1.0`` reproduces the datasheet geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..cpu.port_model import (
+    PortModel,
+    haswell_ports,
+    sandy_bridge_ports,
+    skylake_avx512_ports,
+)
+from ..cpu.timing import TimingParams
+from ..errors import ConfigurationError
+from ..memory.cache import CacheConfig
+from ..memory.dram import DramConfig
+from ..memory.hierarchy import HierarchyConfig
+from ..memory.numa import NumaConfig, Topology
+from ..units import GIB, KIB, MIB
+from .machine import Machine, MachineSpec
+
+
+def _hierarchy(l3_size: int, l3_assoc: int, dram: DramConfig,
+               scale: float) -> HierarchyConfig:
+    if scale <= 0 or scale > 1:
+        raise ConfigurationError("scale must be in (0, 1]")
+    l1 = CacheConfig("L1d", 32 * KIB, assoc=8, latency_cycles=4,
+                     bytes_per_cycle=32.0)
+    l2 = CacheConfig("L2", 256 * KIB, assoc=8, latency_cycles=12,
+                     bytes_per_cycle=32.0)
+    l3 = CacheConfig("L3", l3_size, assoc=l3_assoc, latency_cycles=36,
+                     bytes_per_cycle=16.0)
+    if scale != 1.0:
+        l1 = l1.scaled(scale)
+        l2 = l2.scaled(scale)
+        l3 = l3.scaled(scale)
+    return HierarchyConfig(l1=l1, l2=l2, l3=l3, dram=dram, numa=NumaConfig())
+
+
+def sandy_bridge_ep(scale: float = 1.0, sockets: int = 1) -> Machine:
+    """Xeon E5-2680-class Sandy Bridge-EP: 8 cores/socket @ 2.7 GHz,
+    AVX without FMA, 4 DDR3-1600 channels (51.2 GB/s) per socket."""
+    base_hz = 2.7e9
+    dram = DramConfig(
+        channels=4,
+        bytes_per_cycle_total=51.2e9 / base_hz,
+        per_core_bytes_per_cycle=13.0e9 / base_hz,
+        latency_cycles=220,
+    )
+    spec = MachineSpec(
+        name=f"snb-ep{'x2' if sockets == 2 else ''}"
+             + (f"@{scale:g}" if scale != 1.0 else ""),
+        topology=Topology(sockets=sockets, cores_per_socket=8),
+        ports=sandy_bridge_ports(),
+        hierarchy=_hierarchy(20 * MIB, 20, dram, scale),
+        base_hz=base_hz,
+        turbo_steps=(3.5e9, 3.4e9, 3.3e9, 3.2e9, 3.1e9, 3.0e9, 2.9e9, 2.8e9),
+    )
+    return Machine(spec)
+
+
+def dual_socket_ep(scale: float = 1.0) -> Machine:
+    """Two-socket Sandy Bridge-EP (the NUMA platform)."""
+    return sandy_bridge_ep(scale=scale, sockets=2)
+
+
+def ivy_bridge_desktop(scale: float = 1.0) -> Machine:
+    """Core i5-3570-class Ivy Bridge: 4 cores @ 3.4 GHz, 2 channels."""
+    base_hz = 3.4e9
+    dram = DramConfig(
+        channels=2,
+        bytes_per_cycle_total=25.6e9 / base_hz,
+        per_core_bytes_per_cycle=14.0e9 / base_hz,
+        latency_cycles=200,
+    )
+    spec = MachineSpec(
+        name="ivb-desktop" + (f"@{scale:g}" if scale != 1.0 else ""),
+        topology=Topology(sockets=1, cores_per_socket=4),
+        ports=sandy_bridge_ports(),  # IVB keeps the SNB FP structure
+        hierarchy=_hierarchy(6 * MIB, 12, dram, scale),
+        base_hz=base_hz,
+        turbo_steps=(3.8e9, 3.7e9, 3.6e9, 3.6e9),
+    )
+    return Machine(spec)
+
+
+def haswell_node(scale: float = 1.0) -> Machine:
+    """Xeon E5 v3-class Haswell: 8 cores @ 2.6 GHz with dual FMA ports
+    (the 'what changes with FMA' contrast machine)."""
+    base_hz = 2.6e9
+    dram = DramConfig(
+        channels=4,
+        bytes_per_cycle_total=59.7e9 / base_hz,
+        per_core_bytes_per_cycle=15.0e9 / base_hz,
+        latency_cycles=230,
+    )
+    spec = MachineSpec(
+        name="hsw-ep" + (f"@{scale:g}" if scale != 1.0 else ""),
+        topology=Topology(sockets=1, cores_per_socket=8),
+        ports=haswell_ports(),
+        hierarchy=_hierarchy(24 * MIB, 24, dram, scale),
+        base_hz=base_hz,
+        turbo_steps=(3.3e9, 3.3e9, 3.2e9, 3.1e9, 3.0e9, 2.9e9, 2.8e9, 2.7e9),
+    )
+    return Machine(spec)
+
+
+def tiny_test_machine() -> Machine:
+    """A deliberately small 2-core machine for fast unit tests: every
+    cache regime is reachable with kilobyte-sized working sets."""
+    dram = DramConfig(
+        channels=1,
+        bytes_per_cycle_total=8.0,
+        per_core_bytes_per_cycle=6.0,
+        latency_cycles=100,
+    )
+    hierarchy = HierarchyConfig(
+        l1=CacheConfig("L1d", 1 * KIB, assoc=2, latency_cycles=4,
+                       bytes_per_cycle=32.0),
+        l2=CacheConfig("L2", 4 * KIB, assoc=4, latency_cycles=12,
+                       bytes_per_cycle=32.0),
+        l3=CacheConfig("L3", 16 * KIB, assoc=8, latency_cycles=30,
+                       bytes_per_cycle=16.0),
+        dram=dram,
+        numa=NumaConfig(),
+    )
+    spec = MachineSpec(
+        name="tiny",
+        topology=Topology(sockets=1, cores_per_socket=2),
+        ports=sandy_bridge_ports(),
+        hierarchy=hierarchy,
+        base_hz=1.0e9,
+        turbo_steps=(1.5e9, 1.2e9),
+        noise_lines_per_megacycle=0.0,
+    )
+    return Machine(spec)
+
+
+#: preset registry used by the CLI and experiments
+PRESETS = {
+    "snb-ep": sandy_bridge_ep,
+    "snb-ep-x2": dual_socket_ep,
+    "ivb-desktop": ivy_bridge_desktop,
+    "hsw-ep": haswell_node,
+    "tiny": lambda scale=1.0: tiny_test_machine(),
+}
+
+
+def make_machine(name: str, scale: float = 1.0) -> Machine:
+    """Instantiate a preset by registry name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown machine preset {name!r}; known: {sorted(PRESETS)}"
+        ) from exc
+    return factory(scale=scale) if name != "tiny" else factory()
+
+
+def paper_machine(scale: float = 0.125) -> Machine:
+    """The default experiment platform: a 1/8-scale Sandy Bridge-EP.
+
+    Cache capacities are scaled down so the DRAM-resident regime starts
+    around a 400 KiB working set instead of 3 MiB+, keeping full
+    table/figure sweeps fast; bandwidths, latencies and port structure
+    are unscaled, so every measured *shape* matches the full machine.
+    """
+    return sandy_bridge_ep(scale=scale)

@@ -1,0 +1,40 @@
+"""Measurement methodology: protocols, W/Q/T drivers, and the runner
+implementing the paper's two-run subtraction discipline."""
+
+from .explain import ExecutionReport, explain_kernel, report_from_result
+from .protocol import ColdCache, Protocol, WarmCache, make_protocol
+from .runner import Measurement, build_init_program, measure_kernel, measure_sweep
+from .stats import Summary, relative_error, summarize
+from .traffic import TRAFFIC_EVENTS, bytes_from_session, read_write_bytes
+from .work import (
+    WORK_EVENTS,
+    WORK_EVENTS_F32,
+    WORK_EVENTS_F64,
+    flops_breakdown,
+    flops_from_session,
+)
+
+__all__ = [
+    "ColdCache",
+    "ExecutionReport",
+    "Measurement",
+    "Protocol",
+    "Summary",
+    "TRAFFIC_EVENTS",
+    "WORK_EVENTS",
+    "WORK_EVENTS_F32",
+    "WORK_EVENTS_F64",
+    "WarmCache",
+    "build_init_program",
+    "bytes_from_session",
+    "explain_kernel",
+    "report_from_result",
+    "flops_breakdown",
+    "flops_from_session",
+    "make_protocol",
+    "measure_kernel",
+    "measure_sweep",
+    "read_write_bytes",
+    "relative_error",
+    "summarize",
+]

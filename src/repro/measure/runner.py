@@ -1,0 +1,210 @@
+"""Measurement runner: the paper's full W/Q/T methodology.
+
+For each repetition the runner performs the two-run subtraction
+discipline:
+
+* **run A** — initialise the kernel's buffers (the "framework
+  overhead"), apply the cache protocol, execute the measured kernel;
+* **run B** — identical, minus the measured execution.
+
+Counter deltas ``A - B`` isolate the kernel's own work and traffic from
+setup stores, protocol sweeps, warmup passes, and platform background
+noise.  Runtime is taken directly around the measured execution (the
+TSC needs no subtraction).  Medians over repetitions are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+from ..isa.builder import ProgramBuilder
+from ..kernels.base import CodegenCaps, Kernel
+from ..machine.machine import LoadedProgram, Machine
+from ..pmu.perf import PerfSession
+from .protocol import Protocol, make_protocol
+from .stats import Summary, summarize
+from .traffic import TRAFFIC_EVENTS, bytes_from_session
+from .work import WORK_EVENTS_F64, flops_from_session
+
+
+@dataclass
+class Measurement:
+    """One kernel's measured W/Q/T at one size and configuration.
+
+    ``work_flops`` is the *counter-derived* work (subject to the cold-
+    cache overcount artifact — that is the point of the validation
+    experiments); ``true_flops`` is the implementation's exact flop
+    count.  Roofline points use ``true_flops`` for performance and the
+    measured traffic for intensity, matching the paper's validated
+    practice; ``counted_*`` properties expose the raw-counter view.
+
+    ``llc_bytes`` is the traffic a *cache-event* measurement would
+    report (LLC demand misses x line size).  With prefetchers active it
+    undercounts — the reason the methodology reads the IMC instead.
+    """
+
+    kernel: str
+    n: int
+    threads: int
+    protocol: str
+    machine: str
+    work_flops: float
+    traffic_bytes: float
+    llc_bytes: float
+    runtime_seconds: float
+    true_flops: int
+    compulsory_bytes: int
+    reps: int
+    work_summary: Optional[Summary] = None
+    traffic_summary: Optional[Summary] = None
+    runtime_summary: Optional[Summary] = None
+
+    # ------------------------------------------------------------------
+    # derived roofline coordinates
+    # ------------------------------------------------------------------
+    @property
+    def performance(self) -> float:
+        """Flops/s from exact work and measured runtime."""
+        return self.true_flops / self.runtime_seconds
+
+    @property
+    def intensity(self) -> float:
+        """Flops/byte from exact work and measured traffic.
+
+        Warm cache-resident runs can measure (near-)zero DRAM traffic;
+        their intensity is floored at one cache line of traffic, placing
+        them far right on the plot — the regime the paper notes its
+        methodology leaves to cache-level analysis.
+        """
+        if self.traffic_bytes < -64.0 * self.threads:
+            raise MeasurementError(
+                f"{self.kernel}: negative measured traffic "
+                f"({self.traffic_bytes}); A/B subtraction is broken"
+            )
+        return self.true_flops / max(self.traffic_bytes, 64.0)
+
+    @property
+    def counted_performance(self) -> float:
+        """Flops/s using raw counted work (inflated on cold caches)."""
+        return self.work_flops / self.runtime_seconds
+
+    @property
+    def counted_intensity(self) -> float:
+        return self.work_flops / max(self.traffic_bytes, 1.0)
+
+    @property
+    def work_overcount(self) -> float:
+        """Measured W / true W — the overcount factor of experiment F2."""
+        return self.work_flops / self.true_flops if self.true_flops else 0.0
+
+    @property
+    def traffic_ratio(self) -> float:
+        """Measured Q / compulsory Q — the inflation of experiment F3."""
+        return self.traffic_bytes / self.compulsory_bytes
+
+    def label(self) -> str:
+        return f"{self.kernel} n={self.n} ({self.protocol}, {self.threads}t)"
+
+
+def build_init_program(buffers: dict, line_bytes: int = 64):
+    """Initialisation pass: touch every line of every buffer with a
+    store, the way a test harness fills its arrays before the kernel."""
+    b = ProgramBuilder()
+    value = b.reg()
+    for name in sorted(buffers):
+        size = buffers[name]
+        handle = b.buffer(name, size)
+        trips = max(size // line_bytes, 1 if size >= 8 else 0)
+        if trips:
+            with b.loop(trips, f"init_{name}") as i:
+                b.store(value, handle[i * line_bytes], width=64)
+        if trips * line_bytes < size and size >= 8:
+            b.store(value, handle[size - 8], width=64)
+    return b.build()
+
+
+def measure_kernel(machine: Machine, kernel: Kernel, n: int,
+                   protocol="cold", cores: Sequence[int] = (0,),
+                   reps: int = 3, width_bits: Optional[int] = None) -> Measurement:
+    """Measure one kernel configuration with the full methodology."""
+    if reps < 1:
+        raise MeasurementError("need at least one repetition")
+    cores = tuple(cores)
+    proto: Protocol = make_protocol(protocol)
+    caps = CodegenCaps.from_machine(machine, width_bits)
+    kernel.validate_n(n, caps, len(cores))
+
+    jobs: List[Tuple[LoadedProgram, int]] = []
+    init_jobs: List[Tuple[LoadedProgram, int]] = []
+    for rank, core_id in enumerate(cores):
+        program = kernel.build(n, caps, rank=rank, nranks=len(cores))
+        node = machine.topology.node_of_core(core_id)
+        loaded = machine.load(program, node=node)
+        jobs.append((loaded, core_id))
+        init_program = build_init_program(program.buffers)
+        init_jobs.append(
+            (LoadedProgram(init_program, loaded.buffer_map, node), core_id)
+        )
+
+    def run_inits():
+        machine.run_parallel(init_jobs)
+
+    def run_kernel():
+        return machine.run_parallel(jobs)
+
+    core_events = WORK_EVENTS_F64 + ("llc_misses",)
+    work_reps: List[float] = []
+    traffic_reps: List[float] = []
+    llc_reps: List[float] = []
+    runtime_reps: List[float] = []
+    for _ in range(reps):
+        # each session starts from fresh-process cache state so the
+        # A/B windows are symmetric: without this, dirty lines left by
+        # A's measured kernel would be written back during B's window
+        # and the subtraction could go negative
+        machine.bust_caches()
+        with PerfSession(machine, core_events=core_events,
+                         uncore_events=TRAFFIC_EVENTS, cores=cores) as a:
+            run_inits()
+            proto.prepare(machine, run_kernel)
+            run_result = run_kernel()
+        machine.bust_caches()
+        with PerfSession(machine, core_events=core_events,
+                         uncore_events=TRAFFIC_EVENTS, cores=cores) as b:
+            run_inits()
+            proto.prepare(machine, run_kernel)
+        work_reps.append(flops_from_session(a) - flops_from_session(b))
+        traffic_reps.append(bytes_from_session(a) - bytes_from_session(b))
+        llc_reps.append(64.0 * (a.core_delta("llc_misses")
+                                - b.core_delta("llc_misses")))
+        runtime_reps.append(run_result.seconds)
+
+    work = summarize(work_reps)
+    traffic = summarize(traffic_reps)
+    llc = summarize(llc_reps)
+    runtime = summarize(runtime_reps)
+    return Measurement(
+        kernel=kernel.name,
+        n=n,
+        threads=len(cores),
+        protocol=proto.name,
+        machine=machine.spec.name,
+        work_flops=work.median,
+        traffic_bytes=traffic.median,
+        llc_bytes=llc.median,
+        runtime_seconds=runtime.median,
+        true_flops=kernel.expected_flops(n, caps, len(cores)),
+        compulsory_bytes=kernel.compulsory_bytes(n),
+        reps=reps,
+        work_summary=work,
+        traffic_summary=traffic,
+        runtime_summary=runtime,
+    )
+
+
+def measure_sweep(machine: Machine, kernel: Kernel, sizes: Iterable[int],
+                  **kwargs) -> List[Measurement]:
+    """Measure a kernel across problem sizes (one roofline trajectory)."""
+    return [measure_kernel(machine, kernel, n, **kwargs) for n in sizes]

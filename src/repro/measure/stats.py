@@ -1,0 +1,53 @@
+"""Small statistics helpers for repeated measurements.
+
+The paper reports averages over repeated executions; we keep the median
+(robust against a polluted first repetition) plus a spread diagnostic
+so experiments can flag unstable measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import MeasurementError
+from ..units import mean, median
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Median-centred summary of one measured quantity."""
+
+    median: float
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def spread(self) -> float:
+        """Relative spread (max-min over median); 0 for constants."""
+        if self.median == 0:
+            return 0.0
+        return (self.maximum - self.minimum) / abs(self.median)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a non-empty sequence of repetition values."""
+    values = [float(v) for v in values]
+    if not values:
+        raise MeasurementError("no repetitions to summarise")
+    return Summary(
+        median=median(values),
+        mean=mean(values),
+        minimum=min(values),
+        maximum=max(values),
+        count=len(values),
+    )
+
+
+def relative_error(measured: float, expected: float) -> float:
+    """Signed relative error of ``measured`` against ``expected``."""
+    if expected == 0:
+        raise MeasurementError("relative error undefined for zero expectation")
+    return (measured - expected) / expected

@@ -1,0 +1,52 @@
+"""Memory subsystem: caches, replacement, DRAM/IMC, NUMA, allocator,
+and the multi-level hierarchy with per-core access ports."""
+
+from .allocator import Allocation, BumpAllocator
+from .cache import Cache, CacheConfig, CacheStats
+from .dram import DramConfig, DramNode, ImcCounters
+from .hierarchy import (
+    BatchStats,
+    CorePort,
+    HierarchyConfig,
+    MemoryHierarchy,
+    default_prefetchers,
+)
+from .numa import NumaConfig, Topology
+from .tlb import Tlb, TlbConfig, TlbStats
+from .replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+    policy_names,
+)
+
+__all__ = [
+    "Allocation",
+    "BatchStats",
+    "BumpAllocator",
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "CorePort",
+    "DramConfig",
+    "DramNode",
+    "FifoPolicy",
+    "HierarchyConfig",
+    "ImcCounters",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "NumaConfig",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "Tlb",
+    "TlbConfig",
+    "TlbStats",
+    "Topology",
+    "TreePlruPolicy",
+    "default_prefetchers",
+    "make_policy",
+    "policy_names",
+]

@@ -1,0 +1,109 @@
+"""DRAM node model and its IMC (integrated memory controller) counters.
+
+The paper obtains memory traffic ``Q`` from uncore IMC events that count
+64-byte CAS transfers.  :class:`DramNode` is the simulated source of
+those events: every line that crosses the controller — demand fill,
+writeback, prefetch, or non-temporal store — bumps the read/write
+counters, exactly like the hardware events the methodology reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Bandwidth/latency parameters of one memory node.
+
+    ``bytes_per_cycle_total`` is the node's peak at the core clock;
+    ``per_core_bytes_per_cycle`` is the single-core ceiling (limited by
+    outstanding-miss parallelism, the reason one core cannot saturate a
+    socket's channels — a phenomenon the paper's bandwidth table shows).
+    """
+
+    channels: int = 4
+    bytes_per_cycle_total: float = 16.0
+    per_core_bytes_per_cycle: float = 6.0
+    latency_cycles: int = 220
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("DRAM needs positive channels/line size")
+        if self.bytes_per_cycle_total <= 0 or self.per_core_bytes_per_cycle <= 0:
+            raise ConfigurationError("DRAM bandwidth must be positive")
+        if self.per_core_bytes_per_cycle > self.bytes_per_cycle_total:
+            raise ConfigurationError(
+                "per-core DRAM bandwidth cannot exceed node total"
+            )
+
+    def peak_bandwidth(self, frequency_hz: float) -> float:
+        """Theoretical node bandwidth in bytes/s at a given core clock."""
+        return self.bytes_per_cycle_total * frequency_hz
+
+    def scaled(self, factor: float) -> "DramConfig":
+        """Bandwidth scaled by ``factor`` (for shrunken experiment machines)."""
+        return DramConfig(
+            self.channels,
+            self.bytes_per_cycle_total * factor,
+            self.per_core_bytes_per_cycle * factor,
+            self.latency_cycles,
+            self.line_bytes,
+        )
+
+
+@dataclass
+class ImcCounters:
+    """Uncore CAS counters of one node (monotonic, line granular)."""
+
+    cas_reads: int = 0
+    cas_writes: int = 0
+
+    def copy(self) -> "ImcCounters":
+        return ImcCounters(self.cas_reads, self.cas_writes)
+
+    def delta(self, earlier: "ImcCounters") -> "ImcCounters":
+        return ImcCounters(
+            self.cas_reads - earlier.cas_reads,
+            self.cas_writes - earlier.cas_writes,
+        )
+
+    @property
+    def total_lines(self) -> int:
+        return self.cas_reads + self.cas_writes
+
+
+class DramNode:
+    """One NUMA node's memory: counts every line crossing its controller."""
+
+    def __init__(self, node_id: int, config: DramConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.counters = ImcCounters()
+
+    def read_line(self) -> None:
+        """A 64-byte read CAS (demand miss, RFO, or prefetch fill)."""
+        self.counters.cas_reads += 1
+
+    def write_line(self) -> None:
+        """A 64-byte write CAS (dirty writeback or non-temporal store)."""
+        self.counters.cas_writes += 1
+
+    def read_lines(self, count: int) -> None:
+        self.counters.cas_reads += count
+
+    def write_lines(self, count: int) -> None:
+        self.counters.cas_writes += count
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.counters.total_lines * self.config.line_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"DramNode({self.node_id}: reads={self.counters.cas_reads}, "
+            f"writes={self.counters.cas_writes})"
+        )

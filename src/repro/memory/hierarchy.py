@@ -1,0 +1,389 @@
+"""Multi-level memory hierarchy with per-core ports.
+
+Layout mirrors the paper's Xeons: private L1/L2 per core, a shared L3
+per socket, and one DRAM node (with IMC counters) per socket.  The L3 is
+mostly-inclusive (fills propagate to all levels; evictions are
+independent per level), matching modern Intel parts closely enough for
+traffic accounting while keeping the simulation fast.
+
+Every core gets a :class:`CorePort`, the object the interpreter drives.
+A port resolves demand accesses through its private caches and socket
+L3, routes DRAM traffic to the *home node of the data* (set by the NUMA
+allocator), triggers hardware prefetchers on L1 misses, and returns
+exact per-batch statistics for the cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..prefetch import (
+    NextLinePrefetcher,
+    PrefetchControl,
+    Prefetcher,
+    StreamPrefetcher,
+    StridePrefetcher,
+)
+from .cache import Cache, CacheConfig
+from .dram import DramConfig, DramNode
+from .numa import NumaConfig, Topology
+from .tlb import Tlb, TlbConfig
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache/DRAM geometry for one machine."""
+
+    l1: CacheConfig
+    l2: CacheConfig
+    l3: CacheConfig
+    dram: DramConfig
+    numa: NumaConfig = field(default_factory=NumaConfig)
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+
+    def __post_init__(self) -> None:
+        line = self.l1.line_bytes
+        if self.l2.line_bytes != line or self.l3.line_bytes != line:
+            raise ConfigurationError("all cache levels must share one line size")
+        if self.dram.line_bytes != line:
+            raise ConfigurationError("DRAM line size must match the caches")
+        if not self.l1.size_bytes <= self.l2.size_bytes <= self.l3.size_bytes:
+            raise ConfigurationError("expected L1 <= L2 <= L3 capacities")
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1.line_bytes
+
+
+@dataclass
+class BatchStats:
+    """Exact event counts for one batch of demand accesses."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_reads: int = 0          # demand misses served by DRAM (incl. RFO)
+    writebacks: int = 0          # dirty L3 evictions reaching DRAM
+    nt_lines: int = 0            # non-temporal store lines
+    sw_prefetches: int = 0
+    hw_prefetch_issued: int = 0
+    hw_prefetch_dram_reads: int = 0
+    prefetch_useful: int = 0     # demand hits on prefetched lines
+    remote_dram_lines: int = 0   # DRAM lines homed on a remote node
+    flushes: int = 0
+    tlb_misses: int = 0          # page walks triggered
+    tlb_walk_cycles: int = 0     # latency those walks cost
+
+    def merge(self, other: "BatchStats") -> None:
+        self.accesses += other.accesses
+        self.l1_hits += other.l1_hits
+        self.l2_hits += other.l2_hits
+        self.l3_hits += other.l3_hits
+        self.dram_reads += other.dram_reads
+        self.writebacks += other.writebacks
+        self.nt_lines += other.nt_lines
+        self.sw_prefetches += other.sw_prefetches
+        self.hw_prefetch_issued += other.hw_prefetch_issued
+        self.hw_prefetch_dram_reads += other.hw_prefetch_dram_reads
+        self.prefetch_useful += other.prefetch_useful
+        self.remote_dram_lines += other.remote_dram_lines
+        self.flushes += other.flushes
+        self.tlb_misses += other.tlb_misses
+        self.tlb_walk_cycles += other.tlb_walk_cycles
+
+    @property
+    def demand_misses_to_dram(self) -> int:
+        return self.dram_reads
+
+    @property
+    def dram_lines_total(self) -> int:
+        """All DRAM line transfers caused by this batch."""
+        return (self.dram_reads + self.writebacks + self.nt_lines
+                + self.hw_prefetch_dram_reads)
+
+
+def default_prefetchers() -> List[Prefetcher]:
+    """The engine set present on the simulated Xeons."""
+    return [
+        NextLinePrefetcher(),
+        StreamPrefetcher(),
+        StridePrefetcher(),
+    ]
+
+
+class MemoryHierarchy:
+    """All caches and DRAM nodes of one machine."""
+
+    def __init__(self, config: HierarchyConfig, topology: Topology,
+                 prefetch_factory: Optional[Callable[[], List[Prefetcher]]] = None,
+                 prefetch_control: Optional[PrefetchControl] = None) -> None:
+        self.config = config
+        self.topology = topology
+        self.prefetch_control = prefetch_control or PrefetchControl()
+        factory = prefetch_factory or default_prefetchers
+        ncores = topology.total_cores
+        self.l1 = [Cache(config.l1) for _ in range(ncores)]
+        self.l2 = [Cache(config.l2) for _ in range(ncores)]
+        self.l3 = [Cache(config.l3) for _ in range(topology.sockets)]
+        self.dram = [DramNode(node, config.dram) for node in range(topology.sockets)]
+        self._prefetchers: List[List[Prefetcher]] = [factory() for _ in range(ncores)]
+        self._ports: Dict[int, CorePort] = {}
+
+    def port(self, core_id: int) -> "CorePort":
+        """The (cached) access port of one core."""
+        if core_id not in self._ports:
+            if not 0 <= core_id < self.topology.total_cores:
+                raise ConfigurationError(f"no core {core_id} in topology")
+            self._ports[core_id] = CorePort(self, core_id)
+        return self._ports[core_id]
+
+    def prefetchers_of(self, core_id: int) -> List[Prefetcher]:
+        return self._prefetchers[core_id]
+
+    def bust(self) -> None:
+        """Drop every cache and all prefetcher training (cheap cold-state
+        reset; the measurement protocols additionally support a genuine
+        buffer-sweep bust through the ISA)."""
+        for cache in self.l1 + self.l2 + self.l3:
+            cache.clear()
+        for engines in self._prefetchers:
+            for engine in engines:
+                engine.reset()
+        for port in self._ports.values():
+            port.clear_prefetched()
+            port.tlb.reset()
+            port._last_page = -1
+
+    def writeback_all(self) -> int:
+        """Write every dirty line back to its home DRAM node and clean
+        the caches (a wbinvd analogue); returns lines written."""
+        written = 0
+        seen = set()
+        for cache in self.l1 + self.l2 + self.l3:
+            for line in list(cache.dirty_lines()):
+                if line not in seen:
+                    seen.add(line)
+                    written += 1
+            cache.clear()
+        if written:
+            # home-node attribution is approximated to node 0 for the
+            # bulk flush; experiments never measure across this call.
+            self.dram[0].write_lines(written)
+        return written
+
+    def total_cache_bytes(self) -> int:
+        """Aggregate capacity of every cache in the machine."""
+        ncores = self.topology.total_cores
+        return (ncores * (self.config.l1.size_bytes + self.config.l2.size_bytes)
+                + self.topology.sockets * self.config.l3.size_bytes)
+
+
+class CorePort:
+    """One core's view of the hierarchy; drives all demand traffic."""
+
+    def __init__(self, hierarchy: MemoryHierarchy, core_id: int) -> None:
+        self.hierarchy = hierarchy
+        self.core_id = core_id
+        self.node = hierarchy.topology.node_of_core(core_id)
+        self.l1 = hierarchy.l1[core_id]
+        self.l2 = hierarchy.l2[core_id]
+        self.l3 = hierarchy.l3[self.node]
+        self.tlb = Tlb(hierarchy.config.tlb)
+        self._prefetched: set = set()
+        self._page_shift = (
+            hierarchy.config.tlb.page_bytes.bit_length()
+            - hierarchy.config.line_bytes.bit_length()
+        )
+        self._last_page = -1
+        self.totals = BatchStats()
+
+    # ------------------------------------------------------------------
+    # demand accesses
+    # ------------------------------------------------------------------
+    def access_lines(self, lines: Sequence[int], is_write: bool,
+                     nt: bool = False, node: Optional[int] = None,
+                     stream_id: int = 0) -> BatchStats:
+        """Resolve a batch of demand line accesses.
+
+        ``node`` is the NUMA home of the data (defaults to the core's own
+        node); ``stream_id`` identifies the access site for the stride
+        prefetcher.  Returns the batch's exact event counts.
+        """
+        stats = BatchStats()
+        home = self.node if node is None else node
+        if nt:
+            self._nt_store_lines(lines, home, stats)
+        else:
+            self._demand_lines(lines, is_write, home, stream_id, stats)
+        self.totals.merge(stats)
+        return stats
+
+    def _demand_lines(self, lines, is_write: bool, home: int,
+                      stream_id: int, stats: BatchStats) -> None:
+        l1 = self.l1
+        l2 = self.l2
+        l3 = self.l3
+        prefetched = self._prefetched
+        engines = [
+            engine
+            for engine in self.hierarchy.prefetchers_of(self.core_id)
+            if self.hierarchy.prefetch_control.is_enabled(engine.kind)
+        ]
+        remote = home != self.node
+        dram = self.hierarchy.dram[home]
+        tlb = self.tlb
+        page_shift = self._page_shift
+        for line in lines:
+            stats.accesses += 1
+            page = line >> page_shift
+            if page != self._last_page:
+                self._last_page = page
+                walk = tlb.translate_page(page)
+                if walk:
+                    stats.tlb_misses += 1
+                    stats.tlb_walk_cycles += walk
+            if l1.lookup_update(line, is_write):
+                stats.l1_hits += 1
+                continue
+            # L1 miss: resolve below, then train the prefetchers
+            if l2.lookup_update(line):
+                stats.l2_hits += 1
+                if line in prefetched:
+                    prefetched.discard(line)
+                    stats.prefetch_useful += 1
+                    for engine in engines:
+                        engine.stats.useful += 1
+            elif l3.lookup_update(line):
+                stats.l3_hits += 1
+                if line in prefetched:
+                    prefetched.discard(line)
+                    stats.prefetch_useful += 1
+                self._fill_l2(line, stats, dram)
+            else:
+                dram.read_line()
+                stats.dram_reads += 1
+                if remote:
+                    stats.remote_dram_lines += 1
+                self._fill_l3(line, stats, dram)
+                self._fill_l2(line, stats, dram)
+            self._fill_l1(line, is_write, stats, dram)
+            if engines:
+                for engine in engines:
+                    candidates = engine.observe(line, True, stream_id)
+                    if candidates:
+                        self._hw_prefetch(candidates, home, stats)
+
+    def _nt_store_lines(self, lines, home: int, stats: BatchStats) -> None:
+        """Streaming stores: bypass the hierarchy, invalidate stale
+        copies, and write combined lines straight to DRAM (no RFO)."""
+        dram = self.hierarchy.dram[home]
+        remote = home != self.node
+        page_shift = self._page_shift
+        for line in lines:
+            stats.accesses += 1
+            page = line >> page_shift
+            if page != self._last_page:
+                self._last_page = page
+                walk = self.tlb.translate_page(page)
+                if walk:
+                    stats.tlb_misses += 1
+                    stats.tlb_walk_cycles += walk
+            self.l1.invalidate(line)
+            self.l2.invalidate(line)
+            self.l3.invalidate(line)
+            dram.write_line()
+            stats.nt_lines += 1
+            if remote:
+                stats.remote_dram_lines += 1
+
+    # ------------------------------------------------------------------
+    # fill / writeback chains
+    # ------------------------------------------------------------------
+    def _fill_l1(self, line: int, dirty: bool, stats: BatchStats, dram) -> None:
+        evicted = self.l1.fill(line, dirty=dirty)
+        if evicted is not None and evicted[1]:
+            self._absorb_dirty(self.l2, evicted[0], stats, dram)
+
+    def _fill_l2(self, line: int, stats: BatchStats, dram) -> None:
+        evicted = self.l2.fill(line)
+        if evicted is not None and evicted[1]:
+            self._absorb_dirty(self.l3, evicted[0], stats, dram)
+
+    def _fill_l3(self, line: int, stats: BatchStats, dram) -> None:
+        evicted = self.l3.fill(line)
+        if evicted is not None and evicted[1]:
+            dram.write_line()
+            stats.writebacks += 1
+
+    def _absorb_dirty(self, lower: Cache, line: int, stats: BatchStats, dram) -> None:
+        """Push a dirty eviction into ``lower``; cascade if it evicts."""
+        if lower.mark_dirty(line):
+            return
+        evicted = lower.fill(line, dirty=True)
+        if evicted is None or not evicted[1]:
+            return
+        if lower is self.l2:
+            self._absorb_dirty(self.l3, evicted[0], stats, dram)
+        else:
+            dram.write_line()
+            stats.writebacks += 1
+
+    # ------------------------------------------------------------------
+    # prefetch / flush
+    # ------------------------------------------------------------------
+    def _hw_prefetch(self, lines, home: int, stats: BatchStats) -> None:
+        """Bring prefetch candidates into L2+L3 (never L1)."""
+        dram = self.hierarchy.dram[home]
+        for line in lines:
+            if self.l2.contains(line) or self.l1.contains(line):
+                continue
+            stats.hw_prefetch_issued += 1
+            if not self.l3.lookup_update(line):
+                dram.read_line()
+                stats.hw_prefetch_dram_reads += 1
+                self._fill_l3(line, stats, dram)
+            self._fill_l2(line, stats, dram)
+            self._prefetched.add(line)
+
+    def software_prefetch(self, lines, node: Optional[int] = None) -> BatchStats:
+        """prefetcht0: bring lines into every level without an access."""
+        stats = BatchStats()
+        home = self.node if node is None else node
+        dram = self.hierarchy.dram[home]
+        for line in lines:
+            stats.sw_prefetches += 1
+            if self.l1.contains(line):
+                continue
+            if not self.l2.contains(line):
+                if not self.l3.lookup_update(line):
+                    dram.read_line()
+                    stats.hw_prefetch_dram_reads += 1
+                    self._fill_l3(line, stats, dram)
+                self._fill_l2(line, stats, dram)
+            self._fill_l1(line, False, stats, dram)
+            self._prefetched.add(line)
+        self.totals.merge(stats)
+        return stats
+
+    def flush_lines(self, lines, node: Optional[int] = None) -> BatchStats:
+        """clflush: drop lines everywhere, writing dirty data back."""
+        stats = BatchStats()
+        home = self.node if node is None else node
+        dram = self.hierarchy.dram[home]
+        for line in lines:
+            stats.flushes += 1
+            dirty = False
+            for cache in (self.l1, self.l2, self.l3):
+                flag = cache.invalidate(line)
+                dirty = dirty or bool(flag)
+            if dirty:
+                dram.write_line()
+                stats.writebacks += 1
+        self.totals.merge(stats)
+        return stats
+
+    def clear_prefetched(self) -> None:
+        self._prefetched.clear()

@@ -1,0 +1,82 @@
+"""NUMA topology: sockets, cores, and remote-access characteristics.
+
+The paper's two-socket experiments require binding threads and memory to
+nodes (``numactl`` in the original).  :class:`Topology` models the
+socket/core layout; :class:`NumaConfig` carries the cost of crossing the
+interconnect, which the core's timing model applies to remote lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NumaConfig:
+    """Remote-access penalties across the socket interconnect."""
+
+    remote_latency_extra_cycles: int = 120
+    remote_bandwidth_factor: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0 < self.remote_bandwidth_factor <= 1.0:
+            raise ConfigurationError("remote bandwidth factor must be in (0, 1]")
+        if self.remote_latency_extra_cycles < 0:
+            raise ConfigurationError("remote latency penalty must be >= 0")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Socket/core layout; cores are numbered socket-major."""
+
+    sockets: int = 1
+    cores_per_socket: int = 4
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ConfigurationError("topology needs positive socket/core counts")
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def node_of_core(self, core_id: int) -> int:
+        """NUMA node (socket) a core belongs to."""
+        if not 0 <= core_id < self.total_cores:
+            raise ConfigurationError(
+                f"core {core_id} out of range [0, {self.total_cores})"
+            )
+        return core_id // self.cores_per_socket
+
+    def cores_of_node(self, node: int) -> List[int]:
+        """Core ids on one socket."""
+        if not 0 <= node < self.sockets:
+            raise ConfigurationError(f"node {node} out of range [0, {self.sockets})")
+        start = node * self.cores_per_socket
+        return list(range(start, start + self.cores_per_socket))
+
+    def first_cores(self, count: int) -> List[int]:
+        """The first ``count`` cores, filling socket 0 before socket 1 —
+        the binding the paper uses for single-socket experiments."""
+        if not 0 < count <= self.total_cores:
+            raise ConfigurationError(
+                f"cannot select {count} cores from {self.total_cores}"
+            )
+        return list(range(count))
+
+    def interleaved_cores(self, count: int) -> List[int]:
+        """``count`` cores spread round-robin across sockets (the layout
+        that *violates* socket binding; used to demonstrate why the paper
+        pins threads)."""
+        if not 0 < count <= self.total_cores:
+            raise ConfigurationError(
+                f"cannot select {count} cores from {self.total_cores}"
+            )
+        order = []
+        for offset in range(self.cores_per_socket):
+            for node in range(self.sockets):
+                order.append(node * self.cores_per_socket + offset)
+        return order[:count]

@@ -1,0 +1,34 @@
+"""Simulated performance-monitoring units: core counters (with the
+Sandy Bridge FP overcount artifact), uncore IMC counters (with platform
+background noise), and a perf-like session API."""
+
+from .core_pmu import CorePmu
+from .events import (
+    FP_EVENT_LANES_F32,
+    FP_EVENT_LANES_F64,
+    SCOPE_CORE,
+    SCOPE_UNCORE,
+    EventDef,
+    all_events,
+    event,
+    fp_event_for,
+)
+from .multiplex import DEFAULT_SLOTS, MultiplexedPerfSession
+from .perf import PerfSession
+from .uncore import UncorePmu
+
+__all__ = [
+    "CorePmu",
+    "DEFAULT_SLOTS",
+    "MultiplexedPerfSession",
+    "EventDef",
+    "FP_EVENT_LANES_F32",
+    "FP_EVENT_LANES_F64",
+    "PerfSession",
+    "SCOPE_CORE",
+    "SCOPE_UNCORE",
+    "UncorePmu",
+    "all_events",
+    "event",
+    "fp_event_for",
+]

@@ -1,0 +1,58 @@
+"""Per-core performance counters.
+
+The counters are incremented by the interpreter as it executes — FP
+events at *issue* granularity (which is what makes the reissue
+overcount artifact possible), cache events from the functional
+hierarchy, cycles from the timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import PmuError
+from .events import SCOPE_CORE, event, fp_event_for
+
+
+class CorePmu:
+    """Monotonic counter bank of one core."""
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self._counters: Dict[str, int] = {}
+
+    def add(self, event_id: str, count: int) -> None:
+        """Bump a core-scope counter."""
+        if count < 0:
+            raise PmuError(f"negative increment {count} for {event_id}")
+        if event(event_id).scope != SCOPE_CORE:
+            raise PmuError(f"{event_id} is not a core event")
+        self._counters[event_id] = self._counters.get(event_id, 0) + count
+
+    def add_fp(self, width_bits: int, precision: str,
+               instr_count: int, is_fma: bool = False) -> None:
+        """Count FP instruction executions.
+
+        A retired FMA bumps the counter by two — the behaviour verified
+        on real hardware (one increment per fused operation), which is
+        what keeps flop derivation exact for FMA code.
+        """
+        increments = instr_count * (2 if is_fma else 1)
+        self.add(fp_event_for(width_bits, precision), increments)
+
+    def read(self, event_id: str) -> int:
+        """Current value (0 if never incremented)."""
+        if event(event_id).scope != SCOPE_CORE:
+            raise PmuError(f"{event_id} is not a core event")
+        return self._counters.get(event_id, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of all counters (for delta computation)."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self._counters.items() if v}
+        return f"CorePmu(core={self.core_id}, {nonzero})"

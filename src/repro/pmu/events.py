@@ -1,0 +1,124 @@
+"""Performance-monitoring event definitions.
+
+Event ids are short snake_case strings used throughout the library; each
+carries the Intel event name the paper programs, so reports can show
+the hardware-level provenance of every measured quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import PmuError
+
+SCOPE_CORE = "core"
+SCOPE_UNCORE = "uncore"
+
+
+@dataclass(frozen=True)
+class EventDef:
+    """One programmable event."""
+
+    id: str
+    intel_name: str
+    scope: str
+    description: str
+
+
+_EVENTS: List[EventDef] = [
+    # --- core FP events (the W counters; overcount artifact applies) ---
+    EventDef("fp_scalar_f64", "FP_COMP_OPS_EXE.SSE_SCALAR_DOUBLE", SCOPE_CORE,
+             "scalar double-precision FP instruction executions"),
+    EventDef("fp_128_f64", "FP_COMP_OPS_EXE.SSE_PACKED_DOUBLE", SCOPE_CORE,
+             "128-bit packed double FP instruction executions"),
+    EventDef("fp_256_f64", "SIMD_FP_256.PACKED_DOUBLE", SCOPE_CORE,
+             "256-bit packed double FP instruction executions"),
+    EventDef("fp_512_f64", "FP_ARITH_INST_RETIRED.512B_PACKED_DOUBLE", SCOPE_CORE,
+             "512-bit packed double FP instruction executions"),
+    EventDef("fp_scalar_f32", "FP_COMP_OPS_EXE.SSE_SCALAR_SINGLE", SCOPE_CORE,
+             "scalar single-precision FP instruction executions"),
+    EventDef("fp_128_f32", "FP_COMP_OPS_EXE.SSE_PACKED_SINGLE", SCOPE_CORE,
+             "128-bit packed single FP instruction executions"),
+    EventDef("fp_256_f32", "SIMD_FP_256.PACKED_SINGLE", SCOPE_CORE,
+             "256-bit packed single FP instruction executions"),
+    EventDef("fp_512_f32", "FP_ARITH_INST_RETIRED.512B_PACKED_SINGLE", SCOPE_CORE,
+             "512-bit packed single FP instruction executions"),
+    # --- core execution events ---
+    EventDef("cycles", "CPU_CLK_UNHALTED.THREAD", SCOPE_CORE,
+             "unhalted core cycles"),
+    EventDef("instructions", "INST_RETIRED.ANY", SCOPE_CORE,
+             "retired instructions"),
+    # --- core cache events ---
+    EventDef("l1_replacement", "L1D.REPLACEMENT", SCOPE_CORE,
+             "lines brought into L1D"),
+    EventDef("l2_lines_in", "L2_LINES_IN.ALL", SCOPE_CORE,
+             "lines brought into L2"),
+    EventDef("llc_misses", "LONGEST_LAT_CACHE.MISS", SCOPE_CORE,
+             "demand misses at the last-level cache"),
+    EventDef("dtlb_walks", "DTLB_LOAD_MISSES.WALK_COMPLETED", SCOPE_CORE,
+             "completed data-TLB page walks"),
+    # --- uncore IMC events (the Q counters) ---
+    EventDef("imc_cas_reads", "UNC_M_CAS_COUNT.RD", SCOPE_UNCORE,
+             "64-byte DRAM read CAS commands"),
+    EventDef("imc_cas_writes", "UNC_M_CAS_COUNT.WR", SCOPE_UNCORE,
+             "64-byte DRAM write CAS commands"),
+]
+
+_BY_ID: Dict[str, EventDef] = {e.id: e for e in _EVENTS}
+_BY_INTEL: Dict[str, EventDef] = {e.intel_name: e for e in _EVENTS}
+
+#: events the work-measurement driver programs, with the flop multiplier
+#: (lanes) applied when converting instruction executions to flops
+FP_EVENT_LANES_F64: Tuple[Tuple[str, int], ...] = (
+    ("fp_scalar_f64", 1),
+    ("fp_128_f64", 2),
+    ("fp_256_f64", 4),
+    ("fp_512_f64", 8),
+)
+
+FP_EVENT_LANES_F32: Tuple[Tuple[str, int], ...] = (
+    ("fp_scalar_f32", 2),
+    ("fp_128_f32", 4),
+    ("fp_256_f32", 8),
+    ("fp_512_f32", 16),
+)
+
+_WIDTH_PRECISION_TO_EVENT: Dict[Tuple[int, str], str] = {
+    (64, "f64"): "fp_scalar_f64",
+    (128, "f64"): "fp_128_f64",
+    (256, "f64"): "fp_256_f64",
+    (512, "f64"): "fp_512_f64",
+    (64, "f32"): "fp_scalar_f32",
+    (128, "f32"): "fp_128_f32",
+    (256, "f32"): "fp_256_f32",
+    (512, "f32"): "fp_512_f32",
+}
+
+
+def event(event_id: str) -> EventDef:
+    """Look up an event by id or Intel name."""
+    if event_id in _BY_ID:
+        return _BY_ID[event_id]
+    if event_id in _BY_INTEL:
+        return _BY_INTEL[event_id]
+    raise PmuError(f"unknown PMU event {event_id!r}")
+
+
+def all_events(scope: str = None) -> List[EventDef]:
+    """All defined events, optionally filtered by scope."""
+    if scope is None:
+        return list(_EVENTS)
+    if scope not in (SCOPE_CORE, SCOPE_UNCORE):
+        raise PmuError(f"unknown scope {scope!r}")
+    return [e for e in _EVENTS if e.scope == scope]
+
+
+def fp_event_for(width_bits: int, precision: str) -> str:
+    """Event id counting FP instructions of one width/precision."""
+    try:
+        return _WIDTH_PRECISION_TO_EVENT[(width_bits, precision)]
+    except KeyError as exc:
+        raise PmuError(
+            f"no FP event for width={width_bits}, precision={precision!r}"
+        ) from exc

@@ -1,0 +1,116 @@
+"""A ``perf``-like measurement session.
+
+The paper reads counters around the kernel under test (and, for the
+uncore, goes through the same syscall interface ``perf`` uses).  A
+:class:`PerfSession` is the equivalent here: it snapshots the selected
+core and uncore counters on entry and exit and exposes the deltas.
+
+Usage::
+
+    with PerfSession(machine, core_events=("fp_256_f64",),
+                     uncore_events=("imc_cas_reads", "imc_cas_writes"),
+                     cores=(0,)) as session:
+        machine.run(loaded, core_id=0)
+    flops = 4 * session.core_delta("fp_256_f64")
+    q = 64 * (session.uncore_delta("imc_cas_reads")
+              + session.uncore_delta("imc_cas_writes"))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import PmuError
+from .events import SCOPE_CORE, SCOPE_UNCORE, event
+
+
+class PerfSession:
+    """Counter deltas over a measurement window on one machine."""
+
+    def __init__(self, machine, core_events: Iterable[str] = (),
+                 uncore_events: Iterable[str] = (),
+                 cores: Optional[Iterable[int]] = None) -> None:
+        self.machine = machine
+        self.core_events = tuple(core_events)
+        self.uncore_events = tuple(uncore_events)
+        for event_id in self.core_events:
+            if event(event_id).scope != SCOPE_CORE:
+                raise PmuError(f"{event_id} is not a core event")
+        for event_id in self.uncore_events:
+            if event(event_id).scope != SCOPE_UNCORE:
+                raise PmuError(f"{event_id} is not an uncore event")
+        self.cores = tuple(cores) if cores is not None else tuple(
+            range(machine.topology.total_cores)
+        )
+        self._start_core: Dict[Tuple[int, str], int] = {}
+        self._end_core: Dict[Tuple[int, str], int] = {}
+        self._start_uncore: Dict[str, int] = {}
+        self._end_uncore: Dict[str, int] = {}
+        self._start_tsc: float = 0.0
+        self._end_tsc: float = 0.0
+        self._open = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # window control
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PerfSession":
+        if self._open or self._closed:
+            raise PmuError("PerfSession windows are single-use")
+        self._open = True
+        self._start_tsc = self.machine.tsc
+        for core in self.cores:
+            pmu = self.machine.core_pmu(core)
+            for event_id in self.core_events:
+                self._start_core[(core, event_id)] = pmu.read(event_id)
+        for event_id in self.uncore_events:
+            self._start_uncore[event_id] = self.machine.uncore.read(
+                event_id, self._start_tsc
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end_tsc = self.machine.tsc
+        for core in self.cores:
+            pmu = self.machine.core_pmu(core)
+            for event_id in self.core_events:
+                self._end_core[(core, event_id)] = pmu.read(event_id)
+        for event_id in self.uncore_events:
+            self._end_uncore[event_id] = self.machine.uncore.read(
+                event_id, self._end_tsc
+            )
+        self._open = False
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _require_closed(self) -> None:
+        if not self._closed:
+            raise PmuError("session window not closed yet")
+
+    def core_delta(self, event_id: str, core: Optional[int] = None) -> int:
+        """Delta of one core event (summed over cores when ``core=None``)."""
+        self._require_closed()
+        if event_id not in self.core_events:
+            raise PmuError(f"{event_id} was not programmed in this session")
+        cores = self.cores if core is None else (core,)
+        total = 0
+        for c in cores:
+            if (c, event_id) not in self._end_core:
+                raise PmuError(f"core {c} was not monitored")
+            total += self._end_core[(c, event_id)] - self._start_core[(c, event_id)]
+        return total
+
+    def uncore_delta(self, event_id: str) -> int:
+        """Delta of one uncore event (whole platform)."""
+        self._require_closed()
+        if event_id not in self.uncore_events:
+            raise PmuError(f"{event_id} was not programmed in this session")
+        return self._end_uncore[event_id] - self._start_uncore[event_id]
+
+    @property
+    def tsc_delta(self) -> float:
+        """Elapsed TSC cycles over the window."""
+        self._require_closed()
+        return self._end_tsc - self._start_tsc

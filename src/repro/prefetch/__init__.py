@@ -1,0 +1,28 @@
+"""Hardware prefetcher models and their MSR-style control mask."""
+
+from .base import Prefetcher, PrefetchStats
+from .control import (
+    ALL_DISABLED_MASK,
+    BIT_L1_NEXTLINE,
+    BIT_L1_STRIDE,
+    BIT_L2_ADJACENT,
+    BIT_L2_STREAM,
+    PrefetchControl,
+)
+from .nextline import NextLinePrefetcher
+from .stream import StreamPrefetcher
+from .stride import StridePrefetcher
+
+__all__ = [
+    "ALL_DISABLED_MASK",
+    "BIT_L1_NEXTLINE",
+    "BIT_L1_STRIDE",
+    "BIT_L2_ADJACENT",
+    "BIT_L2_STREAM",
+    "NextLinePrefetcher",
+    "PrefetchControl",
+    "PrefetchStats",
+    "Prefetcher",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+]

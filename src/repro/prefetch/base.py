@@ -1,0 +1,53 @@
+"""Prefetcher interface.
+
+Hardware prefetchers are the main reason measured memory traffic ``Q``
+exceeds a kernel's compulsory traffic (the paper's Q-validation
+experiment): they fetch lines the kernel never uses (overfetch past the
+end of streams, within-page run-ahead) and those lines are counted by
+the IMC just like demand traffic.
+
+A prefetcher observes the demand-access stream of one core and returns
+candidate lines to bring in.  ``stream_id`` identifies the access site
+(instruction within a loop), playing the role the program counter plays
+for hardware IP-based prefetchers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class PrefetchStats:
+    """Issue/usefulness accounting for one prefetcher instance."""
+
+    issued: int = 0
+    useful: int = 0
+
+    def reset(self) -> None:
+        self.issued = 0
+        self.useful = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class Prefetcher(ABC):
+    """One hardware prefetch engine attached to a core."""
+
+    #: short identifier used by the control mask and reports
+    kind = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = PrefetchStats()
+
+    @abstractmethod
+    def observe(self, line: int, was_miss: bool, stream_id: int = 0) -> List[int]:
+        """React to a demand access; return lines to prefetch (may be [])."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all training state (cold-start, cache bust)."""

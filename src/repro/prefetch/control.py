@@ -1,0 +1,78 @@
+"""MSR-style prefetcher control (the simulated MSR 0x1A4).
+
+Intel documents four disable bits in IA32_MISC_PREFETCH_CONTROL; the
+paper flips them to validate traffic measurement.  We mirror the layout:
+a *set* bit disables the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+#: bit positions, matching the documented MSR 0x1A4 layout
+BIT_L2_STREAM = 0
+BIT_L2_ADJACENT = 1
+BIT_L1_NEXTLINE = 2
+BIT_L1_STRIDE = 3
+
+_KIND_TO_BIT = {
+    "stream": BIT_L2_STREAM,
+    "adjacent": BIT_L2_ADJACENT,
+    "nextline": BIT_L1_NEXTLINE,
+    "stride": BIT_L1_STRIDE,
+}
+
+ALL_DISABLED_MASK = 0b1111
+
+
+@dataclass
+class PrefetchControl:
+    """Per-machine prefetcher enable state (shared by all cores, as on
+    real parts where the MSR is written per-core but experiments set all
+    cores identically)."""
+
+    mask: int = 0  # all engines enabled
+
+    def is_enabled(self, kind: str) -> bool:
+        """Whether the engine of ``kind`` is currently enabled."""
+        return not (self.mask >> self._bit(kind)) & 1
+
+    def disable(self, kind: str) -> None:
+        self.mask |= 1 << self._bit(kind)
+
+    def enable(self, kind: str) -> None:
+        self.mask &= ~(1 << self._bit(kind))
+
+    def disable_all(self) -> None:
+        """The paper's 'prefetchers off' configuration."""
+        self.mask = ALL_DISABLED_MASK
+
+    def enable_all(self) -> None:
+        self.mask = 0
+
+    def write_msr(self, value: int) -> None:
+        """Raw MSR write (bits beyond the defined four are reserved)."""
+        if value & ~ALL_DISABLED_MASK:
+            raise ConfigurationError(
+                f"reserved bits set in prefetch control value {value:#x}"
+            )
+        self.mask = value
+
+    def read_msr(self) -> int:
+        return self.mask
+
+    def state(self) -> Dict[str, bool]:
+        """Kind -> enabled mapping (report/debug helper)."""
+        return {kind: self.is_enabled(kind) for kind in _KIND_TO_BIT}
+
+    @staticmethod
+    def _bit(kind: str) -> int:
+        try:
+            return _KIND_TO_BIT[kind]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown prefetcher kind {kind!r}; known: {sorted(_KIND_TO_BIT)}"
+            ) from exc

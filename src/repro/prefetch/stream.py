@@ -1,0 +1,102 @@
+"""L2 streamer prefetcher (Intel-style per-page stream detection).
+
+The streamer keeps a small table of 4 KiB-page trackers.  Once it sees a
+few sequential accesses in the same direction within a page it runs
+ahead of the demand stream by ``distance`` lines, ``degree`` lines at a
+time, never crossing the page boundary.  Its run-ahead is what inflates
+measured traffic for streaming kernels — the effect the paper isolates
+by toggling the prefetch MSR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .base import Prefetcher
+
+
+@dataclass
+class _PageTracker:
+    last_line: int
+    direction: int = 0
+    confidence: int = 0
+    frontier: int = -1  # furthest line already prefetched (directional)
+    lru_tick: int = 0
+
+
+class StreamPrefetcher(Prefetcher):
+    """Per-page ascending/descending stream detector with run-ahead."""
+
+    kind = "stream"
+
+    def __init__(self, trackers: int = 16, degree: int = 2,
+                 distance: int = 8, confidence_threshold: int = 2,
+                 lines_per_page: int = 64) -> None:
+        super().__init__()
+        if trackers <= 0 or degree <= 0 or distance <= 0:
+            raise ConfigurationError("streamer needs positive trackers/degree/distance")
+        if confidence_threshold < 1:
+            raise ConfigurationError("confidence threshold must be >= 1")
+        self._trackers_max = trackers
+        self.degree = degree
+        self.distance = distance
+        self._threshold = confidence_threshold
+        self._lines_per_page = lines_per_page
+        self._table: Dict[int, _PageTracker] = {}
+        self._tick = 0
+
+    def observe(self, line: int, was_miss: bool, stream_id: int = 0) -> List[int]:
+        self._tick += 1
+        page = line // self._lines_per_page
+        tracker = self._table.get(page)
+        if tracker is None:
+            self._insert(page, line)
+            return []
+        tracker.lru_tick = self._tick
+        delta = line - tracker.last_line
+        tracker.last_line = line
+        if delta == 0:
+            return []
+        direction = 1 if delta > 0 else -1
+        if direction == tracker.direction:
+            tracker.confidence += 1
+        else:
+            tracker.direction = direction
+            tracker.confidence = 1
+            tracker.frontier = line
+        if tracker.confidence < self._threshold:
+            return []
+        return self._run_ahead(page, line, tracker)
+
+    def _run_ahead(self, page: int, line: int, tracker: _PageTracker) -> List[int]:
+        page_first = page * self._lines_per_page
+        page_last = page_first + self._lines_per_page - 1
+        target = line + tracker.direction * self.distance
+        start = tracker.frontier + tracker.direction
+        if tracker.direction > 0:
+            start = max(start, line + 1)
+            end = min(target, page_last)
+            lines = list(range(start, end + 1))[: self.degree]
+        else:
+            start = min(start, line - 1)
+            end = max(target, page_first)
+            lines = list(range(start, end - 1, -1))[: self.degree]
+        if lines:
+            tracker.frontier = lines[-1]
+            self.stats.issued += len(lines)
+        return lines
+
+    def _insert(self, page: int, line: int) -> None:
+        if len(self._table) >= self._trackers_max:
+            victim = min(self._table, key=lambda p: self._table[p].lru_tick)
+            del self._table[victim]
+        self._table[page] = _PageTracker(
+            last_line=line, frontier=line, lru_tick=self._tick
+        )
+
+    def reset(self) -> None:
+        self.stats.reset()
+        self._table.clear()
+        self._tick = 0

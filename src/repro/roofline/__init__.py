@@ -1,0 +1,48 @@
+"""The roofline model: ceilings, measured construction, analysis,
+ASCII/SVG plotting, and data export."""
+
+from .analysis import (
+    BOUND_COMPUTE,
+    BOUND_MEMORY,
+    PointAnalysis,
+    analyze_point,
+    check_point_sanity,
+    speedup_if_compute_bound,
+)
+from .builder import build_roofline, theoretical_roofline
+from .cache_aware import (
+    build_cache_aware_roofline,
+    level_bandwidth_map,
+    served_from,
+)
+from .export import model_to_dict, points_to_csv, to_json, trajectories_to_csv
+from .model import ComputeCeiling, MemoryCeiling, RooflineModel
+from .plot_ascii import ascii_plot
+from .plot_svg import save_svg, svg_plot
+from .point import KernelPoint, Trajectory
+
+__all__ = [
+    "BOUND_COMPUTE",
+    "BOUND_MEMORY",
+    "ComputeCeiling",
+    "KernelPoint",
+    "MemoryCeiling",
+    "PointAnalysis",
+    "RooflineModel",
+    "Trajectory",
+    "analyze_point",
+    "ascii_plot",
+    "build_cache_aware_roofline",
+    "build_roofline",
+    "check_point_sanity",
+    "model_to_dict",
+    "points_to_csv",
+    "level_bandwidth_map",
+    "save_svg",
+    "served_from",
+    "speedup_if_compute_bound",
+    "svg_plot",
+    "theoretical_roofline",
+    "to_json",
+    "trajectories_to_csv",
+]

@@ -1,0 +1,76 @@
+"""Roofline interpretation: bound classification, utilization, headroom.
+
+These are the judgements the paper draws from its plots — "this kernel
+is memory bound", "86% of peak, further tuning is futile", "Winograd
+has headroom" — made programmatic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .model import RooflineModel
+from .point import KernelPoint
+
+BOUND_MEMORY = "memory-bound"
+BOUND_COMPUTE = "compute-bound"
+
+
+@dataclass(frozen=True)
+class PointAnalysis:
+    """Everything the model says about one kernel point."""
+
+    point: KernelPoint
+    bound: str
+    attainable_flops: float
+    utilization_of_roof: float     # P / attainable(I)
+    utilization_of_peak: float     # P / pi
+    headroom_factor: float         # attainable(I) / P
+
+    def summary(self) -> str:
+        return (
+            f"{self.point.label}: {self.bound}, "
+            f"{self.utilization_of_roof:.0%} of its roof "
+            f"({self.utilization_of_peak:.0%} of peak), "
+            f"{self.headroom_factor:.2f}x headroom"
+        )
+
+
+def analyze_point(model: RooflineModel, point: KernelPoint) -> PointAnalysis:
+    """Classify one point against a model's topmost roofs."""
+    attainable = model.attainable(point.intensity)
+    bound = (
+        BOUND_MEMORY if point.intensity < model.ridge_intensity
+        else BOUND_COMPUTE
+    )
+    return PointAnalysis(
+        point=point,
+        bound=bound,
+        attainable_flops=attainable,
+        utilization_of_roof=point.performance / attainable,
+        utilization_of_peak=point.performance / model.peak_flops,
+        headroom_factor=attainable / point.performance,
+    )
+
+
+def check_point_sanity(model: RooflineModel, point: KernelPoint,
+                       tolerance: float = 0.15) -> None:
+    """Raise when a point lies meaningfully above the roof.
+
+    The paper treats above-roof points as measurement bugs (wrong
+    bandwidth reference, unpinned threads, turbo left on); experiments
+    use this check as a guardrail.
+    """
+    attainable = model.attainable(point.intensity)
+    if point.performance > attainable * (1.0 + tolerance):
+        raise ConfigurationError(
+            f"point {point.label!r} is {point.performance / attainable:.2f}x "
+            f"above the roof — measurement methodology violated"
+        )
+
+
+def speedup_if_compute_bound(model: RooflineModel, point: KernelPoint) -> float:
+    """Potential gain from raising intensity to the ridge (e.g. by
+    blocking): attainable at ridge over current performance."""
+    return model.peak_flops / point.performance

@@ -1,0 +1,91 @@
+"""Cache-aware roofline: one bandwidth ceiling per memory level.
+
+The paper's model has a single slanted roof (DRAM).  Kernels whose
+working sets live in cache sit *above* it — classified only as
+"somewhere under the compute peak".  The cache-aware extension (Ilic,
+Pratas, Sousa, IEEE CAL 2014) draws a slanted ceiling per level, so a
+warm L2-resident kernel can be read against the L2 bandwidth roof.
+
+The model reuses :class:`~repro.roofline.model.RooflineModel` — the
+levels are just additional memory ceilings, with DRAM as the topmost...
+except here the *order is inverted*: deeper levels are slower.  The
+plot therefore treats L1 as the top bandwidth roof, and the analysis
+helper reports which level's roof a point sits under.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..bench.cachebw import LevelBandwidth, measure_level_bandwidths
+from ..bench.peakflops import measure_peak_flops
+from ..errors import ConfigurationError
+from ..machine.machine import Machine
+from ..units import format_bandwidth, format_flops
+from .model import ComputeCeiling, MemoryCeiling, RooflineModel
+from .point import KernelPoint
+
+#: level order from fastest to slowest
+LEVEL_ORDER = ("L1", "L2", "L3", "DRAM")
+
+
+def build_cache_aware_roofline(machine: Machine, core: int = 0,
+                               trips: int = 8192,
+                               sweeps: int = 8) -> RooflineModel:
+    """Measure per-level bandwidths and assemble the layered model."""
+    peak = measure_peak_flops(machine, None, (core,), trips=trips)
+    compute = [ComputeCeiling(
+        f"peak ({format_flops(peak.flops_per_second)})",
+        peak.flops_per_second,
+    )]
+    bandwidths = measure_level_bandwidths(machine, core=core, sweeps=sweeps)
+    memory = [
+        MemoryCeiling(
+            f"{level} ({format_bandwidth(bandwidths[level].bytes_per_second)})",
+            bandwidths[level].bytes_per_second,
+        )
+        for level in LEVEL_ORDER
+        if level in bandwidths
+    ]
+    return RooflineModel(
+        f"{machine.spec.name} [cache-aware, core {core}]", compute, memory
+    )
+
+
+def level_bandwidth_map(model: RooflineModel) -> Dict[str, float]:
+    """level name -> bytes/s extracted from a cache-aware model."""
+    levels = {}
+    for ceiling in model.memory:
+        name = ceiling.label.split(" ", 1)[0]
+        if name in LEVEL_ORDER:
+            levels[name] = ceiling.bytes_per_second
+    if not levels:
+        raise ConfigurationError("model carries no cache-aware ceilings")
+    return levels
+
+
+def served_from(model: RooflineModel, point: KernelPoint,
+                tolerance: float = 0.15) -> str:
+    """The slowest memory level that can explain the point.
+
+    Walk DRAM upward and return the first level whose roof (at the
+    point's intensity) admits the measured performance.  A point above
+    the DRAM roof but under the L3 roof *must* be working from L3 or
+    better — the judgement the cache-aware plot exists to support.
+
+    ``tolerance`` absorbs method dependence: the ceilings come from a
+    pure-read sweep, while a kernel's mixed read/write stream can move
+    somewhat more bytes per second (the paper's own observation that
+    measured bandwidth depends on the operation mix).
+    """
+    levels = level_bandwidth_map(model)
+    for level in reversed(LEVEL_ORDER):  # DRAM first
+        if level not in levels:
+            continue
+        roof = min(model.peak_flops, point.intensity * levels[level])
+        if point.performance <= roof * (1.0 + tolerance):
+            return level
+    raise ConfigurationError(
+        f"point {point.label!r} exceeds even the L1 roof — "
+        "measurement inconsistent"
+    )

@@ -1,0 +1,77 @@
+"""Export roofline data: CSV series and JSON documents.
+
+Experiments persist their results through these helpers so every figure
+in EXPERIMENTS.md is backed by regenerable machine-readable data.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Iterable, Optional
+
+from .model import RooflineModel
+from .point import KernelPoint, Trajectory
+
+
+def points_to_csv(points: Iterable[KernelPoint]) -> str:
+    """CSV with one row per kernel point."""
+    out = io.StringIO()
+    out.write("series,label,n,threads,protocol,intensity_flops_per_byte,"
+              "performance_flops_per_s\n")
+    for p in points:
+        out.write(
+            f"{p.series},{p.label},{p.n if p.n is not None else ''},"
+            f"{p.threads},{p.protocol},{p.intensity:.6g},{p.performance:.6g}\n"
+        )
+    return out.getvalue()
+
+
+def trajectories_to_csv(trajectories: Iterable[Trajectory]) -> str:
+    """CSV for a set of sweeps (concatenated point rows)."""
+    all_points = []
+    for trajectory in trajectories:
+        all_points.extend(trajectory.points)
+    return points_to_csv(all_points)
+
+
+def model_to_dict(model: RooflineModel) -> dict:
+    """JSON-ready representation of a model."""
+    return {
+        "name": model.name,
+        "peak_flops_per_s": model.peak_flops,
+        "peak_bytes_per_s": model.peak_bandwidth,
+        "ridge_intensity": model.ridge_intensity,
+        "compute_ceilings": [
+            {"label": c.label, "flops_per_s": c.flops_per_second}
+            for c in model.compute
+        ],
+        "memory_ceilings": [
+            {"label": m.label, "bytes_per_s": m.bytes_per_second}
+            for m in model.memory
+        ],
+    }
+
+
+def to_json(model: RooflineModel,
+            points: Iterable[KernelPoint] = (),
+            trajectories: Iterable[Trajectory] = (),
+            indent: Optional[int] = 2) -> str:
+    """Full document: model plus every point, JSON-encoded."""
+    doc = {
+        "model": model_to_dict(model),
+        "points": [
+            {
+                "series": p.series,
+                "label": p.label,
+                "n": p.n,
+                "threads": p.threads,
+                "protocol": p.protocol,
+                "intensity": p.intensity,
+                "performance": p.performance,
+            }
+            for p in list(points)
+            + [p for t in trajectories for p in t.points]
+        ],
+    }
+    return json.dumps(doc, indent=indent)

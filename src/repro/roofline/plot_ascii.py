@@ -1,0 +1,122 @@
+"""Terminal roofline plots (log-log ASCII).
+
+Dependency-free rendering for quickstarts, CLI output, and experiment
+logs.  The top roof is drawn solid, lower ceilings dotted, and each
+point series gets its own marker with a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..units import format_bandwidth, format_flops
+from .model import RooflineModel
+from .point import KernelPoint, Trajectory
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log(value: float) -> float:
+    return math.log10(value)
+
+
+def _collect_points(points, trajectories) -> List[KernelPoint]:
+    collected = list(points or [])
+    for trajectory in trajectories or []:
+        collected.extend(trajectory.points)
+    return collected
+
+
+def _ranges(model: RooflineModel, pts: Sequence[KernelPoint],
+            x_range, y_range) -> Tuple[float, float, float, float]:
+    ridge = model.ridge_intensity
+    xs = [p.intensity for p in pts] or [ridge]
+    ys = [p.performance for p in pts] or [model.peak_flops]
+    xmin, xmax = x_range if x_range else (
+        min(min(xs), ridge) / 4, max(max(xs), ridge) * 4
+    )
+    ymin, ymax = y_range if y_range else (
+        min(min(ys), xmin * model.peak_bandwidth) / 2,
+        model.peak_flops * 2,
+    )
+    return xmin, xmax, ymin, ymax
+
+
+def ascii_plot(model: RooflineModel,
+               points: Iterable[KernelPoint] = (),
+               trajectories: Iterable[Trajectory] = (),
+               width: int = 76, height: int = 22,
+               x_range: Optional[Tuple[float, float]] = None,
+               y_range: Optional[Tuple[float, float]] = None) -> str:
+    """Render a roofline with kernel points as ASCII art."""
+    pts = _collect_points(points, trajectories)
+    xmin, xmax, ymin, ymax = _ranges(model, pts, x_range, y_range)
+    lx0, lx1 = _log(xmin), _log(xmax)
+    ly0, ly1 = _log(ymin), _log(ymax)
+
+    def col_of(x: float) -> int:
+        return int(round((_log(x) - lx0) / (lx1 - lx0) * (width - 1)))
+
+    def row_of(y: float) -> int:
+        frac = (_log(y) - ly0) / (ly1 - ly0)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(col: int, row: int, char: str) -> None:
+        if 0 <= col < width and 0 <= row < height:
+            canvas[row][col] = char
+
+    # lower ceilings dotted, top roof solid
+    for ceiling in model.compute[:-1]:
+        row = row_of(ceiling.flops_per_second)
+        for col in range(width):
+            x = 10 ** (lx0 + (lx1 - lx0) * col / (width - 1))
+            if x * model.peak_bandwidth >= ceiling.flops_per_second:
+                put(col, row, ".")
+    for ceiling in model.memory[:-1]:
+        for col in range(width):
+            x = 10 ** (lx0 + (lx1 - lx0) * col / (width - 1))
+            y = x * ceiling.bytes_per_second
+            if y <= model.peak_flops:
+                put(col, row_of(y), ".")
+    for col in range(width):
+        x = 10 ** (lx0 + (lx1 - lx0) * col / (width - 1))
+        y = model.attainable(x)
+        put(col, row_of(y),
+            "-" if y >= model.peak_flops * 0.999 else "/")
+
+    # kernel points, one marker per series
+    series_order: List[str] = []
+    for point in pts:
+        if point.series not in series_order:
+            series_order.append(point.series)
+    for point in pts:
+        marker = _MARKERS[series_order.index(point.series) % len(_MARKERS)]
+        put(col_of(point.intensity), row_of(point.performance), marker)
+
+    lines = [f"Roofline: {model.name}"]
+    lines.append(f"{format_flops(ymax):>14} +" + "".join(["-"] * width) + "+")
+    for row in range(height):
+        prefix = " " * 14 + " |"
+        if row == height - 1:
+            prefix = f"{format_flops(ymin):>14} |"
+        lines.append(prefix + "".join(canvas[row]) + "|")
+    lines.append(" " * 15 + "+" + "-" * width + "+")
+    lines.append(
+        " " * 15 + f"{xmin:.3g} F/B" + " " * max(width - 20, 1)
+        + f"{xmax:.3g} F/B"
+    )
+    lines.append(
+        f"  roof: pi = {format_flops(model.peak_flops)}, "
+        f"beta = {format_bandwidth(model.peak_bandwidth)}, "
+        f"ridge = {model.ridge_intensity:.2f} F/B"
+    )
+    for ceiling in reversed(model.compute):
+        lines.append(f"  ceiling -- {ceiling.label}")
+    for ceiling in reversed(model.memory):
+        lines.append(f"  ceiling // {ceiling.label}")
+    for idx, series in enumerate(series_order):
+        lines.append(f"  {_MARKERS[idx % len(_MARKERS)]} {series}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,195 @@
+"""SVG roofline plots (no external plotting dependencies).
+
+Produces a self-contained SVG string: log-log axes with decade grid
+lines, layered ceilings, per-series coloured trajectories with connected
+markers, and a legend — the publication-style counterpart of the ASCII
+backend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .model import RooflineModel
+from .plot_ascii import _collect_points, _ranges
+from .point import KernelPoint, Trajectory
+
+_COLORS = [
+    "#1b6ca8", "#c0392b", "#1e8449", "#8e44ad",
+    "#d68910", "#16a085", "#7f8c8d", "#2c3e50",
+]
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 230, 40, 55
+
+
+def _fmt_tick(value: float) -> str:
+    exp = int(round(math.log10(value)))
+    if -2 <= exp <= 3:
+        text = f"{value:g}"
+    else:
+        text = f"1e{exp}"
+    return text
+
+
+def svg_plot(model: RooflineModel,
+             points: Iterable[KernelPoint] = (),
+             trajectories: Iterable[Trajectory] = (),
+             width: int = 860, height: int = 520,
+             title: Optional[str] = None,
+             x_range: Optional[Tuple[float, float]] = None,
+             y_range: Optional[Tuple[float, float]] = None) -> str:
+    """Render a roofline chart; returns the SVG document as a string."""
+    trajectories = list(trajectories or [])
+    loose_points = list(points or [])
+    pts = _collect_points(loose_points, trajectories)
+    xmin, xmax, ymin, ymax = _ranges(model, pts, x_range, y_range)
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+    lx0, lx1 = math.log10(xmin), math.log10(xmax)
+    ly0, ly1 = math.log10(ymin), math.log10(ymax)
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (math.log10(x) - lx0) / (lx1 - lx0) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_T + plot_h - (math.log10(y) - ly0) / (ly1 - ly0) * plot_h
+
+    out: List[str] = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="Helvetica, Arial, sans-serif" font-size="12">'
+    )
+    out.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    out.append(
+        f'<text x="{_MARGIN_L}" y="24" font-size="15" font-weight="bold">'
+        f"{title or 'Roofline: ' + model.name}</text>"
+    )
+
+    # decade grid
+    for exp in range(math.ceil(lx0), math.floor(lx1) + 1):
+        x = 10.0 ** exp
+        out.append(
+            f'<line x1="{px(x):.1f}" y1="{_MARGIN_T}" x2="{px(x):.1f}" '
+            f'y2="{_MARGIN_T + plot_h}" stroke="#e0e0e0"/>'
+        )
+        out.append(
+            f'<text x="{px(x):.1f}" y="{_MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{_fmt_tick(x)}</text>'
+        )
+    for exp in range(math.ceil(ly0), math.floor(ly1) + 1):
+        y = 10.0 ** exp
+        out.append(
+            f'<line x1="{_MARGIN_L}" y1="{py(y):.1f}" '
+            f'x2="{_MARGIN_L + plot_w}" y2="{py(y):.1f}" stroke="#e0e0e0"/>'
+        )
+        out.append(
+            f'<text x="{_MARGIN_L - 8}" y="{py(y) + 4:.1f}" '
+            f'text-anchor="end">{_fmt_tick(y / 1e9)}G</text>'
+        )
+    out.append(
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444"/>'
+    )
+    out.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.0f}" y="{height - 14}" '
+        f'text-anchor="middle">operational intensity [flops/byte]</text>'
+    )
+    out.append(
+        f'<text x="18" y="{_MARGIN_T + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {_MARGIN_T + plot_h / 2:.0f})">'
+        f"performance [Gflop/s]</text>"
+    )
+
+    # ceilings: lower tiers dashed, top roof solid
+    legend_entries: List[Tuple[str, str, str]] = []  # (color, dash, label)
+    for ceiling in model.compute[:-1]:
+        y = ceiling.flops_per_second
+        if not ymin <= y <= ymax:
+            continue
+        x_start = max(xmin, y / model.peak_bandwidth)
+        out.append(
+            f'<line x1="{px(x_start):.1f}" y1="{py(y):.1f}" '
+            f'x2="{px(xmax):.1f}" y2="{py(y):.1f}" stroke="#888" '
+            f'stroke-dasharray="6 4"/>'
+        )
+        legend_entries.append(("#888", "6 4", ceiling.label))
+    for ceiling in model.memory[:-1]:
+        x_hi = min(xmax, model.peak_flops / ceiling.bytes_per_second)
+        y_lo = max(ymin, xmin * ceiling.bytes_per_second)
+        x_lo = max(xmin, y_lo / ceiling.bytes_per_second)
+        out.append(
+            f'<line x1="{px(x_lo):.1f}" y1="{py(x_lo * ceiling.bytes_per_second):.1f}" '
+            f'x2="{px(x_hi):.1f}" y2="{py(x_hi * ceiling.bytes_per_second):.1f}" '
+            f'stroke="#888" stroke-dasharray="6 4"/>'
+        )
+        legend_entries.append(("#888", "6 4", ceiling.label))
+    ridge = model.ridge_intensity
+    roof_x0 = max(xmin, ymin / model.peak_bandwidth)
+    out.append(
+        f'<path d="M {px(roof_x0):.1f} {py(roof_x0 * model.peak_bandwidth):.1f} '
+        f'L {px(min(ridge, xmax)):.1f} '
+        f'{py(model.attainable(min(ridge, xmax))):.1f} '
+        + (f'L {px(xmax):.1f} {py(model.peak_flops):.1f}' if ridge < xmax else "")
+        + '" fill="none" stroke="#000" stroke-width="2"/>'
+    )
+    legend_entries.append(
+        ("#000", "", f"roof: {model.compute[-1].label} / {model.memory[-1].label}")
+    )
+
+    # trajectories: connected coloured series
+    series_seen: List[str] = []
+    for trajectory in trajectories:
+        if trajectory.series not in series_seen:
+            series_seen.append(trajectory.series)
+        color = _COLORS[series_seen.index(trajectory.series) % len(_COLORS)]
+        coords = [
+            (px(p.intensity), py(p.performance)) for p in trajectory.points
+        ]
+        if len(coords) > 1:
+            path = " L ".join(f"{cx:.1f} {cy:.1f}" for cx, cy in coords)
+            out.append(
+                f'<path d="M {path}" fill="none" stroke="{color}" '
+                f'stroke-width="1.3" opacity="0.8"/>'
+            )
+        for cx, cy in coords:
+            out.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="3.5" '
+                f'fill="{color}"/>'
+            )
+        legend_entries.append((color, "", trajectory.series))
+    for point in loose_points:
+        if point.series not in series_seen:
+            series_seen.append(point.series)
+            legend_entries.append(
+                (_COLORS[series_seen.index(point.series) % len(_COLORS)],
+                 "", point.series)
+            )
+        color = _COLORS[series_seen.index(point.series) % len(_COLORS)]
+        out.append(
+            f'<circle cx="{px(point.intensity):.1f}" '
+            f'cy="{py(point.performance):.1f}" r="4" fill="{color}"/>'
+        )
+
+    # legend
+    lx = _MARGIN_L + plot_w + 12
+    ly = _MARGIN_T + 8
+    for color, dash, label in legend_entries:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        out.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 22}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"{dash_attr}/>'
+        )
+        short = label if len(label) <= 34 else label[:31] + "..."
+        out.append(f'<text x="{lx + 28}" y="{ly + 4}">{short}</text>')
+        ly += 18
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def save_svg(svg_text: str, path: str) -> None:
+    """Write an SVG document to disk."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg_text)

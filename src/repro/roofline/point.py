@@ -1,0 +1,72 @@
+"""Kernel points on a roofline plot.
+
+A point is ``(I, P)`` with a label; a *trajectory* is the series of
+points one kernel traces as its problem size sweeps from cache-resident
+to DRAM-resident — the curves the paper's figures are made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..measure.runner import Measurement
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """One measured kernel at one configuration."""
+
+    label: str
+    intensity: float
+    performance: float
+    series: str = ""
+    n: Optional[int] = None
+    protocol: str = ""
+    threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.intensity <= 0 or self.performance <= 0:
+            raise ConfigurationError(
+                f"point {self.label!r} needs positive coordinates"
+            )
+
+    @classmethod
+    def from_measurement(cls, m: Measurement,
+                         series: Optional[str] = None) -> "KernelPoint":
+        """Roofline coordinates of a measurement (validated work over
+        measured runtime and measured traffic)."""
+        return cls(
+            label=m.label(),
+            intensity=m.intensity,
+            performance=m.performance,
+            series=series if series is not None else m.kernel,
+            n=m.n,
+            protocol=m.protocol,
+            threads=m.threads,
+        )
+
+
+@dataclass
+class Trajectory:
+    """An ordered series of points for one kernel/protocol sweep."""
+
+    series: str
+    points: List[KernelPoint] = field(default_factory=list)
+
+    def add(self, point: KernelPoint) -> None:
+        self.points.append(point)
+
+    @classmethod
+    def from_measurements(cls, series: str, measurements) -> "Trajectory":
+        traj = cls(series)
+        for m in measurements:
+            traj.add(KernelPoint.from_measurement(m, series=series))
+        return traj
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,52 @@
+"""Shared fixtures: small machines and canonical programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.kernels.base import CodegenCaps
+from repro.machine.presets import paper_machine, tiny_test_machine
+
+
+@pytest.fixture
+def tiny():
+    """A fresh 2-core test machine (1 KiB L1 / 4 KiB L2 / 16 KiB L3)."""
+    return tiny_test_machine()
+
+
+@pytest.fixture
+def tiny_caps(tiny):
+    return CodegenCaps.from_machine(tiny)
+
+
+@pytest.fixture(scope="session")
+def paper():
+    """A shared 1/8-scale SNB-EP for read-only (model) assertions."""
+    return paper_machine()
+
+
+def build_triad(n: int, width: int = 256, nt: bool = False):
+    """y[i] = alpha*x[i] + y[i] as a raw program (no kernel layer)."""
+    b = ProgramBuilder()
+    x = b.buffer("x", n * 8)
+    y = b.buffer("y", n * 8)
+    alpha = b.reg()
+    lanes = width // 64
+    step = width // 8
+    with b.loop(n // lanes) as i:
+        vx = b.load(x[i * step], width=width)
+        vy = b.load(y[i * step], width=width)
+        t = b.mul(alpha, vx, width=width)
+        r = b.add(t, vy, width=width)
+        b.store(r, y[i * step], width=width, nt=nt)
+    return b.build()
+
+
+def build_read_sweep(nbytes: int, stride: int = 64):
+    """Load-only sweep touching every line of one buffer."""
+    b = ProgramBuilder()
+    buf = b.buffer("buf", nbytes)
+    with b.loop(nbytes // stride) as i:
+        b.load(buf[i * stride], width=64)
+    return b.build()

@@ -1,0 +1,256 @@
+"""Interpreter tests: counting fidelity, address streams, interleaving."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa import ProgramBuilder
+from repro.kernels import CodegenCaps, Daxpy, Dot
+from repro.machine.presets import tiny_test_machine
+from tests.conftest import build_triad
+
+
+def run_fresh(program, machine=None, prefetch=True):
+    machine = machine or tiny_test_machine()
+    if not prefetch:
+        machine.prefetch_control.disable_all()
+    loaded = machine.load(program)
+    result = machine.run(loaded, core_id=0)
+    return machine, result
+
+
+class TestCountingFidelity:
+    def test_fp_counters_match_static_counts_without_misses(self):
+        # L1-resident working set, warmed: no misses, so PMU counts must
+        # equal the static instruction counts exactly
+        machine = tiny_test_machine()
+        program = build_triad(64)  # 1 KiB footprint
+        loaded = machine.load(program)
+        machine.run(loaded, core_id=0)  # warm
+        pmu = machine.core_pmu(0)
+        before = pmu.read("fp_256_f64")
+        machine.run(loaded, core_id=0)
+        delta = pmu.read("fp_256_f64") - before
+        counts = program.static_counts()
+        assert delta == counts.fp_width_map()[(256, "f64")]
+
+    def test_true_flops_recorded(self):
+        program = build_triad(256)
+        _machine, run = run_fresh(program)
+        assert run.result.true_flops == 2 * 256
+
+    def test_instruction_counter(self):
+        machine = tiny_test_machine()
+        program = build_triad(64)
+        loaded = machine.load(program)
+        before = machine.core_pmu(0).read("instructions")
+        machine.run(loaded, core_id=0)
+        delta = machine.core_pmu(0).read("instructions") - before
+        assert delta == 5 * (64 // 4)
+
+    def test_cold_run_overcounts_fp(self):
+        machine = tiny_test_machine()
+        program = build_triad(8192)  # far beyond the 16 KiB L3
+        loaded = machine.load(program)
+        machine.bust_caches()
+        pmu = machine.core_pmu(0)
+        before = pmu.read("fp_256_f64")
+        machine.run(loaded, core_id=0)
+        delta = pmu.read("fp_256_f64") - before
+        true = program.static_counts().fp_width_map()[(256, "f64")]
+        assert delta > 1.3 * true
+
+    def test_cache_event_counters_populated(self):
+        machine = tiny_test_machine()
+        program = build_triad(4096)
+        loaded = machine.load(program)
+        machine.bust_caches()
+        machine.run(loaded, core_id=0)
+        pmu = machine.core_pmu(0)
+        assert pmu.read("l1_replacement") > 0
+        assert pmu.read("llc_misses") > 0
+        assert pmu.read("cycles") > 0
+
+
+class TestAddressStreams:
+    def test_unit_stride_touches_each_line_once(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 64 * 64)
+        with b.loop(512) as i:       # 8-byte loads, 8 per line
+            b.load(x[i * 8], width=64)
+        _machine, run = run_fresh(b.build(), machine, prefetch=False)
+        assert run.result.batch.accesses == 64
+        assert machine.hierarchy.dram[0].counters.cas_reads == 64
+
+    def test_large_stride_touches_distinct_lines(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 128 * 64)
+        with b.loop(64) as i:        # stride 2 lines
+            b.load(x[i * 128], width=64)
+        _machine, run = run_fresh(b.build(), machine, prefetch=False)
+        assert run.result.batch.accesses == 64
+        assert machine.hierarchy.dram[0].counters.cas_reads == 64
+
+    def test_unaligned_wide_load_spans_two_lines(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 4096)
+        with b.loop(8) as i:
+            b.load(x[i * 256 + 48], width=256)  # 32 B at offset 48: spans
+        _machine, run = run_fresh(b.build(), machine)
+        assert run.result.batch.accesses == 16  # two lines per load
+
+    def test_stride_zero_site_touches_once(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 64)
+        with b.loop(100):
+            b.load(x[0], width=64)
+        _machine, run = run_fresh(b.build(), machine, prefetch=False)
+        assert machine.hierarchy.dram[0].counters.cas_reads == 1
+
+    def test_nested_loop_addressing(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        a = b.buffer("A", 16 * 1024)
+        with b.loop(16, "i") as i:
+            with b.loop(16, "j") as j:
+                b.load(a[i * 1024 + j * 64], width=64)
+        _machine, run = run_fresh(b.build(), machine, prefetch=False)
+        assert machine.hierarchy.dram[0].counters.cas_reads == 256
+
+
+class TestInterleaving:
+    def test_store_after_load_of_same_line_hits_l1(self):
+        machine = tiny_test_machine()
+        machine.prefetch_control.disable_all()
+        program = build_triad(4096)
+        loaded = machine.load(program)
+        machine.bust_caches()
+        run = machine.run(loaded, core_id=0)
+        batch = run.result.batch
+        # the store stream must be absorbed by the y lines just loaded
+        assert batch.l1_hits >= 4096 // 8
+        # dram reads = x + y compulsory only
+        assert batch.dram_reads == 2 * 4096 // 8
+
+    def test_negative_stride_in_multi_site_body_rejected(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 4096)
+        from repro.isa.instructions import AddrExpr, Load, Loop, Store
+        from repro.isa.program import Program
+        from repro.isa.registers import vec
+        body = (
+            Load(vec(0), AddrExpr("x", 2048, (("i", -64),)), 64),
+            Store(vec(0), AddrExpr("x", 0, (("i", 64),)), 64),
+        )
+        program = Program([Loop("i", 8, body)], {"x": 4096})
+        machine = tiny_test_machine()
+        loaded = machine.load(program)
+        with pytest.raises(ExecutionError):
+            machine.run(loaded, core_id=0)
+
+
+class TestSpecialInstructions:
+    def test_nt_store_loop(self):
+        machine = tiny_test_machine()
+        program = build_triad(4096, nt=True)
+        loaded = machine.load(program)
+        machine.bust_caches()
+        run = machine.run(loaded, core_id=0)
+        assert run.result.batch.nt_lines == 4096 // 8
+        assert machine.hierarchy.dram[0].counters.cas_writes == 4096 // 8
+
+    def test_flush_loop(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 4096)
+        with b.loop(64) as i:
+            b.load(x[i * 64], width=64)
+        with b.loop(64) as i:
+            b.flush(x[i * 64])
+        loaded = machine.load(b.build())
+        run = machine.run(loaded, core_id=0)
+        assert run.result.batch.flushes == 64
+        assert machine.hierarchy.l1[0].occupancy() == 0
+
+    def test_software_prefetch_loop(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 1024)  # exactly the L1 capacity (16 lines)
+        with b.loop(16) as i:
+            b.prefetch(x[i * 64])
+        with b.loop(128) as i:
+            b.load(x[i * 8], width=64)
+        loaded = machine.load(b.build())
+        run = machine.run(loaded, core_id=0)
+        batch = run.result.batch
+        assert batch.sw_prefetches == 16
+        assert batch.l1_hits == 16  # all loads hit prefetched lines
+
+    def test_straight_line_instructions(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 128)
+        r1, r2 = b.regs(2)
+        v = b.load(x[0], width=128)
+        b.add(v, r1, width=128)
+        b.store(r2, x[64], width=128)
+        loaded = machine.load(b.build())
+        run = machine.run(loaded, core_id=0)
+        assert run.result.instructions == 3
+        assert machine.core_pmu(0).read("fp_128_f64") == 1
+
+
+class TestDependencyChains:
+    def test_few_chains_are_latency_bound(self):
+        """Pure-compute chain programs: 2 chains expose the 5-cycle
+        multiply latency, 12 chains reach issue throughput."""
+        from repro.bench.peakflops import peak_flops_program
+
+        machine = tiny_test_machine()
+        trips = 1024
+        rates = {}
+        for chains in (2, 12):
+            program = peak_flops_program(256, has_fma=False, chains=chains,
+                                         trips=trips)
+            loaded = machine.load(program)
+            run = machine.run(loaded, core_id=0)
+            rates[chains] = program.static_counts().flops / run.cycles
+        # 12 chains: 8 flops/cycle; 2 chains: ~1.6 flops/cycle
+        assert rates[12] > 4 * rates[2]
+
+    def test_dot_accumulators_reduce_chain_bound(self):
+        caps = CodegenCaps(width_bits=256, has_fma=False)
+        machine = tiny_test_machine()
+        n = 128  # small enough that issue/chain, not DRAM, dominates
+        cycles = {}
+        for accumulators in (1, 8):
+            kernel = Dot(accumulators=accumulators)
+            loaded = machine.load(kernel.build(n, caps))
+            machine.run(loaded, core_id=0)  # warm
+            cycles[accumulators] = machine.run(loaded, core_id=0).cycles
+        # single accumulator: 3-cycle add chain per iteration beats the
+        # 2-cycle load issue; eight accumulators are load-bound
+        assert cycles[1] > 1.2 * cycles[8]
+
+
+class TestErrors:
+    def test_missing_buffer_mapping(self):
+        machine = tiny_test_machine()
+        program = build_triad(64)
+        loaded = machine.load(program)
+        del loaded.buffer_map["y"]
+        with pytest.raises(ExecutionError):
+            machine.run(loaded, core_id=0)
+
+    def test_zero_trip_loop_is_noop(self):
+        machine = tiny_test_machine()
+        b = ProgramBuilder()
+        x = b.buffer("x", 64)
+        with b.loop(0) as i:
+            b.load(x[i * 8], width=64)
+        loaded = machine.load(b.build())
+        run = machine.run(loaded, core_id=0)
+        assert run.result.batch.accesses == 0

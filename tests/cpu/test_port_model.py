@@ -1,0 +1,108 @@
+"""Execution-port model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cpu.port_model import (
+    PortModel,
+    haswell_ports,
+    sandy_bridge_ports,
+    skylake_avx512_ports,
+)
+
+
+class TestPeaks:
+    def test_snb_avx_peak_is_8(self):
+        # one add + one mul port at 4 lanes each
+        assert sandy_bridge_ports().peak_flops_per_cycle(256) == 8.0
+
+    def test_snb_scalar_peak_is_2(self):
+        assert sandy_bridge_ports().peak_flops_per_cycle(64) == 2.0
+
+    def test_hsw_fma_peak_is_16(self):
+        assert haswell_ports().peak_flops_per_cycle(256) == 16.0
+
+    def test_skx_avx512_peak_is_32(self):
+        assert skylake_avx512_ports().peak_flops_per_cycle(512) == 32.0
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sandy_bridge_ports().peak_flops_per_cycle(512)
+
+    def test_f32_doubles_lanes(self):
+        assert sandy_bridge_ports().peak_flops_per_cycle(256, "f32") == 16.0
+
+
+class TestCapabilities:
+    def test_snb_has_no_fma(self):
+        assert not sandy_bridge_ports().has_fma
+
+    def test_hsw_has_fma(self):
+        assert haswell_ports().has_fma
+
+    def test_latency_lookup(self):
+        ports = sandy_bridge_ports()
+        assert ports.latency("add") == 3
+        assert ports.latency("mul") == 5
+
+    def test_validation_rejects_portless_core(self):
+        with pytest.raises(ConfigurationError):
+            PortModel(fp_add_ports=0, fp_mul_ports=1, fma_ports=0)
+
+
+class TestFpIssue:
+    def test_balanced_add_mul_overlap(self):
+        ports = sandy_bridge_ports()
+        cycles = ports.fp_issue_cycles({("add", 256): 100, ("mul", 256): 100})
+        assert cycles == 100.0  # the two ports run in parallel
+
+    def test_unbalanced_mix_bound_by_busier_port(self):
+        ports = sandy_bridge_ports()
+        cycles = ports.fp_issue_cycles({("add", 256): 300, ("mul", 256): 100})
+        assert cycles == 300.0
+
+    def test_fma_on_snb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sandy_bridge_ports().fp_issue_cycles({("fma", 256): 1})
+
+    def test_fma_ports_shared_with_adds(self):
+        ports = haswell_ports()
+        cycles = ports.fp_issue_cycles({("fma", 256): 100, ("add", 256): 100})
+        assert cycles == 100.0  # 200 ops over 2 FMA-capable ports
+
+    def test_div_serialises(self):
+        ports = sandy_bridge_ports()
+        only_div = ports.fp_issue_cycles({("div", 128): 10})
+        expected = 10 * ports.div_recip_throughput + 10 / ports.issue_width
+        assert only_div == expected
+
+    def test_issue_width_limits_dense_mixes(self):
+        ports = PortModel(fp_add_ports=4, fp_mul_ports=4, issue_width=4)
+        cycles = ports.fp_issue_cycles({("add", 128): 100, ("mul", 128): 100})
+        assert cycles == 200 / 4
+
+    def test_max_min_occupy_add_port(self):
+        ports = sandy_bridge_ports()
+        cycles = ports.fp_issue_cycles({("max", 256): 50, ("add", 256): 50})
+        assert cycles == 100.0
+
+
+class TestMemIssue:
+    def test_snb_splits_256bit_loads(self):
+        ports = sandy_bridge_ports()
+        # one 256-bit load = two 128-bit port-cycles over two ports
+        assert ports.mem_issue_cycles({256: 1}, {}) == 1.0
+        assert ports.mem_issue_cycles({128: 2}, {}) == 1.0
+
+    def test_hsw_full_width_loads(self):
+        ports = haswell_ports()
+        assert ports.mem_issue_cycles({256: 2}, {}) == 1.0
+
+    def test_stores_have_one_port(self):
+        ports = sandy_bridge_ports()
+        assert ports.mem_issue_cycles({}, {128: 3}) == 3.0
+
+    def test_loads_and_stores_overlap(self):
+        ports = sandy_bridge_ports()
+        cycles = ports.mem_issue_cycles({128: 4}, {128: 2})
+        assert cycles == 2.0

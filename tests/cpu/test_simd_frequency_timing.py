@@ -1,0 +1,157 @@
+"""SIMD levels, frequency governor, and the timing model."""
+
+import pytest
+
+from repro.cpu.frequency import FrequencyGovernor
+from repro.cpu.port_model import sandy_bridge_ports
+from repro.cpu.simd import AVX, SCALAR, SSE, level_by_name, level_by_width, levels_up_to
+from repro.cpu.timing import TimingParams, phase_cycles, reissue_slots
+from repro.errors import ConfigurationError
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import DramConfig
+from repro.memory.hierarchy import BatchStats, HierarchyConfig
+
+
+class TestSimd:
+    def test_lanes(self):
+        assert AVX.lanes_f64 == 4
+        assert AVX.lanes_f32 == 8
+        assert SCALAR.lanes_f64 == 1
+
+    def test_lookup(self):
+        assert level_by_name("sse") is SSE
+        assert level_by_width(256) is AVX
+
+    def test_levels_up_to(self):
+        assert [l.name for l in levels_up_to(256)] == ["scalar", "sse", "avx"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            level_by_name("mmx")
+        with pytest.raises(ConfigurationError):
+            level_by_width(192)
+        with pytest.raises(ConfigurationError):
+            levels_up_to(32)
+
+
+class TestGovernor:
+    def test_fixed_clock_default(self):
+        gov = FrequencyGovernor(2.7e9, (3.5e9, 3.2e9))
+        assert gov.frequency(1) == 2.7e9
+        assert gov.frequency(2) == 2.7e9
+
+    def test_turbo_steps_by_active_cores(self):
+        gov = FrequencyGovernor(2.7e9, (3.5e9, 3.2e9), turbo_enabled=True)
+        assert gov.frequency(1) == 3.5e9
+        assert gov.frequency(2) == 3.2e9
+        assert gov.frequency(8) == 3.2e9  # beyond table: last entry
+
+    def test_turbo_without_table_is_base(self):
+        gov = FrequencyGovernor(2.0e9, turbo_enabled=True)
+        assert gov.frequency(1) == 2.0e9
+
+    def test_steps_below_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyGovernor(3.0e9, (2.5e9,))
+
+    def test_cycles_to_seconds(self):
+        gov = FrequencyGovernor(2.0e9)
+        assert gov.cycles_to_seconds(4e9) == 2.0
+
+    def test_bad_active_cores(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyGovernor(1e9).frequency(0)
+
+
+def hier_config():
+    return HierarchyConfig(
+        l1=CacheConfig("L1", 1024, assoc=2, latency_cycles=4),
+        l2=CacheConfig("L2", 4096, assoc=4, latency_cycles=12),
+        l3=CacheConfig("L3", 16384, assoc=8, latency_cycles=30,
+                       bytes_per_cycle=16.0),
+        dram=DramConfig(channels=1, bytes_per_cycle_total=8.0,
+                        per_core_bytes_per_cycle=6.0, latency_cycles=100),
+    )
+
+
+class TestPhaseCycles:
+    def test_pure_compute_bound(self):
+        cost = phase_cycles(
+            sandy_bridge_ports(), hier_config(),
+            {("add", 256): 100, ("mul", 256): 100}, {}, {},
+            chain_cycles=0.0, batch=BatchStats(), params=TimingParams(),
+            dram_bytes_per_cycle=6.0,
+        )
+        assert cost.total == 100.0
+        assert cost.dominant == "fp_issue"
+
+    def test_dram_bandwidth_bound(self):
+        batch = BatchStats(accesses=1000, dram_reads=1000)
+        cost = phase_cycles(
+            sandy_bridge_ports(), hier_config(),
+            {("add", 256): 10}, {}, {},
+            chain_cycles=0.0, batch=batch, params=TimingParams(),
+            dram_bytes_per_cycle=6.0,
+        )
+        assert cost.dram_bandwidth == 1000 * 64 / 6.0
+        assert cost.dominant == "dram_bandwidth"
+        # exposed latency adds on top of the throughput bound
+        assert cost.total > cost.dram_bandwidth
+
+    def test_chain_bound(self):
+        cost = phase_cycles(
+            sandy_bridge_ports(), hier_config(),
+            {("mul", 256): 10}, {}, {},
+            chain_cycles=500.0, batch=BatchStats(), params=TimingParams(),
+            dram_bytes_per_cycle=6.0,
+        )
+        assert cost.total == 500.0
+        assert cost.dominant == "dependency_chain"
+
+    def test_writebacks_and_prefetch_count_toward_dram(self):
+        batch = BatchStats(dram_reads=10, writebacks=5,
+                           hw_prefetch_dram_reads=5, nt_lines=5)
+        cost = phase_cycles(
+            sandy_bridge_ports(), hier_config(), {}, {}, {},
+            0.0, batch, TimingParams(), dram_bytes_per_cycle=8.0,
+        )
+        assert cost.dram_bandwidth == 25 * 64 / 8.0
+
+    def test_remote_lines_cost_more_bandwidth(self):
+        local = BatchStats(dram_reads=100)
+        remote = BatchStats(dram_reads=100, remote_dram_lines=100)
+        args = (sandy_bridge_ports(), hier_config(), {}, {}, {})
+        cost_local = phase_cycles(*args, 0.0, local, TimingParams(), 6.0)
+        cost_remote = phase_cycles(*args, 0.0, remote, TimingParams(), 6.0)
+        assert cost_remote.dram_bandwidth > cost_local.dram_bandwidth
+        assert cost_remote.exposed_latency > cost_local.exposed_latency
+
+    def test_l2_l3_bandwidth_terms(self):
+        batch = BatchStats(l2_hits=320, l3_hits=160)
+        cost = phase_cycles(
+            sandy_bridge_ports(), hier_config(), {}, {}, {},
+            0.0, batch, TimingParams(), 6.0,
+        )
+        assert cost.l2_bandwidth == 320 * 64 / 32.0
+        assert cost.l3_bandwidth == 160 * 64 / 16.0
+
+
+class TestReissueSlots:
+    def test_l1_hits_cause_no_slots(self):
+        batch = BatchStats(accesses=100, l1_hits=100)
+        assert reissue_slots(hier_config(), batch, TimingParams()) == 0
+
+    def test_l2_hits_cause_one_slot_each(self):
+        batch = BatchStats(l2_hits=10)
+        assert reissue_slots(hier_config(), batch, TimingParams()) == 10
+
+    def test_dram_misses_capped(self):
+        params = TimingParams(max_reissue_per_miss=4)
+        batch = BatchStats(dram_reads=10)
+        # (100 - 6)/16 -> 6, capped at 4
+        assert reissue_slots(hier_config(), batch, params) == 40
+
+    def test_fully_hidden_latency_no_slots(self):
+        params = TimingParams(reissue_hide_cycles=1000)
+        batch = BatchStats(l2_hits=5, l3_hits=5, dram_reads=5)
+        assert reissue_slots(hier_config(), batch, params) == 0

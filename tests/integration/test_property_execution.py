@@ -1,0 +1,122 @@
+"""Property-based whole-machine invariants on random programs.
+
+Hypothesis generates random (but valid) affine programs; executing them
+on a fresh machine must preserve global accounting invariants no matter
+the access pattern — the strongest guard against interpreter/hierarchy
+bookkeeping bugs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import ProgramBuilder
+from repro.machine.presets import tiny_test_machine
+from repro.pmu import PerfSession
+
+
+@st.composite
+def random_affine_programs(draw):
+    """A random two-deep loop nest over up to three buffers."""
+    b = ProgramBuilder()
+    n_buffers = draw(st.integers(min_value=1, max_value=3))
+    buffers = [b.buffer(f"buf{i}", 1 << 15) for i in range(n_buffers)]
+    outer_trips = draw(st.integers(min_value=1, max_value=6))
+    inner_trips = draw(st.integers(min_value=1, max_value=64))
+    n_sites = draw(st.integers(min_value=1, max_value=4))
+    regs = b.regs(4)
+    with b.loop(outer_trips, "i") as i:
+        with b.loop(inner_trips, "j") as j:
+            for site in range(n_sites):
+                buf = buffers[draw(st.integers(0, n_buffers - 1))]
+                stride = draw(st.sampled_from([8, 16, 64, 128, 256]))
+                width = draw(st.sampled_from([64, 128, 256]))
+                offset = draw(st.integers(min_value=0, max_value=64)) * 8
+                # keep the address affine and in bounds
+                max_addr = (outer_trips - 1) * 2048 + \
+                    (inner_trips - 1) * stride + offset + width // 8
+                if max_addr > (1 << 15):
+                    continue
+                addr = buf[i * 2048 + j * stride + offset]
+                kind = draw(st.integers(0, 3))
+                if kind == 0:
+                    b.load(addr, width=width)
+                elif kind == 1:
+                    b.store(regs[site], addr, width=width)
+                elif kind == 2:
+                    b.store(regs[site], addr, width=width, nt=True)
+                else:
+                    v = b.load(addr, width=width)
+                    b.add(v, regs[site], width=width)
+    return b.build()
+
+
+class TestGlobalInvariants:
+    @given(random_affine_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_accounting_invariants(self, program):
+        machine = tiny_test_machine()
+        loaded = machine.load(program)
+        machine.bust_caches()
+        run = machine.run(loaded, core_id=0)
+        batch = run.result.batch
+        dram = machine.hierarchy.dram[0]
+
+        # hits partition accesses (every access resolves somewhere)
+        resolved = (batch.l1_hits + batch.l2_hits + batch.l3_hits
+                    + batch.dram_reads + batch.nt_lines)
+        assert resolved == batch.accesses
+
+        # the DRAM controller saw exactly what the batch reports
+        assert dram.counters.cas_reads == (
+            batch.dram_reads + batch.hw_prefetch_dram_reads
+        )
+        assert dram.counters.cas_writes == batch.writebacks + batch.nt_lines
+
+        # time moved forward and matches the wall clock
+        assert run.cycles > 0
+        assert machine.tsc == run.cycles
+
+    @given(random_affine_programs())
+    @settings(max_examples=20, deadline=None)
+    def test_determinism(self, program):
+        """Two fresh machines executing the same program agree exactly."""
+        outcomes = []
+        for _ in range(2):
+            machine = tiny_test_machine()
+            loaded = machine.load(program)
+            machine.bust_caches()
+            run = machine.run(loaded, core_id=0)
+            outcomes.append((
+                run.cycles,
+                run.result.batch.accesses,
+                run.result.batch.dram_reads,
+                machine.hierarchy.dram[0].counters.cas_reads,
+                machine.core_pmu(0).read("fp_256_f64"),
+            ))
+        assert outcomes[0] == outcomes[1]
+
+    @given(random_affine_programs())
+    @settings(max_examples=20, deadline=None)
+    def test_rerun_never_reads_more_dram(self, program):
+        """A warm rerun can only hit more, never miss more."""
+        machine = tiny_test_machine()
+        loaded = machine.load(program)
+        machine.bust_caches()
+        cold = machine.run(loaded, core_id=0).result.batch
+        warm = machine.run(loaded, core_id=0).result.batch
+        assert warm.dram_reads <= cold.dram_reads
+
+    @given(random_affine_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_session_deltas_match_run(self, program):
+        machine = tiny_test_machine()
+        loaded = machine.load(program)
+        with PerfSession(machine, core_events=("instructions",),
+                         uncore_events=("imc_cas_reads",),
+                         cores=(0,)) as session:
+            run = machine.run(loaded, core_id=0)
+        assert session.core_delta("instructions") == run.result.instructions
+        # uncore includes deterministic noise >= the raw traffic
+        raw = (run.result.batch.dram_reads
+               + run.result.batch.hw_prefetch_dram_reads)
+        assert session.uncore_delta("imc_cas_reads") >= raw

@@ -1,0 +1,156 @@
+"""Assembler: formatting, parsing, and property-based roundtrips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import format_program, parse_addr, parse_program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import AddrExpr
+
+CANONICAL = """\
+buffer x 32768
+buffer y 32768
+loop i 1024
+  vload.256 v0, x[i*32]
+  vload.256 v1, y[i*32]
+  vfma.f64.256 v1, v2, v0, v1
+  vstore.256 v1, y[i*32]
+end
+"""
+
+
+class TestParse:
+    def test_canonical_listing(self):
+        program = parse_program(CANONICAL)
+        assert program.buffers == {"x": 32768, "y": 32768}
+        assert program.static_counts().flops == 1024 * 8
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nbuffer x 64\nvload.64 v0, x[0]  # trailing\n"
+        program = parse_program(text)
+        assert program.instruction_count() == 1
+
+    def test_nested_loops(self):
+        text = (
+            "buffer a 65536\n"
+            "loop i 8\n"
+            "  loop j 16\n"
+            "    vload.64 v0, a[i*512+j*8]\n"
+            "  end\n"
+            "end\n"
+        )
+        program = parse_program(text)
+        assert program.static_counts().loads == 128
+
+    def test_unterminated_loop(self):
+        with pytest.raises(AssemblerError):
+            parse_program("loop i 4\n")
+
+    def test_stray_end(self):
+        with pytest.raises(AssemblerError):
+            parse_program("end\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            parse_program("buffer x 64\nvxor.256 v0, v1\n")
+
+    def test_duplicate_buffer(self):
+        with pytest.raises(AssemblerError):
+            parse_program("buffer x 64\nbuffer x 64\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            parse_program("buffer x 64\nvadd.f64.256 v0, v1\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            parse_program("buffer x 64\nbogus v0\n")
+
+    def test_prefetch_and_flush(self):
+        program = parse_program(
+            "buffer x 128\nprefetch x[0]\nclflush x[64]\n"
+        )
+        counts = program.static_counts()
+        assert counts.prefetches == 1
+        assert counts.flushes == 1
+
+
+class TestParseAddr:
+    def test_simple(self):
+        assert parse_addr("x[0]") == AddrExpr("x", 0, ())
+
+    def test_terms_and_offset(self):
+        addr = parse_addr("A[i*1024+j*8+16]")
+        assert addr.offset == 16
+        assert addr.stride_of("i") == 1024
+        assert addr.stride_of("j") == 8
+
+    def test_empty_brackets(self):
+        assert parse_addr("x[]") == AddrExpr("x", 0, ())
+
+    @pytest.mark.parametrize("bad", ["x", "x[", "[0]", "x[i**2]", "x[a+b*]"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(AssemblerError):
+            parse_addr(bad)
+
+
+class TestRoundtrip:
+    def test_canonical_roundtrip(self):
+        program = parse_program(CANONICAL)
+        assert format_program(program) == CANONICAL
+
+    def test_builder_to_text_to_program(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 8192)
+        v = b.reg()
+        with b.loop(16, "i") as i:
+            ld = b.load(x[i * 64], width=128)
+            b.store(b.add(ld, v, width=128), x[i * 64], width=128, nt=True)
+        original = b.build()
+        parsed = parse_program(format_program(original))
+        assert parsed.static_counts() == original.static_counts()
+        assert format_program(parsed) == format_program(original)
+
+
+@st.composite
+def random_programs(draw):
+    """Small random programs over one buffer."""
+    b = ProgramBuilder()
+    x = b.buffer("x", 1 << 16)
+    regs = b.regs(4)
+    trips = draw(st.integers(min_value=1, max_value=16))
+    n_instr = draw(st.integers(min_value=1, max_value=6))
+    with b.loop(trips, "i") as i:
+        for k in range(n_instr):
+            choice = draw(st.integers(min_value=0, max_value=4))
+            width = draw(st.sampled_from([64, 128, 256]))
+            if choice == 0:
+                b.load(x[i * 64 + k * 8], width=width)
+            elif choice == 1:
+                b.store(regs[k % 4], x[i * 64 + k * 8], width=width,
+                        nt=draw(st.booleans()))
+            elif choice == 2:
+                b.add(regs[0], regs[1], width=width)
+            elif choice == 3:
+                b.fma(regs[0], regs[1], regs[2], width=width)
+            else:
+                b.prefetch(x[i * 64])
+    return b.build()
+
+
+class TestRoundtripProperties:
+    @given(random_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_format_parse_is_identity_on_counts(self, program):
+        parsed = parse_program(format_program(program))
+        assert parsed.static_counts() == program.static_counts()
+        assert parsed.buffers == program.buffers
+
+    @given(random_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_format_is_stable(self, program):
+        once = format_program(program)
+        twice = format_program(parse_program(once))
+        assert once == twice

@@ -1,0 +1,137 @@
+"""ProgramBuilder tests: fluent API, addressing, loop scoping."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Load, Loop, Store, VecOp
+
+
+class TestBuffers:
+    def test_duplicate_buffer_rejected(self):
+        b = ProgramBuilder()
+        b.buffer("x", 64)
+        with pytest.raises(IsaError):
+            b.buffer("x", 64)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(IsaError):
+            ProgramBuilder().buffer("x", 0)
+
+    def test_base_address(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 64)
+        assert x.base.buffer == "x"
+        assert x.base.offset == 0
+
+
+class TestAddressing:
+    def test_loopvar_times_int(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 4096)
+        with b.loop(4, "i") as i:
+            addr = x[i * 32 + 8]
+            b.load(addr, width=64)
+        assert addr.offset == 8
+        assert addr.stride_of("i") == 32
+
+    def test_two_variable_address(self):
+        b = ProgramBuilder()
+        a = b.buffer("A", 1 << 16)
+        with b.loop(4, "i") as i:
+            with b.loop(4, "j") as j:
+                addr = a[i * 1024 + j * 8 + 16]
+                b.load(addr, width=64)
+        assert addr.stride_of("i") == 1024
+        assert addr.stride_of("j") == 8
+        assert addr.offset == 16
+
+    def test_coefficient_merging(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 1 << 14)
+        with b.loop(4, "i") as i:
+            addr = x[i * 32 + i * 8]
+            b.load(addr, width=64)
+        assert addr.stride_of("i") == 40
+
+    def test_non_integer_coefficient_rejected(self):
+        b = ProgramBuilder()
+        b.buffer("x", 64)
+        with b.loop(4) as i:
+            with pytest.raises(IsaError):
+                i * 1.5
+
+    def test_negative_offset_rejected(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 64)
+        with pytest.raises(IsaError):
+            x[-8]
+
+
+class TestEmission:
+    def test_fma_defaults_to_accumulate(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 4096)
+        acc = b.reg()
+        other = b.reg()
+        with b.loop(4) as i:
+            v = b.load(x[i * 32], width=256)
+            out = b.fma(v, other, acc, width=256)
+        assert out == acc
+        program = b.build()
+        loop = program.body[0]
+        fma = loop.body[-1]
+        assert isinstance(fma, VecOp)
+        assert fma.dst == acc
+        assert acc in fma.srcs
+
+    def test_binop_fresh_destination(self):
+        b = ProgramBuilder()
+        r1, r2 = b.regs(2)
+        out = b.add(r1, r2, width=128)
+        assert out not in (r1, r2)
+
+    def test_all_binops_emit(self):
+        b = ProgramBuilder()
+        r1, r2 = b.regs(2)
+        for method in (b.add, b.sub, b.mul, b.div, b.max_, b.min_):
+            method(r1, r2, width=128)
+        program = b.build()
+        assert program.instruction_count() == 6
+
+    def test_unclosed_loop_detected(self):
+        b = ProgramBuilder()
+        b._body_stack.append([])  # simulate an unclosed loop
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_auto_loop_ids_unique(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 1 << 14)
+        with b.loop(2) as i:
+            with b.loop(2) as j:
+                b.load(x[i * 64 + j * 8], width=64)
+        assert i.loop_id != j.loop_id
+
+    def test_emit_after_build_rejected(self):
+        b = ProgramBuilder()
+        r1, r2 = b.regs(2)
+        b.add(r1, r2)
+        b.build()
+        with pytest.raises(IsaError):
+            b.add(r1, r2)
+
+    def test_nested_structure(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 1 << 14)
+        with b.loop(3, "outer") as i:
+            v = b.load(x[i * 8], width=64)
+            with b.loop(5, "inner") as j:
+                b.load(x[i * 8 + j * 64], width=64)
+            b.store(v, x[i * 8], width=64)
+        program = b.build()
+        outer = program.body[0]
+        assert isinstance(outer, Loop)
+        assert outer.trips == 3
+        kinds = [type(n) for n in outer.body]
+        assert kinds == [Load, Loop, Store]

@@ -1,0 +1,137 @@
+"""Instruction set tests: flop accounting, validation, addresses."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    AddrExpr,
+    Flush,
+    Load,
+    Loop,
+    PrefetchHint,
+    Store,
+    VecOp,
+    flops_of,
+    lanes,
+)
+from repro.isa.registers import vec
+
+
+class TestLanes:
+    @pytest.mark.parametrize("width,expected", [(64, 1), (128, 2),
+                                                (256, 4), (512, 8)])
+    def test_f64_lanes(self, width, expected):
+        assert lanes(width, "f64") == expected
+
+    def test_f32_lanes(self):
+        assert lanes(256, "f32") == 8
+
+    def test_bad_width(self):
+        with pytest.raises(IsaError):
+            lanes(100)
+
+
+class TestFlopsOf:
+    def test_add_counts_per_lane(self):
+        assert flops_of("add", 256) == 4
+
+    def test_fma_counts_double(self):
+        assert flops_of("fma", 256) == 8
+        assert flops_of("fma", 128, "f32") == 8
+
+    def test_max_min_count_zero(self):
+        # the PMU events do not count max/min — the paper's
+        # applicability limitation
+        assert flops_of("max", 256) == 0
+        assert flops_of("min", 512) == 0
+
+    def test_unknown_op(self):
+        with pytest.raises(IsaError):
+            flops_of("xor", 256)
+
+
+class TestVecOp:
+    def test_fma_requires_three_sources(self):
+        with pytest.raises(IsaError):
+            VecOp("fma", 256, vec(0), (vec(1), vec(2)))
+
+    def test_binop_requires_two_sources(self):
+        with pytest.raises(IsaError):
+            VecOp("add", 256, vec(0), (vec(1), vec(2), vec(3)))
+
+    def test_rejects_gpr_operands(self):
+        from repro.isa.registers import gpr
+        with pytest.raises(IsaError):
+            VecOp("add", 256, gpr(0), (vec(1), vec(2)))
+
+    def test_flops_property(self):
+        op = VecOp("mul", 128, vec(0), (vec(1), vec(2)))
+        assert op.flops == 2
+        assert op.lanes == 2
+
+    def test_str_format(self):
+        op = VecOp("fma", 256, vec(2), (vec(0), vec(1), vec(2)))
+        assert str(op) == "vfma.f64.256 v2, v0, v1, v2"
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(IsaError):
+            VecOp("add", 256, vec(0), (vec(1), vec(2)), precision="f16")
+
+
+class TestMemoryInstructions:
+    def test_load_bytes(self):
+        ld = Load(vec(0), AddrExpr("x"), 256)
+        assert ld.bytes == 32
+
+    def test_store_nt_str(self):
+        st = Store(vec(0), AddrExpr("x"), 128, nt=True)
+        assert str(st).startswith("vstorent.128")
+
+    def test_load_rejects_bad_width(self):
+        with pytest.raises(IsaError):
+            Load(vec(0), AddrExpr("x"), 96)
+
+    def test_prefetch_flush_str(self):
+        assert str(PrefetchHint(AddrExpr("x", 64))) == "prefetch x[64]"
+        assert str(Flush(AddrExpr("x"))) == "clflush x[0]"
+
+
+class TestAddrExpr:
+    def test_evaluate_affine(self):
+        addr = AddrExpr("x", 16, (("i", 32), ("j", 8)))
+        assert addr.evaluate({"i": 3, "j": 2}) == 16 + 96 + 16
+
+    def test_evaluate_missing_iv_raises(self):
+        addr = AddrExpr("x", 0, (("i", 8),))
+        with pytest.raises(IsaError):
+            addr.evaluate({})
+
+    def test_stride_of(self):
+        addr = AddrExpr("x", 0, (("i", 32),))
+        assert addr.stride_of("i") == 32
+        assert addr.stride_of("j") == 0
+
+    def test_duplicate_loop_id_rejected(self):
+        with pytest.raises(IsaError):
+            AddrExpr("x", 0, (("i", 8), ("i", 16)))
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(IsaError):
+            AddrExpr("x", -8)
+
+    def test_str(self):
+        assert str(AddrExpr("x", 4, (("i", 32),))) == "x[i*32+4]"
+        assert str(AddrExpr("y")) == "y[0]"
+
+
+class TestLoop:
+    def test_negative_trips_rejected(self):
+        with pytest.raises(IsaError):
+            Loop("i", -1)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(IsaError):
+            Loop("", 4)
+
+    def test_zero_trips_allowed(self):
+        assert Loop("i", 0).trips == 0

@@ -1,0 +1,129 @@
+"""Program IR: validation, static accounting, bounds checking."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import AddrExpr, Load, Loop, VecOp
+from repro.isa.program import Program
+from repro.isa.registers import vec
+
+
+def triad_program(n=256, width=256):
+    b = ProgramBuilder()
+    x = b.buffer("x", n * 8)
+    y = b.buffer("y", n * 8)
+    alpha = b.reg()
+    lanes = width // 64
+    with b.loop(n // lanes) as i:
+        vx = b.load(x[i * (width // 8)], width=width)
+        vy = b.load(y[i * (width // 8)], width=width)
+        t = b.mul(alpha, vx, width=width)
+        r = b.add(t, vy, width=width)
+        b.store(r, y[i * (width // 8)], width=width)
+    return b.build()
+
+
+class TestValidation:
+    def test_undeclared_buffer_rejected(self):
+        load = Load(vec(0), AddrExpr("nope"), 64)
+        with pytest.raises(IsaError):
+            Program([load], {})
+
+    def test_iv_outside_scope_rejected(self):
+        load = Load(vec(0), AddrExpr("x", 0, (("i", 8),)), 64)
+        with pytest.raises(IsaError):
+            Program([load], {"x": 64})
+
+    def test_shadowed_loop_id_rejected(self):
+        inner = Loop("i", 4, (Load(vec(0), AddrExpr("x", 0, (("i", 8),)), 64),))
+        outer = Loop("i", 4, (inner,))
+        with pytest.raises(IsaError):
+            Program([outer], {"x": 4096})
+
+    def test_nonpositive_buffer_rejected(self):
+        with pytest.raises(IsaError):
+            Program([], {"x": 0})
+
+    def test_valid_nested_loops(self):
+        inner = Loop("j", 4, (Load(vec(0), AddrExpr(
+            "x", 0, (("i", 32), ("j", 8))), 64),))
+        outer = Loop("i", 4, (inner,))
+        program = Program([outer], {"x": 4096})
+        assert program.instruction_count() == 1
+
+
+class TestStaticCounts:
+    def test_triad_counts(self):
+        program = triad_program(n=256, width=256)
+        counts = program.static_counts()
+        assert counts.flops == 2 * 256
+        assert counts.loads == 2 * 64
+        assert counts.stores == 64
+        assert counts.load_bytes == 2 * 256 * 8
+        assert counts.store_bytes == 256 * 8
+        assert counts.fp_width_map() == {(256, "f64"): 128}
+
+    def test_nested_loop_multiplier(self):
+        body = (VecOp("add", 128, vec(0), (vec(1), vec(2))),)
+        nest = Loop("i", 10, (Loop("j", 7, body),))
+        program = Program([nest], {})
+        assert program.static_counts().flops == 10 * 7 * 2
+
+    def test_zero_trip_loop_contributes_nothing(self):
+        body = (VecOp("add", 128, vec(0), (vec(1), vec(2))),)
+        program = Program([Loop("i", 0, body)], {})
+        assert program.static_counts().flops == 0
+
+    def test_nt_store_counted_separately(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 1024)
+        v = b.reg()
+        with b.loop(4) as i:
+            b.store(v, x[i * 64], width=256, nt=True)
+        counts = b.build().static_counts()
+        assert counts.nt_stores == 4
+        assert counts.stores == 0
+
+    def test_prefetch_and_flush_counts(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 1024)
+        with b.loop(8) as i:
+            b.prefetch(x[i * 64])
+            b.flush(x[i * 64])
+        counts = b.build().static_counts()
+        assert counts.prefetches == 8
+        assert counts.flushes == 8
+
+    def test_mem_ops_total(self):
+        counts = triad_program().static_counts()
+        assert counts.mem_ops == counts.loads + counts.stores
+
+
+class TestBounds:
+    def test_in_bounds_program_passes(self):
+        triad_program().check_bounds()
+
+    def test_overflowing_access_rejected(self):
+        b = ProgramBuilder()
+        x = b.buffer("x", 128)
+        with b.loop(4) as i:
+            b.load(x[i * 64], width=64)  # last access at 192 > 128
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_max_extent(self):
+        program = triad_program(n=256)
+        assert program.max_extent("x") == 256 * 8
+        assert program.max_extent("y") == 256 * 8
+
+
+class TestWalk:
+    def test_walk_visits_all_nodes(self):
+        program = triad_program()
+        nodes = list(program.walk())
+        # 1 loop + 5 instructions
+        assert len(nodes) == 6
+
+    def test_repr(self):
+        assert "5 static instructions" in repr(triad_program())

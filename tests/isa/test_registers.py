@@ -1,0 +1,82 @@
+"""Register model tests."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.registers import (
+    GPR_COUNT,
+    VEC_COUNT,
+    RegisterAllocator,
+    gpr,
+    parse_register,
+    vec,
+)
+
+
+class TestRegisterConstruction:
+    def test_vec_names_and_kind(self):
+        r = vec(5)
+        assert r.name == "v5"
+        assert r.index == 5
+        assert r.is_vector
+
+    def test_gpr_names_and_kind(self):
+        r = gpr(11)
+        assert r.name == "r11"
+        assert not r.is_vector
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IsaError):
+            vec(VEC_COUNT)
+        with pytest.raises(IsaError):
+            gpr(-1)
+        with pytest.raises(IsaError):
+            gpr(GPR_COUNT)
+
+    def test_equality_is_structural(self):
+        assert vec(3) == vec(3)
+        assert vec(3) != vec(4)
+        assert vec(3) != gpr(3)
+
+    def test_str(self):
+        assert str(vec(0)) == "v0"
+
+
+class TestParseRegister:
+    def test_roundtrip_all(self):
+        for i in range(VEC_COUNT):
+            assert parse_register(f"v{i}") == vec(i)
+        for i in range(GPR_COUNT):
+            assert parse_register(f"r{i}") == gpr(i)
+
+    def test_strips_whitespace(self):
+        assert parse_register("  v7 ") == vec(7)
+
+    @pytest.mark.parametrize("bad", ["x3", "v", "vv1", "r1a", "", "7"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(IsaError):
+            parse_register(bad)
+
+
+class TestAllocator:
+    def test_fresh_registers_distinct_until_wrap(self):
+        alloc = RegisterAllocator()
+        regs = [alloc.fresh() for _ in range(VEC_COUNT)]
+        assert len({r.name for r in regs}) == VEC_COUNT
+
+    def test_wraps_after_exhaustion(self):
+        alloc = RegisterAllocator()
+        first = alloc.fresh()
+        for _ in range(VEC_COUNT - 1):
+            alloc.fresh()
+        assert alloc.fresh() == first
+
+    def test_reserve(self):
+        alloc = RegisterAllocator()
+        regs = alloc.reserve(8)
+        assert len(regs) == 8
+        assert len({r.name for r in regs}) == 8
+
+    def test_reserve_too_many(self):
+        with pytest.raises(IsaError):
+            RegisterAllocator().reserve(VEC_COUNT + 1)

@@ -1,0 +1,174 @@
+"""Per-kernel behaviour: validation rules, traffic ground truth,
+variant-specific structure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import (
+    CodegenCaps,
+    Daxpy,
+    Dgemm,
+    Dgemv,
+    Dot,
+    Fft,
+    Memset,
+    Stencil3,
+    StreamTriad,
+    StridedSum,
+    register_kernel,
+)
+from repro.kernels.base import partition_range
+from repro.machine.presets import tiny_test_machine
+
+CAPS = CodegenCaps(width_bits=256, has_fma=False)
+
+
+class TestPartitionRange:
+    def test_even_split(self):
+        assert partition_range(100, 0, 4) == (0, 25)
+        assert partition_range(100, 3, 4) == (75, 100)
+
+    def test_remainder_spread_to_first_ranks(self):
+        spans = [partition_range(10, r, 3) for r in range(3)]
+        assert spans == [(0, 4), (4, 7), (7, 10)]
+        assert sum(hi - lo for lo, hi in spans) == 10
+
+    def test_bad_rank(self):
+        with pytest.raises(ConfigurationError):
+            partition_range(10, 3, 3)
+
+
+class TestValidationRules:
+    def test_daxpy_rejects_non_vector_multiple(self):
+        with pytest.raises(ConfigurationError):
+            Daxpy().build(1021, CAPS)
+
+    def test_dot_rejects_indivisible_accumulators(self):
+        Dot(accumulators=8).build(64, CAPS)  # 16 vectors over 8: fine
+        with pytest.raises(ConfigurationError):
+            Dot(accumulators=3).build(64, CAPS)  # 16 vectors over 3: not
+
+    def test_fft_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            Fft().build(1000, CAPS)
+
+    def test_fft_requires_128bit_simd(self):
+        with pytest.raises(ConfigurationError):
+            Fft().build(256, CodegenCaps(width_bits=64))
+
+    def test_dgemm_tiled_tile_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            Dgemm(variant="tiled", mu=4).build(36, CAPS)
+
+    def test_dgemm_register_budget(self):
+        with pytest.raises(ConfigurationError):
+            Dgemm(variant="tiled", mu=8, nu=4)
+
+    def test_bad_variant_and_layout(self):
+        with pytest.raises(ConfigurationError):
+            Dgemm(variant="strassen")
+        with pytest.raises(ConfigurationError):
+            Dgemv(layout="diag")
+
+    def test_strided_sum_stride_positive(self):
+        with pytest.raises(ConfigurationError):
+            StridedSum(stride_elems=0)
+
+
+class TestTrafficGroundTruth:
+    """Cold-cache, prefetch-off runs must hit the analytic compulsory
+    read traffic exactly for the streaming kernels."""
+
+    def _cold_reads(self, kernel, n):
+        machine = tiny_test_machine()
+        machine.prefetch_control.disable_all()
+        loaded = machine.load(kernel.build(n, CAPS))
+        machine.bust_caches()
+        machine.run(loaded, core_id=0)
+        return machine.hierarchy.dram[0].counters.cas_reads * 64
+
+    def test_daxpy_reads(self):
+        n = 8192  # 128 KiB, far beyond the 16 KiB L3
+        assert self._cold_reads(Daxpy(), n) == 16 * n
+
+    def test_triad_reads_include_rfo(self):
+        n = 8192
+        assert self._cold_reads(StreamTriad(), n) == 24 * n
+
+    def test_triad_nt_reads_skip_rfo(self):
+        n = 8192
+        assert self._cold_reads(StreamTriad(nt_stores=True), n) == 16 * n
+
+    def test_memset_nt_causes_zero_reads(self):
+        n = 8192
+        assert self._cold_reads(Memset(nt_stores=True), n) == 0
+
+    def test_strided_sum_one_line_per_element(self):
+        n = 1024
+        kernel = StridedSum(stride_elems=16)
+        assert self._cold_reads(kernel, n) == 64 * n
+
+
+class TestDgemmVariants:
+    def test_all_variants_execute_2n3_flops(self):
+        n = 32
+        for variant in ("ikj", "blocked", "tiled"):
+            kernel = Dgemm(variant=variant)
+            program = kernel.build(n, CAPS)
+            assert program.static_counts().flops == 2 * n ** 3
+
+    def test_naive_includes_combine_tree(self):
+        n = 32
+        kernel = Dgemm(variant="naive", unroll=4)
+        program = kernel.build(n, CAPS)
+        assert program.static_counts().flops == 2 * n ** 3 + 4 * n * n
+
+    def test_fma_and_muladd_paths_agree(self):
+        n = 32
+        kernel = Dgemm(variant="tiled")
+        fma = kernel.build(n, CodegenCaps(256, True)).static_counts().flops
+        mul = kernel.build(n, CodegenCaps(256, False)).static_counts().flops
+        assert fma == mul
+
+
+class TestFftStructure:
+    def test_flops_formula(self):
+        kernel = Fft()
+        assert kernel.flops(1024) == 5 * 1024 * 10
+
+    def test_every_stage_streams_whole_array(self):
+        n = 256
+        program = Fft().build(n, CAPS)
+        counts = program.static_counts()
+        stages = 8
+        # per stage: n/2 butterflies x (3 loads, 2 stores)
+        assert counts.loads == stages * (n // 2) * 3
+        assert counts.stores == stages * (n // 2) * 2
+
+    def test_parallel_ranks_are_independent_batches(self):
+        kernel = Fft()
+        caps = CAPS
+        per_rank = kernel.build(1024, caps, rank=0, nranks=4)
+        assert per_rank.static_counts().flops == kernel.flops(256)
+        assert kernel.expected_flops(1024, caps, 4) == 4 * kernel.flops(256)
+
+
+class TestStencil:
+    def test_five_flops_per_element(self):
+        program = Stencil3().build(1024, CAPS)
+        assert program.static_counts().flops == 5 * 1024
+
+    def test_halo_keeps_accesses_in_bounds(self):
+        Stencil3().build(1024, CAPS).check_bounds()
+
+
+class TestRegistryExtension:
+    def test_register_custom_kernel(self):
+        class Custom(Daxpy):
+            name = "custom-daxpy-test"
+
+        register_kernel("custom-daxpy-test", Custom)
+        from repro.kernels import make_kernel
+        assert isinstance(make_kernel("custom-daxpy-test"), Custom)
+        with pytest.raises(ConfigurationError):
+            register_kernel("custom-daxpy-test", Custom)

@@ -1,0 +1,106 @@
+"""Cross-kernel invariants: generated code matches analytic ground truth
+for every kernel, SIMD width, FMA mode, and partitioning."""
+
+import pytest
+
+from repro.kernels import CodegenCaps, kernel_names, make_kernel
+
+#: (kernel name, a valid n) — n chosen to satisfy every divisibility rule
+CASES = [
+    ("daxpy", 1024),
+    ("triad", 1024),
+    ("triad-nt", 1024),
+    ("dot", 1024),
+    ("scale", 1024),
+    ("sum", 1024),
+    ("strided-sum", 512),
+    ("dgemv-row", 64),
+    ("dgemv-col", 64),
+    ("dgemm-naive", 32),
+    ("dgemm-ikj", 32),
+    ("dgemm-blocked", 32),
+    ("dgemm-tiled", 32),
+    ("fft", 1024),
+    ("spmv", 256),
+    ("spmv-wide", 256),
+    ("stencil3", 1024),
+    ("read", 1024),
+    ("memset", 1024),
+    ("memset-nt", 1024),
+    ("memcpy", 1024),
+    ("memcpy-nt", 1024),
+]
+
+ALL_CAPS = [
+    CodegenCaps(width_bits=128, has_fma=False),
+    CodegenCaps(width_bits=256, has_fma=False),
+    CodegenCaps(width_bits=256, has_fma=True),
+    CodegenCaps(width_bits=512, has_fma=True),
+]
+
+
+def test_case_list_covers_registry():
+    # the registry may gain user-registered kernels at runtime (another
+    # test exercises that), but every built-in must be covered here
+    assert {name for name, _ in CASES} <= set(kernel_names())
+    builtin = {k for k in kernel_names() if not k.startswith("custom")}
+    assert builtin <= {name for name, _ in CASES}
+
+
+@pytest.mark.parametrize("name,n", CASES)
+@pytest.mark.parametrize("caps", ALL_CAPS,
+                         ids=lambda c: f"{c.width_bits}{'f' if c.has_fma else ''}")
+class TestGeneratedFlopsExact:
+    def test_static_flops_match_expected(self, name, n, caps):
+        kernel = make_kernel(name)
+        program = kernel.build(n, caps)
+        assert program.static_counts().flops == kernel.expected_flops(n, caps)
+
+    def test_bounds_hold(self, name, n, caps):
+        # build() runs check_bounds; a second explicit call must not raise
+        make_kernel(name).build(n, caps).check_bounds()
+
+
+@pytest.mark.parametrize("name,n", CASES)
+class TestPartitioning:
+    def test_rank_flops_sum_to_total(self, name, n):
+        caps = CodegenCaps(width_bits=256, has_fma=False)
+        kernel = make_kernel(name)
+        nranks = 2
+        total = sum(
+            kernel.build(n, caps, rank=rank, nranks=nranks)
+            .static_counts().flops
+            for rank in range(nranks)
+        )
+        assert total == kernel.expected_flops(n, caps, nranks)
+
+    def test_footprint_and_compulsory_positive(self, name, n):
+        kernel = make_kernel(name)
+        assert kernel.footprint_bytes(n) > 0
+        assert kernel.compulsory_bytes(n) > 0
+
+
+@pytest.mark.parametrize("name,n", CASES)
+def test_describe_is_nonempty(name, n):
+    assert make_kernel(name).describe()
+
+
+class TestIntensityOrdering:
+    def test_canonical_intensity_spectrum(self):
+        """The paper's kernel set spans memory-bound to compute-bound:
+        daxpy < sum < stencil < fft(n) < dgemm(n).  (daxpy sits lowest:
+        2 flops over 24 bytes; sum is 1 flop over 8.)"""
+        oi = {
+            name: make_kernel(name).operational_intensity(n)
+            for name, n in (("sum", 1024), ("daxpy", 1024),
+                            ("stencil3", 1024), ("fft", 4096),
+                            ("dgemm-tiled", 256))
+        }
+        assert oi["daxpy"] < oi["sum"] < oi["stencil3"] < oi["fft"]
+        assert oi["fft"] < oi["dgemm-tiled"]
+
+    def test_flop_free_kernels_reject_intensity(self):
+        from repro.errors import ConfigurationError
+        for name in ("read", "memset", "memcpy"):
+            with pytest.raises(ConfigurationError):
+                make_kernel(name).operational_intensity(1024)

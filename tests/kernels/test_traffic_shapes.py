@@ -1,0 +1,99 @@
+"""Cross-kernel traffic shapes: the locality contrasts the paper's
+figures hinge on, asserted at the functional-simulation level."""
+
+import pytest
+
+from repro.kernels import CodegenCaps, Dgemm, Dgemv, Fft, Stencil3
+from repro.machine.presets import tiny_test_machine
+
+CAPS = CodegenCaps(width_bits=256, has_fma=False)
+
+
+def cold_traffic(kernel, n, prefetch=False):
+    """(dram reads, dram writes, cycles) for one cold run."""
+    machine = tiny_test_machine()
+    if not prefetch:
+        machine.prefetch_control.disable_all()
+    loaded = machine.load(kernel.build(n, CAPS))
+    machine.bust_caches()
+    run = machine.run(loaded, core_id=0)
+    dram = machine.hierarchy.dram[0]
+    return dram.counters.cas_reads, dram.counters.cas_writes, run.cycles
+
+
+class TestDgemvLayouts:
+    def test_row_major_traffic_is_compulsory(self):
+        n = 64  # 32 KiB matrix >> 16 KiB L3
+        reads, _w, _c = cold_traffic(Dgemv(layout="row"), n)
+        matrix_lines = 8 * n * n // 64
+        assert reads <= matrix_lines * 1.2 + 64
+
+    def test_col_major_rereads_when_row_window_thrashes(self):
+        # at n=512, a column walk's active window is 512 lines = 32 KiB,
+        # double the tiny L3: every element touch re-fetches its line
+        n = 512
+        row_reads, _, row_cycles = cold_traffic(Dgemv(layout="row"), n)
+        col_reads, _, col_cycles = cold_traffic(Dgemv(layout="col"), n)
+        assert col_reads > 4 * row_reads
+        assert col_cycles > 2 * row_cycles
+
+    def test_power_of_two_leading_dimension_aliases_sets(self):
+        """The classic pathology: an n=64 column walk strides by 512 B,
+        so its 64-line window maps onto only 4 L3 sets and thrashes
+        despite fitting the cache by capacity."""
+        row_reads, _, _ = cold_traffic(Dgemv(layout="row"), 64)
+        col_reads, _, _ = cold_traffic(Dgemv(layout="col"), 64)
+        assert col_reads > 4 * row_reads
+
+    def test_padded_leading_dimension_fixes_aliasing(self):
+        """n=72 (a padded, non-power-of-two leading dimension) spreads
+        the window across sets: column-major traffic collapses to
+        exactly the row-major compulsory traffic."""
+        row_reads, _, _ = cold_traffic(Dgemv(layout="row"), 72)
+        col_reads, _, _ = cold_traffic(Dgemv(layout="col"), 72)
+        assert col_reads == row_reads
+
+
+class TestDgemmVariantTraffic:
+    def test_tiled_moves_less_dram_than_ikj(self):
+        n = 64  # 96 KiB total >> L3
+        ikj_reads, _, _ = cold_traffic(Dgemm(variant="ikj"), n)
+        tiled_reads, _, _ = cold_traffic(Dgemm(variant="tiled"), n)
+        assert tiled_reads < ikj_reads
+
+    def test_naive_column_walk_dominates_traffic(self):
+        n = 64
+        naive_reads, _, _ = cold_traffic(Dgemm(variant="naive"), n)
+        tiled_reads, _, _ = cold_traffic(Dgemm(variant="tiled"), n)
+        assert naive_reads > 2 * tiled_reads
+
+
+class TestFftPassTraffic:
+    def test_dram_resident_fft_restreams_per_pass(self):
+        n = 4096  # 96 KiB footprint >> 16 KiB L3
+        reads, writes, _ = cold_traffic(Fft(), n)
+        once = Fft().compulsory_bytes(n) // 64
+        # log2(4096)=12 passes each re-stream the array
+        assert reads > 4 * once
+
+    def test_cache_resident_fft_reads_once(self):
+        n = 256  # 6 KiB fits L3
+        reads, _, _ = cold_traffic(Fft(), n)
+        once = Fft().footprint_bytes(n) // 64
+        assert reads <= once * 1.3 + 8
+
+
+class TestStencil:
+    def test_overlapping_loads_share_lines(self):
+        n = 8192
+        reads, _, _ = cold_traffic(Stencil3(), n)
+        # three shifted input streams still read each line ~once
+        input_lines = (8 * n) // 64
+        output_lines = (8 * n) // 64
+        assert reads <= (input_lines + output_lines) * 1.15 + 16
+
+    def test_prefetch_speeds_up_stencil(self):
+        n = 8192
+        _, _, off_cycles = cold_traffic(Stencil3(), n, prefetch=False)
+        _, _, on_cycles = cold_traffic(Stencil3(), n, prefetch=True)
+        assert on_cycles < off_cycles

@@ -1,0 +1,56 @@
+"""Execution explanation reports."""
+
+import pytest
+
+from repro.kernels import Daxpy, Dgemm, Dot, StridedSum
+from repro.machine.presets import tiny_test_machine
+from repro.measure import explain_kernel
+
+
+class TestExplain:
+    def test_streaming_kernel_is_dram_bound_cold(self):
+        machine = tiny_test_machine()
+        report = explain_kernel(machine, Daxpy(), 16384, protocol="cold")
+        assert report.dominant_bound == "dram_bandwidth"
+        assert report.share("dram_bandwidth") > 0.9
+        assert report.memory_events["dram_reads"] > 0
+
+    def test_l1_resident_kernel_is_issue_bound_warm(self):
+        machine = tiny_test_machine()
+        report = explain_kernel(machine, Daxpy(), 64, protocol="warm")
+        assert report.dominant_bound == "mem_issue"
+        assert report.memory_events["dram_reads"] == 0
+
+    def test_single_accumulator_dot_is_chain_bound(self):
+        machine = tiny_test_machine()
+        report = explain_kernel(machine, Dot(accumulators=1), 128,
+                                protocol="warm")
+        assert report.dominant_bound == "dependency_chain"
+
+    def test_tiled_dgemm_is_fp_bound(self):
+        machine = tiny_test_machine()
+        report = explain_kernel(machine, Dgemm(variant="tiled"), 32,
+                                protocol="warm")
+        assert report.dominant_bound == "fp_issue"
+
+    def test_render_mentions_the_bound(self):
+        machine = tiny_test_machine()
+        report = explain_kernel(machine, Daxpy(), 8192, protocol="cold")
+        text = report.render()
+        assert "bound by" in text
+        assert "dram_bandwidth" in text
+        assert "DRAM traffic" in text
+
+    def test_tlb_walks_reported_for_sparse_walks(self):
+        machine = tiny_test_machine()
+        report = explain_kernel(machine, StridedSum(stride_elems=512),
+                                2048, protocol="cold")
+        assert report.memory_events["tlb_misses"] > 1000
+
+    def test_shares_sum_to_one(self):
+        machine = tiny_test_machine()
+        report = explain_kernel(machine, Daxpy(), 4096, protocol="cold")
+        total = sum(
+            report.share(bound) for bound in report.dominant_cycles
+        )
+        assert total == pytest.approx(1.0)

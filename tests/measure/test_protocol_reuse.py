@@ -1,0 +1,59 @@
+"""Protocol/machine lifecycle edge cases."""
+
+import pytest
+
+from repro.kernels import Daxpy
+from repro.machine.presets import tiny_test_machine
+from repro.measure import ColdCache, measure_kernel
+
+
+class TestBusterReuse:
+    def test_buster_loaded_once_per_machine(self, tiny):
+        protocol = ColdCache(method="sweep")
+        before = tiny.allocator.bytes_allocated
+        protocol.prepare(tiny, lambda: None)
+        after_first = tiny.allocator.bytes_allocated
+        protocol.prepare(tiny, lambda: None)
+        assert tiny.allocator.bytes_allocated == after_first
+        assert after_first > before
+
+    def test_buster_per_machine_isolation(self):
+        protocol = ColdCache(method="sweep")
+        a = tiny_test_machine()
+        b = tiny_test_machine()
+        protocol.prepare(a, lambda: None)
+        protocol.prepare(b, lambda: None)
+        assert len(protocol._busters) == 2
+
+    def test_buster_resets_prefetcher_training(self, tiny):
+        port = tiny.hierarchy.port(0)
+        port.access_lines(list(range(32)), is_write=False)
+        ColdCache(method="sweep").prepare(tiny, lambda: None)
+        for engine in tiny.hierarchy.prefetchers_of(0):
+            assert engine.stats.issued == 0
+
+
+class TestRepeatedMeasurements:
+    def test_many_measurements_on_one_machine_are_stable(self, tiny):
+        values = [
+            measure_kernel(tiny, Daxpy(), 4096, protocol="cold",
+                           reps=1).performance
+            for _ in range(3)
+        ]
+        spread = (max(values) - min(values)) / values[0]
+        assert spread < 0.05
+
+    def test_cold_and_warm_interleave_cleanly(self, tiny):
+        cold1 = measure_kernel(tiny, Daxpy(), 4096, protocol="cold", reps=1)
+        warm = measure_kernel(tiny, Daxpy(), 64, protocol="warm", reps=1)
+        cold2 = measure_kernel(tiny, Daxpy(), 4096, protocol="cold", reps=1)
+        assert cold2.performance == pytest.approx(cold1.performance,
+                                                  rel=0.05)
+        assert warm.work_overcount == pytest.approx(1.0, abs=0.05)
+
+    def test_parallel_traffic_counts_both_cores(self, tiny):
+        m = measure_kernel(tiny, Daxpy(), 16384, protocol="cold",
+                           cores=(0, 1), reps=1)
+        # both ranks' compulsory traffic is present
+        assert m.traffic_bytes > 0.7 * m.compulsory_bytes
+        assert m.work_flops > m.true_flops  # cold overcount on both

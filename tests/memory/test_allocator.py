@@ -1,0 +1,119 @@
+"""Allocator: alignment, lookup, NUMA placement, property checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.memory.allocator import BumpAllocator
+from repro.units import PAGE_BYTES
+
+
+class TestAllocate:
+    def test_page_aligned(self):
+        alloc = BumpAllocator()
+        region = alloc.allocate("x", 100)
+        assert region.base % PAGE_BYTES == 0
+        assert region.size == 100
+
+    def test_distinct_pages(self):
+        alloc = BumpAllocator()
+        a = alloc.allocate("a", 10)
+        b = alloc.allocate("b", 10)
+        assert b.base >= a.base + PAGE_BYTES
+
+    def test_duplicate_name_rejected(self):
+        alloc = BumpAllocator()
+        alloc.allocate("x", 8)
+        with pytest.raises(AllocationError):
+            alloc.allocate("x", 8)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator().allocate("x", 0)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator().allocate("x", 8, align=48)
+
+    def test_custom_alignment(self):
+        alloc = BumpAllocator()
+        region = alloc.allocate("x", 8, align=PAGE_BYTES * 4)
+        assert region.base % (PAGE_BYTES * 4) == 0
+
+    def test_capacity_exhaustion(self):
+        alloc = BumpAllocator(capacity=PAGE_BYTES * 4)
+        alloc.allocate("a", PAGE_BYTES)
+        with pytest.raises(AllocationError):
+            alloc.allocate("b", PAGE_BYTES * 8)
+
+    def test_node_recorded(self):
+        alloc = BumpAllocator()
+        region = alloc.allocate("x", 64, node=1)
+        assert region.node == 1
+        assert alloc.node_of(region.base) == 1
+
+
+class TestLookup:
+    def test_region_of_hits(self):
+        alloc = BumpAllocator()
+        a = alloc.allocate("a", 100)
+        b = alloc.allocate("b", 100)
+        assert alloc.region_of(a.base + 50).name == "a"
+        assert alloc.region_of(b.base).name == "b"
+
+    def test_region_of_unmapped_raises(self):
+        alloc = BumpAllocator()
+        a = alloc.allocate("a", 100)
+        with pytest.raises(AllocationError):
+            alloc.region_of(a.base + 200)
+        with pytest.raises(AllocationError):
+            alloc.region_of(0)
+
+    def test_get_by_name(self):
+        alloc = BumpAllocator()
+        alloc.allocate("x", 64)
+        assert alloc.get("x").name == "x"
+        with pytest.raises(AllocationError):
+            alloc.get("missing")
+
+    def test_line_range(self):
+        alloc = BumpAllocator()
+        region = alloc.allocate("x", 130)
+        first, last = region.line_range()
+        assert first == region.base // 64
+        assert (last - first) * 64 >= 130
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        alloc = BumpAllocator()
+        alloc.allocate("x", 64)
+        alloc.reset()
+        assert alloc.allocations == []
+        assert alloc.bytes_allocated == 0
+        alloc.allocate("x", 64)  # name usable again
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 20),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_regions_never_overlap(self, sizes):
+        alloc = BumpAllocator()
+        regions = [alloc.allocate(f"b{i}", size)
+                   for i, size in enumerate(sizes)]
+        regions.sort(key=lambda r: r.base)
+        for before, after in zip(regions, regions[1:]):
+            assert before.end <= after.base
+
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 16),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_every_inner_address_resolves(self, sizes):
+        alloc = BumpAllocator()
+        regions = [alloc.allocate(f"b{i}", size)
+                   for i, size in enumerate(sizes)]
+        for region in regions:
+            assert alloc.region_of(region.base) is region
+            assert alloc.region_of(region.end - 1) is region

@@ -1,0 +1,182 @@
+"""Set-associative cache: geometry, behaviour, LRU fast-path equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.replacement import LruPolicy
+
+
+def small_cache(policy="lru", size=1024, assoc=2, **kw):
+    return Cache(CacheConfig("t", size, assoc=assoc, policy=policy, **kw))
+
+
+class TestConfig:
+    def test_nsets(self):
+        config = CacheConfig("L1", 32 * 1024, line_bytes=64, assoc=8)
+        assert config.nsets == 64
+        assert config.nlines == 512
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 3 * 64 * 8, line_bytes=64, assoc=8)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig("bad", 1000, line_bytes=64, assoc=8)
+
+    def test_scaled_preserves_line_and_assoc(self):
+        config = CacheConfig("L3", 20 * (1 << 20), assoc=20)
+        scaled = config.scaled(0.125)
+        assert scaled.assoc == 20
+        assert scaled.line_bytes == 64
+        assert scaled.size_bytes == 20 * (1 << 20) // 8
+        assert scaled.nsets & (scaled.nsets - 1) == 0
+
+
+class TestBasicBehaviour:
+    def test_miss_then_fill_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup_update(5)
+        cache.fill(5)
+        assert cache.lookup_update(5)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_dirty_tracking(self):
+        cache = small_cache()
+        cache.fill(5, dirty=False)
+        cache.lookup_update(5, mark_dirty=True)
+        assert list(cache.dirty_lines()) == [5]
+
+    def test_eviction_returns_victim_and_dirty(self):
+        cache = small_cache(assoc=2)  # 8 sets
+        cache.fill(0, dirty=True)
+        cache.fill(8)   # same set (line & 7 == 0)
+        evicted = cache.fill(16)
+        assert evicted == (0, True)
+        assert cache.stats.dirty_evictions == 1
+
+    def test_lru_order(self):
+        cache = small_cache(assoc=2)
+        cache.fill(0)
+        cache.fill(8)
+        cache.lookup_update(0)         # refresh 0
+        evicted = cache.fill(16)
+        assert evicted[0] == 8
+
+    def test_refill_same_line_no_eviction(self):
+        cache = small_cache()
+        cache.fill(3, dirty=True)
+        assert cache.fill(3) is None
+        assert list(cache.dirty_lines()) == [3]  # dirty flags OR
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(7, dirty=True)
+        assert cache.invalidate(7) is True
+        assert cache.invalidate(7) is None
+        assert not cache.contains(7)
+
+    def test_mark_dirty(self):
+        cache = small_cache()
+        cache.fill(9)
+        assert cache.mark_dirty(9)
+        assert not cache.mark_dirty(10)
+        assert 9 in set(cache.dirty_lines())
+
+    def test_mark_dirty_does_not_count_stats(self):
+        cache = small_cache()
+        cache.fill(9)
+        hits = cache.stats.hits
+        cache.mark_dirty(9)
+        assert cache.stats.hits == hits
+
+    def test_clear(self):
+        cache = small_cache()
+        for line in range(10):
+            cache.fill(line)
+        cache.clear()
+        assert cache.occupancy() == 0
+
+    def test_capacity_never_exceeded(self):
+        cache = small_cache(size=512, assoc=2)  # 8 lines
+        for line in range(100):
+            cache.fill(line)
+        assert cache.occupancy() <= 8
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.fill(1)
+        cache.lookup_update(1)
+        cache.lookup_update(2)
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestGenericPoliciesBehave:
+    @pytest.mark.parametrize("policy", ["fifo", "plru", "random"])
+    def test_basic_contract(self, policy):
+        cache = small_cache(policy=policy)
+        assert not cache.lookup_update(1)
+        cache.fill(1, dirty=True)
+        assert cache.lookup_update(1)
+        assert cache.invalidate(1) is True
+        assert cache.occupancy() == 0
+
+    @pytest.mark.parametrize("policy", ["fifo", "plru", "random"])
+    def test_capacity_respected(self, policy):
+        cache = small_cache(policy=policy, size=512, assoc=4)
+        for line in range(64):
+            cache.fill(line)
+        assert cache.occupancy() <= 8
+
+
+line_streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=63), st.booleans()),
+    min_size=1, max_size=300,
+)
+
+
+class TestLruEquivalence:
+    """The dict fast path and the generic ways-array implementation must
+    behave identically for LRU — a strong cross-check of both."""
+
+    @given(line_streams)
+    @settings(max_examples=80, deadline=None)
+    def test_fast_and_generic_lru_identical(self, stream):
+        config = CacheConfig("t", 1024, assoc=4)
+        fast = Cache(config)
+        generic = Cache(config, policy=LruPolicy())
+        assert not fast._fast is False
+        for line, is_write in stream:
+            hit_f = fast.lookup_update(line, is_write)
+            hit_g = generic.lookup_update(line, is_write)
+            assert hit_f == hit_g
+            if not hit_f:
+                ev_f = fast.fill(line, dirty=is_write)
+                ev_g = generic.fill(line, dirty=is_write)
+                assert ev_f == ev_g
+        assert sorted(fast.resident_lines()) == sorted(generic.resident_lines())
+        assert sorted(fast.dirty_lines()) == sorted(generic.dirty_lines())
+
+    @given(line_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_resident_after_access(self, stream):
+        cache = small_cache(size=2048, assoc=4)
+        for line, is_write in stream:
+            if not cache.lookup_update(line, is_write):
+                cache.fill(line, dirty=is_write)
+            assert cache.contains(line)
+
+    @given(line_streams)
+    @settings(max_examples=50, deadline=None)
+    def test_dirty_lines_subset_of_resident(self, stream):
+        cache = small_cache(size=512, assoc=2)
+        for line, is_write in stream:
+            if not cache.lookup_update(line, is_write):
+                cache.fill(line, dirty=is_write)
+            dirty = set(cache.dirty_lines())
+            resident = set(cache.resident_lines())
+            assert dirty <= resident

@@ -1,0 +1,62 @@
+"""DRAM node and IMC counter tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.dram import DramConfig, DramNode, ImcCounters
+
+
+class TestConfig:
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            DramConfig(bytes_per_cycle_total=-1.0)
+
+    def test_rejects_per_core_above_total(self):
+        with pytest.raises(ConfigurationError):
+            DramConfig(bytes_per_cycle_total=4.0,
+                       per_core_bytes_per_cycle=8.0)
+
+    def test_peak_bandwidth(self):
+        config = DramConfig(bytes_per_cycle_total=16.0,
+                            per_core_bytes_per_cycle=4.0)
+        assert config.peak_bandwidth(2e9) == 32e9
+
+    def test_scaled(self):
+        config = DramConfig(bytes_per_cycle_total=16.0,
+                            per_core_bytes_per_cycle=4.0)
+        scaled = config.scaled(0.5)
+        assert scaled.bytes_per_cycle_total == 8.0
+        assert scaled.per_core_bytes_per_cycle == 2.0
+        assert scaled.latency_cycles == config.latency_cycles
+
+
+class TestNode:
+    def test_counters_monotonic(self):
+        node = DramNode(0, DramConfig())
+        node.read_line()
+        node.read_lines(9)
+        node.write_line()
+        node.write_lines(4)
+        assert node.counters.cas_reads == 10
+        assert node.counters.cas_writes == 5
+        assert node.counters.total_lines == 15
+        assert node.bytes_transferred == 15 * 64
+
+    def test_repr(self):
+        node = DramNode(3, DramConfig())
+        assert "DramNode(3" in repr(node)
+
+
+class TestImcCounters:
+    def test_copy_is_independent(self):
+        counters = ImcCounters(5, 7)
+        snapshot = counters.copy()
+        counters.cas_reads += 1
+        assert snapshot.cas_reads == 5
+
+    def test_delta(self):
+        before = ImcCounters(5, 7)
+        after = ImcCounters(15, 10)
+        delta = after.delta(before)
+        assert delta.cas_reads == 10
+        assert delta.cas_writes == 3

@@ -1,0 +1,57 @@
+"""Topology and NUMA configuration tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.numa import NumaConfig, Topology
+
+
+class TestTopology:
+    def test_total_cores(self):
+        assert Topology(2, 8).total_cores == 16
+
+    def test_node_of_core_socket_major(self):
+        topo = Topology(2, 4)
+        assert [topo.node_of_core(c) for c in range(8)] == [0] * 4 + [1] * 4
+
+    def test_node_of_core_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Topology(1, 4).node_of_core(4)
+
+    def test_cores_of_node(self):
+        topo = Topology(2, 3)
+        assert topo.cores_of_node(0) == [0, 1, 2]
+        assert topo.cores_of_node(1) == [3, 4, 5]
+        with pytest.raises(ConfigurationError):
+            topo.cores_of_node(2)
+
+    def test_first_cores_fills_socket_zero_first(self):
+        topo = Topology(2, 4)
+        assert topo.first_cores(3) == [0, 1, 2]
+        assert topo.first_cores(6) == [0, 1, 2, 3, 4, 5]
+        with pytest.raises(ConfigurationError):
+            topo.first_cores(9)
+
+    def test_interleaved_cores_alternate_sockets(self):
+        topo = Topology(2, 4)
+        assert topo.interleaved_cores(4) == [0, 4, 1, 5]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            Topology(0, 4)
+
+
+class TestNumaConfig:
+    def test_defaults_valid(self):
+        config = NumaConfig()
+        assert 0 < config.remote_bandwidth_factor <= 1.0
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            NumaConfig(remote_bandwidth_factor=0.0)
+        with pytest.raises(ConfigurationError):
+            NumaConfig(remote_bandwidth_factor=1.5)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            NumaConfig(remote_latency_extra_cycles=-1)

@@ -1,0 +1,122 @@
+"""Counter multiplexing: rotation schedule, estimates, error modes."""
+
+import pytest
+
+from repro.errors import PmuError
+from repro.kernels import CodegenCaps, Daxpy
+from repro.machine.presets import tiny_test_machine
+from repro.pmu import MultiplexedPerfSession
+from tests.conftest import build_triad
+
+
+def run_kernel(machine, n=4096):
+    loaded = machine.load(build_triad(n))
+    machine.run(loaded, core_id=0)
+    return loaded
+
+
+class TestScheduling:
+    def test_single_group_never_multiplexes(self):
+        machine = tiny_test_machine()
+        session = MultiplexedPerfSession(
+            machine, ["fp_256_f64", "cycles"], slots=4)
+        assert not session.multiplexing
+        assert session._scheduled_fraction(0, 0.0, 12345.0) == 1.0
+
+    def test_two_groups_split_time_evenly(self):
+        machine = tiny_test_machine()
+        session = MultiplexedPerfSession(
+            machine, ["fp_256_f64", "cycles", "instructions"],
+            slots=2, rotation_cycles=100.0)
+        assert session.multiplexing
+        # over whole periods each group gets exactly half
+        assert session._scheduled_fraction(0, 0.0, 2000.0) == pytest.approx(0.5)
+        assert session._scheduled_fraction(1, 0.0, 2000.0) == pytest.approx(0.5)
+
+    def test_sub_quantum_window_is_all_or_nothing(self):
+        machine = tiny_test_machine()
+        session = MultiplexedPerfSession(
+            machine, ["fp_256_f64", "cycles", "instructions"],
+            slots=2, rotation_cycles=100.0)
+        assert session._scheduled_fraction(0, 10.0, 60.0) == 1.0
+        assert session._scheduled_fraction(1, 10.0, 60.0) == 0.0
+
+    def test_validation(self):
+        machine = tiny_test_machine()
+        with pytest.raises(PmuError):
+            MultiplexedPerfSession(machine, ["cycles"], slots=0)
+        with pytest.raises(PmuError):
+            MultiplexedPerfSession(machine, ["cycles"], rotation_cycles=0)
+        with pytest.raises(PmuError):
+            MultiplexedPerfSession(machine, ["imc_cas_reads"])
+
+
+class TestEstimates:
+    def test_dedicated_counters_are_exact(self):
+        machine = tiny_test_machine()
+        with MultiplexedPerfSession(machine, ["fp_256_f64"], slots=4) as s:
+            run_kernel(machine, n=256)
+        true = s.true_delta("fp_256_f64")
+        assert true > 0
+        assert s.estimate("fp_256_f64") == pytest.approx(true)
+        assert s.estimate_error("fp_256_f64") == pytest.approx(0.0)
+
+    def test_multiplexed_bursty_window_misestimates(self):
+        """FP activity concentrated in one run inside a long idle
+        window: the uniform-scaling assumption breaks."""
+        machine = tiny_test_machine()
+        events = ["fp_256_f64", "cycles", "instructions", "llc_misses",
+                  "l1_replacement", "l2_lines_in"]  # 6 events, 4 slots
+        with MultiplexedPerfSession(machine, events, slots=4,
+                                    rotation_cycles=50_000.0) as s:
+            machine.advance_tsc(37_000)   # idle skew
+            run_kernel(machine, n=2048)
+            machine.advance_tsc(200_000)  # trailing idle
+        error = abs(s.estimate_error("fp_256_f64"))
+        assert error > 0.05
+
+    def test_smaller_quantum_reduces_error(self):
+        """A burst aligned with the *other* group's slot is invisible to
+        a coarse rotation but well-sampled by a fine one."""
+        def run_with_quantum(quantum):
+            machine = tiny_test_machine()
+            events = ["fp_256_f64", "cycles", "instructions",
+                      "llc_misses", "l1_replacement", "l2_lines_in"]
+            with MultiplexedPerfSession(machine, events, slots=4,
+                                        rotation_cycles=quantum) as s:
+                # land the kernel burst inside group 1's first slot
+                machine.advance_tsc(210_000)
+                run_kernel(machine, n=1024)
+                machine.advance_tsc(190_000)
+            return abs(s.estimate_error("fp_256_f64"))
+
+        coarse = run_with_quantum(200_000.0)
+        fine = run_with_quantum(1_000.0)
+        assert coarse > 0.5      # the burst was essentially unobserved
+        assert fine < 0.15       # fine rotation samples it fairly
+        assert fine < coarse
+
+    def test_never_scheduled_group_raises(self):
+        machine = tiny_test_machine()
+        events = ["fp_256_f64", "cycles", "instructions"]
+        with MultiplexedPerfSession(machine, events, slots=2,
+                                    rotation_cycles=1e9) as s:
+            run_kernel(machine, n=256)
+        # group 1 (instructions) never got the counters: quantum too big
+        with pytest.raises(PmuError):
+            s.estimate("instructions")
+
+    def test_unprogrammed_event_rejected(self):
+        machine = tiny_test_machine()
+        with MultiplexedPerfSession(machine, ["cycles"]) as s:
+            pass
+        with pytest.raises(PmuError):
+            s.estimate("instructions")
+
+    def test_single_use(self):
+        machine = tiny_test_machine()
+        s = MultiplexedPerfSession(machine, ["cycles"])
+        with s:
+            pass
+        with pytest.raises(PmuError):
+            s.__enter__()

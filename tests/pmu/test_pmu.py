@@ -1,0 +1,183 @@
+"""PMU: events, core counters, uncore noise, perf sessions."""
+
+import pytest
+
+from repro.errors import PmuError
+from repro.machine.presets import tiny_test_machine
+from repro.pmu import (
+    CorePmu,
+    PerfSession,
+    UncorePmu,
+    all_events,
+    event,
+    fp_event_for,
+)
+from repro.memory.dram import DramConfig, DramNode
+from tests.conftest import build_triad
+
+
+class TestEvents:
+    def test_lookup_by_id_and_intel_name(self):
+        by_id = event("fp_256_f64")
+        by_intel = event("SIMD_FP_256.PACKED_DOUBLE")
+        assert by_id is by_intel
+
+    def test_unknown_event(self):
+        with pytest.raises(PmuError):
+            event("fp_1024_f64")
+
+    def test_scope_filter(self):
+        core = all_events("core")
+        uncore = all_events("uncore")
+        assert all(e.scope == "core" for e in core)
+        assert {e.id for e in uncore} == {"imc_cas_reads", "imc_cas_writes"}
+
+    def test_bad_scope(self):
+        with pytest.raises(PmuError):
+            all_events("offcore")
+
+    def test_fp_event_for(self):
+        assert fp_event_for(256, "f64") == "fp_256_f64"
+        assert fp_event_for(64, "f32") == "fp_scalar_f32"
+        with pytest.raises(PmuError):
+            fp_event_for(96, "f64")
+
+
+class TestCorePmu:
+    def test_add_and_read(self):
+        pmu = CorePmu(0)
+        pmu.add("cycles", 100)
+        pmu.add("cycles", 50)
+        assert pmu.read("cycles") == 150
+
+    def test_unknown_counter_reads_zero(self):
+        assert CorePmu(0).read("instructions") == 0
+
+    def test_fma_double_increment(self):
+        pmu = CorePmu(0)
+        pmu.add_fp(256, "f64", 10, is_fma=True)
+        assert pmu.read("fp_256_f64") == 20
+
+    def test_plain_op_single_increment(self):
+        pmu = CorePmu(0)
+        pmu.add_fp(128, "f64", 10, is_fma=False)
+        assert pmu.read("fp_128_f64") == 10
+
+    def test_uncore_event_rejected(self):
+        with pytest.raises(PmuError):
+            CorePmu(0).add("imc_cas_reads", 1)
+        with pytest.raises(PmuError):
+            CorePmu(0).read("imc_cas_reads")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(PmuError):
+            CorePmu(0).add("cycles", -1)
+
+    def test_snapshot_and_reset(self):
+        pmu = CorePmu(0)
+        pmu.add("cycles", 7)
+        snap = pmu.snapshot()
+        pmu.add("cycles", 3)
+        assert snap["cycles"] == 7
+        pmu.reset()
+        assert pmu.read("cycles") == 0
+
+
+class TestUncorePmu:
+    def _nodes(self, count=2):
+        return [DramNode(i, DramConfig()) for i in range(count)]
+
+    def test_raw_counters_no_noise(self):
+        nodes = self._nodes()
+        nodes[0].read_lines(10)
+        nodes[1].write_lines(5)
+        uncore = UncorePmu(nodes, noise_lines_per_megacycle=0.0)
+        assert uncore.read("imc_cas_reads", tsc=1e9) == 10
+        assert uncore.read("imc_cas_writes", tsc=1e9) == 5
+
+    def test_per_node_read(self):
+        nodes = self._nodes()
+        nodes[1].read_lines(4)
+        uncore = UncorePmu(nodes, noise_lines_per_megacycle=0.0)
+        assert uncore.read("imc_cas_reads", tsc=0, node=1) == 4
+        assert uncore.read("imc_cas_reads", tsc=0, node=0) == 0
+
+    def test_background_noise_grows_with_tsc(self):
+        uncore = UncorePmu(self._nodes(1), noise_lines_per_megacycle=100.0)
+        early = uncore.read("imc_cas_reads", tsc=1e6)
+        late = uncore.read("imc_cas_reads", tsc=2e6)
+        assert late > early > 0
+
+    def test_core_event_rejected(self):
+        uncore = UncorePmu(self._nodes(1))
+        with pytest.raises(PmuError):
+            uncore.read("cycles", tsc=0)
+
+    def test_unknown_node_rejected(self):
+        uncore = UncorePmu(self._nodes(1))
+        with pytest.raises(PmuError):
+            uncore.read("imc_cas_reads", tsc=0, node=3)
+
+
+class TestPerfSession:
+    def test_deltas_cover_only_the_window(self):
+        machine = tiny_test_machine()
+        program = build_triad(512)
+        loaded = machine.load(program)
+        machine.run(loaded, core_id=0)  # outside the window
+        with PerfSession(machine, core_events=("fp_256_f64",),
+                         uncore_events=("imc_cas_reads",),
+                         cores=(0,)) as session:
+            machine.run(loaded, core_id=0)
+        expected = program.static_counts().fp_width_map()[(256, "f64")]
+        # warm second run: exact count, no overcount
+        assert session.core_delta("fp_256_f64") >= expected
+        assert session.tsc_delta > 0
+
+    def test_read_before_close_rejected(self):
+        machine = tiny_test_machine()
+        session = PerfSession(machine, core_events=("cycles",))
+        with pytest.raises(PmuError):
+            session.core_delta("cycles")
+
+    def test_single_use(self):
+        machine = tiny_test_machine()
+        session = PerfSession(machine, core_events=("cycles",))
+        with session:
+            pass
+        with pytest.raises(PmuError):
+            session.__enter__()
+
+    def test_unprogrammed_event_rejected(self):
+        machine = tiny_test_machine()
+        with PerfSession(machine, core_events=("cycles",)) as session:
+            pass
+        with pytest.raises(PmuError):
+            session.core_delta("instructions")
+
+    def test_wrong_scope_rejected_at_construction(self):
+        machine = tiny_test_machine()
+        with pytest.raises(PmuError):
+            PerfSession(machine, core_events=("imc_cas_reads",))
+        with pytest.raises(PmuError):
+            PerfSession(machine, uncore_events=("cycles",))
+
+    def test_core_filter(self):
+        machine = tiny_test_machine()
+        program = build_triad(256)
+        loaded = machine.load(program)
+        with PerfSession(machine, core_events=("fp_256_f64",),
+                         cores=(0, 1)) as session:
+            machine.run(loaded, core_id=0)
+        assert session.core_delta("fp_256_f64", core=1) == 0
+        assert session.core_delta("fp_256_f64", core=0) > 0
+        assert (session.core_delta("fp_256_f64")
+                == session.core_delta("fp_256_f64", core=0))
+
+    def test_unmonitored_core_rejected(self):
+        machine = tiny_test_machine()
+        with PerfSession(machine, core_events=("cycles",),
+                         cores=(0,)) as session:
+            pass
+        with pytest.raises(PmuError):
+            session.core_delta("cycles", core=1)

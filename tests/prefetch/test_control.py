@@ -1,0 +1,57 @@
+"""Prefetch control MSR tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.prefetch import ALL_DISABLED_MASK, PrefetchControl
+
+
+class TestControl:
+    def test_default_all_enabled(self):
+        control = PrefetchControl()
+        assert all(control.state().values())
+
+    def test_disable_one(self):
+        control = PrefetchControl()
+        control.disable("stream")
+        assert not control.is_enabled("stream")
+        assert control.is_enabled("nextline")
+
+    def test_enable_restores(self):
+        control = PrefetchControl()
+        control.disable("stride")
+        control.enable("stride")
+        assert control.is_enabled("stride")
+
+    def test_disable_all_matches_mask(self):
+        control = PrefetchControl()
+        control.disable_all()
+        assert control.read_msr() == ALL_DISABLED_MASK
+        assert not any(control.state().values())
+
+    def test_enable_all(self):
+        control = PrefetchControl()
+        control.disable_all()
+        control.enable_all()
+        assert control.read_msr() == 0
+
+    def test_raw_msr_write(self):
+        control = PrefetchControl()
+        control.write_msr(0b0101)
+        assert not control.is_enabled("stream")     # bit 0
+        assert control.is_enabled("adjacent")       # bit 1
+        assert not control.is_enabled("nextline")   # bit 2
+
+    def test_reserved_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrefetchControl().write_msr(0b10000)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrefetchControl().is_enabled("magic")
+
+    def test_idempotent_disable(self):
+        control = PrefetchControl()
+        control.disable("stream")
+        control.disable("stream")
+        assert control.read_msr() == 1

@@ -1,0 +1,96 @@
+"""Cache-aware roofline: per-level bandwidths and level attribution."""
+
+import pytest
+
+from repro.bench import measure_level_bandwidth, measure_level_bandwidths
+from repro.errors import ConfigurationError
+from repro.machine.presets import tiny_test_machine
+from repro.roofline import (
+    ComputeCeiling,
+    KernelPoint,
+    MemoryCeiling,
+    RooflineModel,
+    build_cache_aware_roofline,
+    level_bandwidth_map,
+    served_from,
+)
+
+
+@pytest.fixture(scope="module")
+def ca_model():
+    machine = tiny_test_machine()
+    return build_cache_aware_roofline(machine, trips=1024, sweeps=4)
+
+
+class TestLevelBandwidths:
+    def test_all_levels_measured(self):
+        machine = tiny_test_machine()
+        results = measure_level_bandwidths(machine, sweeps=4)
+        assert set(results) == {"L1", "L2", "L3", "DRAM"}
+        for level, r in results.items():
+            assert r.bytes_per_second > 0
+            assert r.level == level
+
+    def test_levels_ordered(self):
+        machine = tiny_test_machine()
+        results = measure_level_bandwidths(machine, sweeps=4)
+        assert results["L1"].bytes_per_second > results["L3"].bytes_per_second
+        assert results["L3"].bytes_per_second > results["DRAM"].bytes_per_second
+
+    def test_working_sets_fit_their_level(self):
+        machine = tiny_test_machine()
+        hierarchy = machine.spec.hierarchy
+        l1 = measure_level_bandwidth(machine, "L1", sweeps=2)
+        assert l1.working_set_bytes <= hierarchy.l1.size_bytes
+        dram = measure_level_bandwidth(machine, "DRAM", sweeps=2)
+        assert dram.working_set_bytes > hierarchy.l3.size_bytes
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_level_bandwidth(tiny_test_machine(), "L4")
+
+    def test_l1_bandwidth_matches_load_ports(self):
+        # tiny machine: 2 x 128-bit load ports at 1 GHz = 32 GB/s
+        machine = tiny_test_machine()
+        l1 = measure_level_bandwidth(machine, "L1", sweeps=8)
+        assert l1.bytes_per_second == pytest.approx(32e9, rel=0.05)
+
+
+class TestModel:
+    def test_four_memory_ceilings(self, ca_model):
+        assert len(ca_model.memory) == 4
+        levels = level_bandwidth_map(ca_model)
+        assert set(levels) == {"L1", "L2", "L3", "DRAM"}
+
+    def test_top_roof_is_l1(self, ca_model):
+        levels = level_bandwidth_map(ca_model)
+        assert ca_model.peak_bandwidth == levels["L1"]
+
+    def test_level_map_requires_cache_aware_labels(self):
+        plain = RooflineModel(
+            "m", [ComputeCeiling("c", 1e9)], [MemoryCeiling("dram", 1e9)]
+        )
+        with pytest.raises(ConfigurationError):
+            level_bandwidth_map(plain)
+
+
+class TestServedFrom:
+    def test_slow_point_attributed_to_dram(self, ca_model):
+        levels = level_bandwidth_map(ca_model)
+        intensity = 0.1
+        point = KernelPoint("slow", intensity,
+                            0.8 * intensity * levels["DRAM"])
+        assert served_from(ca_model, point) == "DRAM"
+
+    def test_fast_point_needs_inner_level(self, ca_model):
+        levels = level_bandwidth_map(ca_model)
+        intensity = 0.1
+        point = KernelPoint("fast", intensity,
+                            2.0 * intensity * levels["DRAM"])
+        assert served_from(ca_model, point) != "DRAM"
+
+    def test_impossible_point_rejected(self, ca_model):
+        point = KernelPoint("impossible", 0.001,
+                            ca_model.peak_flops)
+        with pytest.raises(ConfigurationError):
+            served_from(ca_model, point, tolerance=0.0)

@@ -1,0 +1,101 @@
+"""Roofline model mathematics and construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.roofline import ComputeCeiling, MemoryCeiling, RooflineModel
+
+
+def simple_model(pi=20e9, beta=10e9):
+    return RooflineModel(
+        "test",
+        [ComputeCeiling("scalar", pi / 4), ComputeCeiling("avx", pi)],
+        [MemoryCeiling("dram", beta)],
+    )
+
+
+class TestCeilings:
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputeCeiling("bad", 0.0)
+        with pytest.raises(ConfigurationError):
+            MemoryCeiling("bad", -1.0)
+
+    def test_model_requires_both_kinds(self):
+        with pytest.raises(ConfigurationError):
+            RooflineModel("m", [], [MemoryCeiling("d", 1.0)])
+        with pytest.raises(ConfigurationError):
+            RooflineModel("m", [ComputeCeiling("c", 1.0)], [])
+
+    def test_ceilings_sorted(self):
+        model = RooflineModel(
+            "m",
+            [ComputeCeiling("hi", 20.0), ComputeCeiling("lo", 5.0)],
+            [MemoryCeiling("d", 1.0)],
+        )
+        assert model.compute[0].label == "lo"
+        assert model.peak_flops == 20.0
+
+    def test_lookup_by_label(self):
+        model = simple_model()
+        assert model.compute_ceiling("scalar").flops_per_second == 5e9
+        assert model.memory_ceiling("dram").bytes_per_second == 10e9
+        with pytest.raises(ConfigurationError):
+            model.compute_ceiling("sse")
+
+
+class TestAttainable:
+    def test_ridge(self):
+        model = simple_model(pi=20e9, beta=10e9)
+        assert model.ridge_intensity == 2.0
+
+    def test_memory_side(self):
+        model = simple_model()
+        assert model.attainable(1.0) == 10e9
+        assert model.attainable(0.5) == 5e9
+
+    def test_compute_side(self):
+        model = simple_model()
+        assert model.attainable(4.0) == 20e9
+        assert model.attainable(1000.0) == 20e9
+
+    def test_exactly_at_ridge(self):
+        model = simple_model()
+        assert model.attainable(model.ridge_intensity) == model.peak_flops
+
+    def test_lower_ceiling_selection(self):
+        model = simple_model()
+        scalar = model.compute_ceiling("scalar")
+        assert model.attainable(100.0, compute=scalar) == 5e9
+
+    def test_nonpositive_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_model().attainable(0.0)
+
+    def test_ridge_of_lower_ceiling(self):
+        model = simple_model()
+        scalar = model.compute_ceiling("scalar")
+        assert model.ridge_of(scalar) == 0.5
+
+    @given(st.floats(min_value=1e-4, max_value=1e4))
+    @settings(max_examples=100, deadline=None)
+    def test_attainable_properties(self, intensity):
+        model = simple_model()
+        value = model.attainable(intensity)
+        assert value <= model.peak_flops
+        assert value <= intensity * model.peak_bandwidth + 1e-6
+        # and it equals one of the two bounds
+        assert (value == model.peak_flops
+                or value == pytest.approx(intensity * model.peak_bandwidth))
+
+    @given(st.floats(min_value=1e-3, max_value=1e3),
+           st.floats(min_value=1.0, max_value=4.0))
+    @settings(max_examples=50, deadline=None)
+    def test_attainable_monotone(self, intensity, factor):
+        model = simple_model()
+        assert model.attainable(intensity * factor) >= model.attainable(intensity)
+
+    def test_repr(self):
+        assert "ridge" in repr(simple_model())

@@ -1,0 +1,93 @@
+"""Plot backends under unusual models (many ceilings, extreme ranges)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.roofline import (
+    ComputeCeiling,
+    KernelPoint,
+    MemoryCeiling,
+    RooflineModel,
+    Trajectory,
+    ascii_plot,
+    svg_plot,
+)
+
+
+def layered_model():
+    """A cache-aware-style model with four memory ceilings."""
+    return RooflineModel(
+        "layered",
+        [ComputeCeiling("scalar", 2.7e9), ComputeCeiling("sse", 5.4e9),
+         ComputeCeiling("avx", 21.6e9)],
+        [MemoryCeiling("DRAM (11 GB/s)", 11e9),
+         MemoryCeiling("L3 (49 GB/s)", 49e9),
+         MemoryCeiling("L2 (49.4 GB/s)", 49.4e9),
+         MemoryCeiling("L1 (86 GB/s)", 86e9)],
+    )
+
+
+class TestAsciiEdgeCases:
+    def test_layered_model_renders(self):
+        text = ascii_plot(layered_model())
+        assert "L1 (86" in text
+        assert "DRAM (11" in text
+
+    def test_extreme_point_range(self):
+        model = layered_model()
+        points = [KernelPoint("lo", 1e-4, 1e6, series="lo"),
+                  KernelPoint("hi", 1e4, 2e10, series="hi")]
+        text = ascii_plot(model, points=points)
+        assert "o lo" in text and "x hi" in text
+
+    def test_custom_ranges_respected(self):
+        text = ascii_plot(layered_model(), x_range=(0.01, 100),
+                          y_range=(1e8, 1e11))
+        assert "0.01 F/B" in text
+
+    def test_marker_cycling_beyond_eight_series(self):
+        points = [
+            KernelPoint(f"p{i}", 0.1 * (i + 1), 1e9, series=f"s{i}")
+            for i in range(10)
+        ]
+        text = ascii_plot(layered_model(), points=points)
+        for i in range(10):
+            assert f"s{i}" in text
+
+
+class TestSvgEdgeCases:
+    def test_layered_model_is_valid_xml(self):
+        svg = svg_plot(layered_model())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_long_labels_truncated_in_legend(self):
+        model = RooflineModel(
+            "m",
+            [ComputeCeiling("x" * 80, 1e9)],
+            [MemoryCeiling("dram", 1e9), MemoryCeiling("y" * 80, 2e9)],
+        )
+        svg = svg_plot(model)
+        assert "..." in svg
+        assert "x" * 40 not in svg
+
+    def test_trajectory_line_connects_points(self):
+        traj = Trajectory("sweep", [
+            KernelPoint("a", 0.1, 1e9, series="sweep"),
+            KernelPoint("b", 0.2, 2e9, series="sweep"),
+            KernelPoint("c", 0.4, 3e9, series="sweep"),
+        ])
+        svg = svg_plot(layered_model(), trajectories=[traj])
+        assert svg.count("<circle") == 3
+        # one connected path for the series beyond the roof path
+        assert svg.count('stroke-width="1.3"') == 1
+
+    def test_single_point_trajectory_draws_no_line(self):
+        traj = Trajectory("one", [KernelPoint("a", 0.1, 1e9, series="one")])
+        svg = svg_plot(layered_model(), trajectories=[traj])
+        assert svg.count('stroke-width="1.3"') == 0
+
+    def test_title_override(self):
+        svg = svg_plot(layered_model(), title="Custom Title")
+        assert "Custom Title" in svg

@@ -1,0 +1,172 @@
+"""Kernel points, analysis judgements, plot backends, exports."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels import Daxpy
+from repro.machine.presets import tiny_test_machine
+from repro.measure import measure_kernel
+from repro.roofline import (
+    BOUND_COMPUTE,
+    BOUND_MEMORY,
+    ComputeCeiling,
+    KernelPoint,
+    MemoryCeiling,
+    RooflineModel,
+    Trajectory,
+    analyze_point,
+    ascii_plot,
+    build_roofline,
+    check_point_sanity,
+    model_to_dict,
+    points_to_csv,
+    speedup_if_compute_bound,
+    svg_plot,
+    theoretical_roofline,
+    to_json,
+    trajectories_to_csv,
+)
+
+
+def model():
+    return RooflineModel(
+        "m",
+        [ComputeCeiling("avx", 20e9)],
+        [MemoryCeiling("dram", 10e9)],
+    )
+
+
+class TestKernelPoint:
+    def test_positive_coordinates_required(self):
+        with pytest.raises(ConfigurationError):
+            KernelPoint("p", 0.0, 1e9)
+        with pytest.raises(ConfigurationError):
+            KernelPoint("p", 1.0, -1e9)
+
+    def test_from_measurement(self, tiny):
+        m = measure_kernel(tiny, Daxpy(), 4096, protocol="cold", reps=1)
+        point = KernelPoint.from_measurement(m)
+        assert point.intensity == pytest.approx(m.intensity)
+        assert point.performance == pytest.approx(m.performance)
+        assert point.series == "daxpy"
+        assert point.n == 4096
+
+    def test_trajectory_from_measurements(self, tiny):
+        ms = [measure_kernel(tiny, Daxpy(), n, protocol="cold", reps=1)
+              for n in (2048, 4096)]
+        traj = Trajectory.from_measurements("daxpy cold", ms)
+        assert len(traj) == 2
+        assert all(p.series == "daxpy cold" for p in traj)
+
+
+class TestAnalysis:
+    def test_memory_bound_classification(self):
+        point = KernelPoint("p", 0.5, 4e9)
+        analysis = analyze_point(model(), point)
+        assert analysis.bound == BOUND_MEMORY
+        assert analysis.attainable_flops == 5e9
+        assert analysis.utilization_of_roof == pytest.approx(0.8)
+        assert analysis.headroom_factor == pytest.approx(1.25)
+
+    def test_compute_bound_classification(self):
+        point = KernelPoint("p", 10.0, 15e9)
+        analysis = analyze_point(model(), point)
+        assert analysis.bound == BOUND_COMPUTE
+        assert analysis.utilization_of_peak == pytest.approx(0.75)
+        assert "compute-bound" in analysis.summary()
+
+    def test_sanity_check_flags_above_roof(self):
+        good = KernelPoint("p", 0.5, 5e9)
+        check_point_sanity(model(), good)
+        bad = KernelPoint("p", 0.5, 9e9)
+        with pytest.raises(ConfigurationError):
+            check_point_sanity(model(), bad)
+
+    def test_speedup_if_compute_bound(self):
+        point = KernelPoint("p", 0.5, 4e9)
+        assert speedup_if_compute_bound(model(), point) == pytest.approx(5.0)
+
+
+class TestPlotBackends:
+    def _points(self):
+        return [KernelPoint("a", 0.1, 0.9e9, series="daxpy"),
+                KernelPoint("b", 8.0, 15e9, series="dgemm")]
+
+    def test_ascii_plot_contains_elements(self):
+        text = ascii_plot(model(), points=self._points())
+        assert "Roofline: m" in text
+        assert "ridge" in text
+        assert "o daxpy" in text
+        assert "x dgemm" in text
+        assert "/" in text and "-" in text
+
+    def test_ascii_plot_model_only(self):
+        assert "roof" in ascii_plot(model())
+
+    def test_svg_is_wellformed_and_complete(self):
+        traj = Trajectory("sweep", self._points())
+        svg = svg_plot(model(), trajectories=[traj], title="T")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<circle") == 2
+        assert "sweep" in svg
+        assert "operational intensity" in svg
+
+    def test_svg_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+        svg = svg_plot(model(), points=self._points())
+        ET.fromstring(svg)
+
+
+class TestExport:
+    def test_points_csv(self):
+        csv = points_to_csv(self._pts())
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("series,label")
+        assert len(lines) == 3
+
+    def _pts(self):
+        return [KernelPoint("a", 0.1, 1e9, series="s1", n=64),
+                KernelPoint("b", 2.0, 2e9, series="s2")]
+
+    def test_trajectories_csv(self):
+        traj = Trajectory("t", self._pts())
+        assert len(trajectories_to_csv([traj]).strip().splitlines()) == 3
+
+    def test_json_document(self):
+        doc = json.loads(to_json(model(), points=self._pts()))
+        assert doc["model"]["ridge_intensity"] == pytest.approx(2.0)
+        assert len(doc["points"]) == 2
+
+    def test_model_to_dict(self):
+        d = model_to_dict(model())
+        assert d["peak_flops_per_s"] == 20e9
+        assert len(d["compute_ceilings"]) == 1
+
+
+class TestBuilders:
+    def test_measured_roofline_on_tiny(self):
+        machine = tiny_test_machine()
+        m = build_roofline(machine, cores=(0,), trips=1024,
+                           stream_elements=32768,
+                           bandwidth_methods=("memset-nt", "read"))
+        # tiny: 8 flops/cycle at 1 GHz; per-core DRAM 6 B/c
+        assert m.peak_flops == pytest.approx(8e9, rel=0.02)
+        assert m.peak_bandwidth == pytest.approx(6e9, rel=0.1)
+        assert len(m.compute) == 3  # scalar, sse, avx
+
+    def test_thread_scaling_ceiling_added(self):
+        machine = tiny_test_machine()
+        m = build_roofline(machine, cores=(0, 1), trips=512,
+                           widths=[256], stream_elements=32768,
+                           bandwidth_methods=("memset-nt",),
+                           include_thread_scaling=True)
+        assert len(m.compute) == 2  # 2t AVX + 1t AVX
+
+    def test_theoretical_roofline(self):
+        machine = tiny_test_machine()
+        m = theoretical_roofline(machine, threads=2)
+        assert m.peak_flops == 16e9
+        assert m.peak_bandwidth == 8e9

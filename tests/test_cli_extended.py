@@ -1,0 +1,45 @@
+"""Extended CLI coverage: explain subcommand, flags, error paths."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExplainCommand:
+    def test_explain_runs_and_names_the_bound(self, capsys):
+        code = main(["explain", "daxpy", "8192", "--machine", "tiny",
+                     "--protocol", "cold"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bound by" in out
+        assert "dram_bandwidth" in out
+
+    def test_explain_warm(self, capsys):
+        code = main(["explain", "daxpy", "64", "--machine", "tiny"])
+        assert code == 0
+        assert "mem_issue" in capsys.readouterr().out
+
+    def test_explain_bad_size(self, capsys):
+        code = main(["explain", "fft", "1000", "--machine", "tiny"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMeasureVariants:
+    def test_measure_warm_spmv(self, capsys):
+        code = main(["measure", "spmv", "512", "--machine", "tiny",
+                     "--protocol", "warm", "--reps", "1"])
+        assert code == 0
+        assert "flops/byte" in capsys.readouterr().out
+
+    def test_measure_multithreaded(self, capsys):
+        code = main(["measure", "daxpy", "4096", "--machine", "tiny",
+                     "--threads", "2", "--reps", "1"])
+        assert code == 0
+        assert "2 thread(s)" in capsys.readouterr().out
+
+    def test_roofline_multithreaded(self, capsys):
+        code = main(["roofline", "--machine", "tiny", "--threads", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2t" in out  # thread-count labelled ceilings

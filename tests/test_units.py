@@ -1,0 +1,131 @@
+"""Unit helpers: formatting, size math, statistics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestFormatting:
+    def test_format_bytes_binary_suffixes(self):
+        assert units.format_bytes(512) == "512 B"
+        assert units.format_bytes(2048) == "2.00 KiB"
+        assert units.format_bytes(3 * units.MIB) == "3.00 MiB"
+        assert units.format_bytes(units.GIB) == "1.00 GiB"
+
+    def test_format_bytes_negative(self):
+        assert units.format_bytes(-2048) == "-2.00 KiB"
+
+    def test_format_flops(self):
+        assert units.format_flops(2.5e9) == "2.50 Gflop/s"
+        assert units.format_flops(3e6) == "3.00 Mflop/s"
+        assert units.format_flops(10.0) == "10.0 flop/s"
+
+    def test_format_bandwidth(self):
+        assert units.format_bandwidth(51.2e9) == "51.20 GB/s"
+        assert units.format_bandwidth(2e6) == "2.00 MB/s"
+
+    def test_format_time_units(self):
+        assert units.format_time(2.0) == "2.000 s"
+        assert units.format_time(3e-3) == "3.000 ms"
+        assert units.format_time(4.5e-6) == "4.500 us"
+        assert units.format_time(7e-9) == "7.0 ns"
+
+    def test_format_intensity(self):
+        assert "F/B" in units.format_intensity(0.0833)
+
+
+class TestPowerOfTwo:
+    def test_is_power_of_two(self):
+        assert units.is_power_of_two(1)
+        assert units.is_power_of_two(4096)
+        assert not units.is_power_of_two(0)
+        assert not units.is_power_of_two(12)
+        assert not units.is_power_of_two(-8)
+
+    def test_log2_int_exact(self):
+        assert units.log2_int(1) == 0
+        assert units.log2_int(1024) == 10
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            units.log2_int(12)
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_log2_roundtrip(self, exp):
+        assert units.log2_int(2 ** exp) == exp
+
+
+class TestRounding:
+    def test_round_up(self):
+        assert units.round_up(0, 64) == 0
+        assert units.round_up(1, 64) == 64
+        assert units.round_up(64, 64) == 64
+        assert units.round_up(65, 64) == 128
+
+    def test_round_up_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            units.round_up(10, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=4096))
+    def test_round_up_properties(self, value, multiple):
+        rounded = units.round_up(value, multiple)
+        assert rounded >= value
+        assert rounded % multiple == 0
+        assert rounded - value < multiple
+
+
+class TestSizeSeries:
+    def test_geometric_sizes_endpoints(self):
+        sizes = units.geometric_sizes(10, 1000)
+        assert sizes[0] == 10
+        assert sizes[-1] == 1000
+        assert sizes == sorted(sizes)
+
+    def test_geometric_sizes_strictly_increasing(self):
+        sizes = units.geometric_sizes(1, 10, per_decade=20)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_geometric_sizes_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            units.geometric_sizes(10, 5)
+        with pytest.raises(ValueError):
+            units.geometric_sizes(0, 5)
+
+    def test_pow2_sizes(self):
+        assert units.pow2_sizes(3, 6) == [8, 16, 32, 64]
+        assert units.pow2_sizes(2, 8, step=2) == [4, 16, 64, 256]
+
+    def test_pow2_sizes_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            units.pow2_sizes(5, 3)
+
+
+class TestStats:
+    def test_mean(self):
+        assert units.mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            units.mean([])
+
+    def test_median_odd_even(self):
+        assert units.median([3, 1, 2]) == 2
+        assert units.median([4, 1, 2, 3]) == 2.5
+
+    def test_geomean(self):
+        assert math.isclose(units.geomean([1, 100]), 10.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_median_within_range(self, values):
+        med = units.median(values)
+        assert min(values) <= med <= max(values)
