@@ -5,12 +5,19 @@ Subcommands:
 * ``list``        — show machines, kernels, and experiments
 * ``roofline``    — build and print a machine's measured roofline
 * ``measure``     — measure one kernel and print its W/Q/T and point
+* ``profile``     — measure one kernel with tracing: phase-level cycle
+  attribution, bound breakdown, Chrome-trace / metrics export
 * ``experiment``  — run experiments and write EXPERIMENTS-style output
+
+``measure`` and ``roofline`` accept ``--json`` for machine-readable
+output; ``profile`` adds ``--trace-out`` (Chrome trace-event JSON,
+loadable in Perfetto) and ``--metrics-out`` (Prometheus text format).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -21,6 +28,8 @@ from .kernels import kernel_names, make_kernel
 from .machine.presets import PRESETS, make_machine
 from .measure import explain_kernel, measure_kernel
 from .roofline import KernelPoint, analyze_point, ascii_plot, build_roofline
+from .roofline.export import to_json as roofline_to_json
+from .trace import TraceCollector, measurement_to_dict, to_chrome_trace, to_prometheus
 from .units import format_bandwidth, format_bytes, format_flops, format_time
 
 
@@ -36,6 +45,9 @@ def _cmd_roofline(args) -> int:
     cores = machine.topology.first_cores(args.threads)
     model = build_roofline(machine, cores=cores,
                            include_thread_scaling=args.threads > 1)
+    if args.json:
+        print(roofline_to_json(model))
+        return 0
     print(ascii_plot(model))
     return 0
 
@@ -46,6 +58,9 @@ def _cmd_measure(args) -> int:
     cores = machine.topology.first_cores(args.threads)
     m = measure_kernel(machine, kernel, args.n, protocol=args.protocol,
                        cores=cores, reps=args.reps)
+    if args.json:
+        print(json.dumps(measurement_to_dict(m), indent=2))
+        return 0
     print(f"kernel    : {kernel.describe()}")
     print(f"machine   : {machine.spec.name}, {args.threads} thread(s), "
           f"{args.protocol} caches")
@@ -63,6 +78,62 @@ def _cmd_measure(args) -> int:
         print()
         print(ascii_plot(model, points=[point]))
         print(analyze_point(model, point).summary())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    machine = make_machine(args.machine, scale=args.scale)
+    kernel = make_kernel(args.kernel)
+    cores = machine.topology.first_cores(args.threads)
+    collector = TraceCollector(machine)
+    m = measure_kernel(machine, kernel, args.n, protocol=args.protocol,
+                       cores=cores, reps=args.reps, trace=collector)
+    if args.trace_out:
+        doc = to_chrome_trace(
+            collector.events,
+            frequency_hz=collector.frequency_hz or machine.spec.base_hz,
+            machine_name=machine.spec.name,
+        )
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(collector.summary()))
+    if args.json:
+        print(json.dumps(measurement_to_dict(m), indent=2))
+    else:
+        summary = collector.summary()
+        print(f"kernel    : {kernel.describe()}")
+        print(f"machine   : {machine.spec.name}, {args.threads} thread(s), "
+              f"{args.protocol} caches")
+        print(f"W counted : {m.work_flops:.0f} flops "
+              f"(true {m.true_flops}, x{m.work_overcount:.2f})")
+        print(f"Q measured: {format_bytes(m.traffic_bytes)} "
+              f"(compulsory {format_bytes(m.compulsory_bytes)}, "
+              f"x{m.traffic_ratio:.2f})")
+        print(f"T runtime : {format_time(m.runtime_seconds)}")
+        print(f"P         : {format_flops(m.performance)}")
+        print(f"I         : {m.intensity:.4f} flops/byte")
+        print()
+        print(collector.phase_table())
+        print()
+        print(collector.bound_attribution())
+        reissue = summary["reissue"]
+        if reissue["slots"]:
+            print(f"reissue   : {reissue['slots']} slots re-counted "
+                  f"{reissue['overcounted_flops']} flops")
+        engines = summary["prefetch_engines"]
+        if engines:
+            parts = ", ".join(
+                f"{kind}: {stats['issued']} issued"
+                f" ({100.0 * stats['accuracy']:.0f}% useful)"
+                for kind, stats in sorted(engines.items())
+            )
+            print(f"prefetch  : {parts}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -106,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_roof.add_argument("--machine", default="snb-ep")
     p_roof.add_argument("--scale", type=float, default=0.125)
     p_roof.add_argument("--threads", type=int, default=1)
+    p_roof.add_argument("--json", action="store_true",
+                        help="emit the model as JSON instead of a plot")
 
     p_meas = sub.add_parser("measure", help="measure one kernel")
     p_meas.add_argument("kernel", choices=kernel_names())
@@ -117,6 +190,29 @@ def build_parser() -> argparse.ArgumentParser:
                         default="cold")
     p_meas.add_argument("--reps", type=int, default=2)
     p_meas.add_argument("--plot", action="store_true")
+    p_meas.add_argument("--json", action="store_true",
+                        help="emit the measurement as JSON")
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="measure one kernel with tracing and phase attribution",
+    )
+    p_prof.add_argument("kernel", choices=kernel_names())
+    p_prof.add_argument("n", type=int, nargs="?", default=4096)
+    p_prof.add_argument("--machine", default="snb-ep")
+    p_prof.add_argument("--scale", type=float, default=0.125)
+    p_prof.add_argument("--threads", type=int, default=1)
+    p_prof.add_argument("--protocol", choices=("cold", "warm"),
+                        default="cold")
+    p_prof.add_argument("--reps", type=int, default=1)
+    p_prof.add_argument("--trace-out",
+                        help="write Chrome trace-event JSON here "
+                             "(open in Perfetto / chrome://tracing)")
+    p_prof.add_argument("--metrics-out",
+                        help="write Prometheus-format metrics here")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the measurement (incl. trace summary) "
+                             "as JSON")
 
     p_expl = sub.add_parser("explain", help="attribute a kernel's cycles")
     p_expl.add_argument("kernel", choices=kernel_names())
@@ -143,6 +239,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "roofline": _cmd_roofline,
         "measure": _cmd_measure,
+        "profile": _cmd_profile,
         "explain": _cmd_explain,
         "experiment": _cmd_experiment,
     }

@@ -35,6 +35,8 @@ from ..isa.program import Program
 from ..memory.allocator import Allocation
 from ..memory.hierarchy import BatchStats, CorePort, HierarchyConfig
 from ..pmu.core_pmu import CorePmu
+from ..trace.bus import TraceBus
+from ..trace.events import PHASE, TraceEvent
 from .port_model import PortModel
 from .timing import PhaseCost, TimingParams, phase_cycles, reissue_slots
 
@@ -93,6 +95,8 @@ class Core:
         self.port = port
         self.pmu = pmu
         self.timing = timing
+        # trace bus shared with the port's hierarchy (and the machine)
+        self.bus: TraceBus = port.bus
         self._line_shift = hierarchy_config.line_bytes.bit_length() - 1
         self._loop_info: Dict[int, Tuple[Loop, _LoopInfo]] = {}
         self._tables: Dict[str, object] = {}
@@ -113,6 +117,9 @@ class Core:
                 raise ExecutionError(f"buffer {name!r} not mapped")
         result = ExecutionResult()
         self._tables = program.tables
+        if self.bus.enabled:
+            # this core's phases start at the machine's current TSC
+            self.bus.cursor = self.bus.now
         self._exec_nodes(program.body, {}, buffer_map, dram_bytes_per_cycle, result)
         counts = program.static_counts()
         result.true_flops = counts.flops
@@ -184,16 +191,38 @@ class Core:
 
         # the reissue overcount artifact: each slot re-counts the body's
         # load-dependent FP instructions once
+        slots = 0
+        reissue_flops = 0
         if info.dep_fp_events:
             slots = reissue_slots(self.config, batch, self.timing)
             if slots:
                 for (width, prec, is_fma), instrs in info.dep_fp_events.items():
                     self.pmu.add_fp(width, prec, instrs * slots, is_fma)
+                    lanes = width // (64 if prec == "f64" else 32)
+                    reissue_flops += instrs * slots * lanes * (2 if is_fma else 1)
 
         result.cycles += cost.total
         result.instructions += info.body_instructions * trips
         result.batch.merge(batch)
         result.phases.append(cost)
+
+        bus = self.bus
+        if bus.enabled:
+            bus.emit(TraceEvent(
+                PHASE, f"loop:{loop.loop_id}", bus.cursor,
+                core=self.core_id, dur=cost.total,
+                args={
+                    "trips": trips,
+                    "dominant": cost.dominant,
+                    "bounds": cost.as_dict(),
+                    "batch": batch.as_dict(),
+                    "dram_bpc": dram_bpc,
+                    "mlp": self.timing.mlp,
+                    "reissue_slots": slots,
+                    "reissue_flops": reissue_flops,
+                },
+            ))
+            bus.cursor += cost.total
 
     def _dispatch_site(self, site: _MemSite, line_list, node: int) -> BatchStats:
         """Route one site's line batch to the right port operation."""
@@ -360,6 +389,8 @@ class Core:
                                 node.op == "fma")
             cost = self.ports.fp_issue_cycles({(node.op, node.width_bits): 1})
             result.cycles += cost
+            if self.bus.enabled:
+                self.bus.cursor += cost
             return
         if isinstance(node, GatherLoad):
             alloc = buffers[node.buffer]
@@ -379,6 +410,7 @@ class Core:
             result.cycles += cost.total
             result.batch.merge(stats)
             result.phases.append(cost)
+            self._emit_single_phase("gather", cost, stats, dram_bpc)
             return
         addr = node.addr
         alloc = buffers[addr.buffer]
@@ -413,6 +445,30 @@ class Core:
         result.cycles += cost.total
         result.batch.merge(stats)
         result.phases.append(cost)
+        self._emit_single_phase(type(node).__name__.lower(), cost, stats,
+                                dram_bpc)
+
+    def _emit_single_phase(self, label: str, cost: PhaseCost,
+                           stats: BatchStats, dram_bpc: float) -> None:
+        """Trace one straight-line memory instruction as a tiny phase."""
+        bus = self.bus
+        if not bus.enabled:
+            return
+        bus.emit(TraceEvent(
+            PHASE, f"instr:{label}", bus.cursor,
+            core=self.core_id, dur=cost.total,
+            args={
+                "trips": 1,
+                "dominant": cost.dominant,
+                "bounds": cost.as_dict(),
+                "batch": stats.as_dict(),
+                "dram_bpc": dram_bpc,
+                "mlp": self.timing.mlp,
+                "reissue_slots": 0,
+                "reissue_flops": 0,
+            },
+        ))
+        bus.cursor += cost.total
 
     # ------------------------------------------------------------------
     # body analysis (cached)

@@ -79,6 +79,18 @@ class PhaseCost:
         }
         return max(bounds, key=bounds.get)
 
+    def as_dict(self) -> dict:
+        """Flat cycle breakdown (trace events, JSON reports)."""
+        return {
+            "fp_issue": self.fp_issue,
+            "mem_issue": self.mem_issue,
+            "dependency_chain": self.chain,
+            "l2_bandwidth": self.l2_bandwidth,
+            "l3_bandwidth": self.l3_bandwidth,
+            "dram_bandwidth": self.dram_bandwidth,
+            "exposed_latency": self.exposed_latency,
+        }
+
 
 def phase_cycles(ports: PortModel,
                  config: HierarchyConfig,

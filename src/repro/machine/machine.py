@@ -91,6 +91,9 @@ class Machine:
             spec.base_hz, spec.turbo_steps, turbo_enabled=False
         )
         self.hierarchy = MemoryHierarchy(spec.hierarchy, spec.topology)
+        #: the machine-wide trace event bus (see :mod:`repro.trace`);
+        #: disabled until a sink is attached, at zero simulation cost
+        self.trace = self.hierarchy.bus
         self.allocator = BumpAllocator()
         self.uncore = UncorePmu(
             self.hierarchy.dram,
@@ -190,6 +193,8 @@ class Machine:
         active = len(core_ids)
         frequency = self.governor.frequency(active)
         dram = self.spec.hierarchy.dram
+        # trace timestamps for this run start at the current TSC
+        self.trace.now = self.tsc
         per_core: Dict[int, ExecutionResult] = {}
         for loaded, core_id in jobs:
             share = dram.bytes_per_cycle_total / contenders_by_node[loaded.node]

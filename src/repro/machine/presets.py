@@ -150,6 +150,7 @@ def tiny_test_machine() -> Machine:
 #: preset registry used by the CLI and experiments
 PRESETS = {
     "snb-ep": sandy_bridge_ep,
+    "snb": sandy_bridge_ep,          # shorthand alias
     "snb-ep-x2": dual_socket_ep,
     "ivb-desktop": ivy_bridge_desktop,
     "hsw-ep": haswell_node,

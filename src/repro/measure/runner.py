@@ -23,6 +23,8 @@ from ..isa.builder import ProgramBuilder
 from ..kernels.base import CodegenCaps, Kernel
 from ..machine.machine import LoadedProgram, Machine
 from ..pmu.perf import PerfSession
+from ..trace.collector import TraceCollector
+from ..trace.events import MARK, TraceEvent
 from .protocol import Protocol, make_protocol
 from .stats import Summary, summarize
 from .traffic import TRAFFIC_EVENTS, bytes_from_session
@@ -45,21 +47,44 @@ class Measurement:
     undercounts — the reason the methodology reads the IMC instead.
     """
 
+    #: kernel name as registered (e.g. ``"triad"``)
     kernel: str
+    #: problem size (elements per vector, matrix order, ... per kernel)
     n: int
+    #: number of cores that executed the kernel in parallel
     threads: int
+    #: cache-state protocol applied before the measured run
+    #: (``cold`` / ``warm`` / ...)
     protocol: str
+    #: name of the machine preset measured on
     machine: str
+    #: counter-derived work W in flops — median of the per-rep A-B
+    #: deltas; inflated on cold caches by the reissue artifact
     work_flops: float
+    #: counter-derived memory traffic Q in bytes (IMC CAS reads+writes
+    #: times the line size), median of the per-rep A-B deltas
     traffic_bytes: float
+    #: traffic a cache-event measurement would report (LLC demand
+    #: misses x line size) — undercounts when prefetchers are on
     llc_bytes: float
+    #: measured runtime T in seconds (TSC around the measured run)
     runtime_seconds: float
+    #: the implementation's exact flop count (ground truth for W)
     true_flops: int
+    #: minimum possible traffic: every input/output byte moved once
     compulsory_bytes: int
+    #: number of measurement repetitions the medians summarise
     reps: int
+    #: per-rep distribution of the work deltas (median/mean/min/max)
     work_summary: Optional[Summary] = None
+    #: per-rep distribution of the traffic deltas
     traffic_summary: Optional[Summary] = None
+    #: per-rep distribution of the measured runtimes
     runtime_summary: Optional[Summary] = None
+    #: structured trace of the final repetition's measured window
+    #: (a :class:`repro.trace.TraceCollector`), when requested via
+    #: ``measure_kernel(..., trace=...)``; ``None`` otherwise
+    trace: Optional[TraceCollector] = None
 
     # ------------------------------------------------------------------
     # derived roofline coordinates
@@ -127,10 +152,22 @@ def build_init_program(buffers: dict, line_bytes: int = 64):
 
 def measure_kernel(machine: Machine, kernel: Kernel, n: int,
                    protocol="cold", cores: Sequence[int] = (0,),
-                   reps: int = 3, width_bits: Optional[int] = None) -> Measurement:
-    """Measure one kernel configuration with the full methodology."""
+                   reps: int = 3, width_bits: Optional[int] = None,
+                   trace=None) -> Measurement:
+    """Measure one kernel configuration with the full methodology.
+
+    ``trace`` requests a structured trace of the final repetition:
+    pass ``True`` for a fresh :class:`~repro.trace.TraceCollector`, or
+    an existing collector/sink to reuse.  The collector is attached to
+    the machine's trace bus only around the final rep's A window — the
+    sink merely records events, so the measured W/Q/T are identical
+    with and without it (a regression test asserts this exactly).
+    """
     if reps < 1:
         raise MeasurementError("need at least one repetition")
+    collector = None
+    if trace is not None and trace is not False:
+        collector = TraceCollector(machine) if trace is True else trace
     cores = tuple(cores)
     proto: Protocol = make_protocol(protocol)
     caps = CodegenCaps.from_machine(machine, width_bits)
@@ -159,17 +196,32 @@ def measure_kernel(machine: Machine, kernel: Kernel, n: int,
     traffic_reps: List[float] = []
     llc_reps: List[float] = []
     runtime_reps: List[float] = []
-    for _ in range(reps):
+    for rep in range(reps):
         # each session starts from fresh-process cache state so the
         # A/B windows are symmetric: without this, dirty lines left by
         # A's measured kernel would be written back during B's window
         # and the subtraction could go negative
+        tracing = collector is not None and rep == reps - 1
         machine.bust_caches()
-        with PerfSession(machine, core_events=core_events,
-                         uncore_events=TRAFFIC_EVENTS, cores=cores) as a:
-            run_inits()
-            proto.prepare(machine, run_kernel)
-            run_result = run_kernel()
+        if tracing:
+            machine.trace.attach(collector)
+        try:
+            with PerfSession(machine, core_events=core_events,
+                             uncore_events=TRAFFIC_EVENTS, cores=cores) as a:
+                run_inits()
+                proto.prepare(machine, run_kernel)
+                if tracing:
+                    machine.trace.emit(TraceEvent(
+                        MARK, "measured:begin", machine.tsc
+                    ))
+                run_result = run_kernel()
+                if tracing:
+                    machine.trace.emit(TraceEvent(
+                        MARK, "measured:end", machine.tsc
+                    ))
+        finally:
+            if tracing:
+                machine.trace.detach()
         machine.bust_caches()
         with PerfSession(machine, core_events=core_events,
                          uncore_events=TRAFFIC_EVENTS, cores=cores) as b:
@@ -201,6 +253,7 @@ def measure_kernel(machine: Machine, kernel: Kernel, n: int,
         work_summary=work,
         traffic_summary=traffic,
         runtime_summary=runtime,
+        trace=collector,
     )
 
 

@@ -18,10 +18,17 @@ from ..units import mean, median
 class Summary:
     """Median-centred summary of one measured quantity."""
 
+    #: median across repetitions — the reported value (robust against a
+    #: polluted first repetition)
     median: float
+    #: arithmetic mean across repetitions (sensitive to outliers; kept
+    #: for comparison against the paper's averaged numbers)
     mean: float
+    #: smallest repetition value observed
     minimum: float
+    #: largest repetition value observed
     maximum: float
+    #: number of repetitions summarised
     count: int
 
     @property

@@ -75,6 +75,10 @@ class ImcCounters:
     def total_lines(self) -> int:
         return self.cas_reads + self.cas_writes
 
+    def as_dict(self) -> dict:
+        """Flat counter dict (trace events, JSON reports)."""
+        return {"cas_reads": self.cas_reads, "cas_writes": self.cas_writes}
+
 
 class DramNode:
     """One NUMA node's memory: counts every line crossing its controller."""

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..trace.bus import TraceBus
+from ..trace.events import CACHE, DRAM, PREFETCH, TraceEvent
 from ..prefetch import (
     NextLinePrefetcher,
     PrefetchControl,
@@ -68,6 +70,9 @@ class BatchStats:
     dram_reads: int = 0          # demand misses served by DRAM (incl. RFO)
     writebacks: int = 0          # dirty L3 evictions reaching DRAM
     nt_lines: int = 0            # non-temporal store lines
+    l1_evictions: int = 0        # lines displaced from L1 (clean or dirty)
+    l2_evictions: int = 0
+    l3_evictions: int = 0
     sw_prefetches: int = 0
     hw_prefetch_issued: int = 0
     hw_prefetch_dram_reads: int = 0
@@ -85,6 +90,9 @@ class BatchStats:
         self.dram_reads += other.dram_reads
         self.writebacks += other.writebacks
         self.nt_lines += other.nt_lines
+        self.l1_evictions += other.l1_evictions
+        self.l2_evictions += other.l2_evictions
+        self.l3_evictions += other.l3_evictions
         self.sw_prefetches += other.sw_prefetches
         self.hw_prefetch_issued += other.hw_prefetch_issued
         self.hw_prefetch_dram_reads += other.hw_prefetch_dram_reads
@@ -93,6 +101,29 @@ class BatchStats:
         self.flushes += other.flushes
         self.tlb_misses += other.tlb_misses
         self.tlb_walk_cycles += other.tlb_walk_cycles
+
+    def as_dict(self) -> dict:
+        """Flat counter dict (trace events, JSON reports)."""
+        return {
+            "accesses": self.accesses,
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "l3_hits": self.l3_hits,
+            "dram_reads": self.dram_reads,
+            "writebacks": self.writebacks,
+            "nt_lines": self.nt_lines,
+            "l1_evictions": self.l1_evictions,
+            "l2_evictions": self.l2_evictions,
+            "l3_evictions": self.l3_evictions,
+            "sw_prefetches": self.sw_prefetches,
+            "hw_prefetch_issued": self.hw_prefetch_issued,
+            "hw_prefetch_dram_reads": self.hw_prefetch_dram_reads,
+            "prefetch_useful": self.prefetch_useful,
+            "remote_dram_lines": self.remote_dram_lines,
+            "flushes": self.flushes,
+            "tlb_misses": self.tlb_misses,
+            "tlb_walk_cycles": self.tlb_walk_cycles,
+        }
 
     @property
     def demand_misses_to_dram(self) -> int:
@@ -122,6 +153,9 @@ class MemoryHierarchy:
                  prefetch_control: Optional[PrefetchControl] = None) -> None:
         self.config = config
         self.topology = topology
+        #: trace event bus shared by every port (and the owning machine);
+        #: disabled — hence zero-overhead — until a sink is attached
+        self.bus = TraceBus()
         self.prefetch_control = prefetch_control or PrefetchControl()
         factory = prefetch_factory or default_prefetchers
         ncores = topology.total_cores
@@ -186,6 +220,7 @@ class CorePort:
 
     def __init__(self, hierarchy: MemoryHierarchy, core_id: int) -> None:
         self.hierarchy = hierarchy
+        self.bus = hierarchy.bus
         self.core_id = core_id
         self.node = hierarchy.topology.node_of_core(core_id)
         self.l1 = hierarchy.l1[core_id]
@@ -219,7 +254,53 @@ class CorePort:
         else:
             self._demand_lines(lines, is_write, home, stream_id, stats)
         self.totals.merge(stats)
+        if self.bus.enabled:
+            self._emit_batch(stats, home)
         return stats
+
+    def _emit_batch(self, stats: BatchStats, home: int) -> None:
+        """Publish one batch's counters on the trace bus.
+
+        Emission is batch-granular (one event per port call, not per
+        line) so that tracing a run costs a constant factor, and events
+        are stamped at the *phase* cursor the interpreter maintains.
+        """
+        bus = self.bus
+        ts = bus.cursor
+        core = self.core_id
+        bus.emit(TraceEvent(CACHE, f"core{core}", ts, core=core, args={
+            "accesses": stats.accesses,
+            "l1_hits": stats.l1_hits,
+            "l2_hits": stats.l2_hits,
+            "l3_hits": stats.l3_hits,
+            "l1_evictions": stats.l1_evictions,
+            "l2_evictions": stats.l2_evictions,
+            "l3_evictions": stats.l3_evictions,
+            "tlb_misses": stats.tlb_misses,
+            "flushes": stats.flushes,
+        }))
+        reads = stats.dram_reads + stats.hw_prefetch_dram_reads
+        writes = stats.writebacks + stats.nt_lines
+        if reads or writes:
+            bus.emit(TraceEvent(DRAM, f"node{home}", ts, core=core, args={
+                "reads": reads,
+                "writes": writes,
+                "demand_reads": stats.dram_reads,
+                "prefetch_reads": stats.hw_prefetch_dram_reads,
+                "remote_lines": stats.remote_dram_lines,
+            }))
+        if stats.hw_prefetch_issued or stats.sw_prefetches or stats.prefetch_useful:
+            engines = {
+                engine.kind: engine.stats.as_dict()
+                for engine in self.hierarchy.prefetchers_of(core)
+            }
+            bus.emit(TraceEvent(PREFETCH, f"core{core}", ts, core=core, args={
+                "hw_issued": stats.hw_prefetch_issued,
+                "hw_dram_reads": stats.hw_prefetch_dram_reads,
+                "sw_prefetches": stats.sw_prefetches,
+                "useful": stats.prefetch_useful,
+                "engines": engines,
+            }))
 
     def _demand_lines(self, lines, is_write: bool, home: int,
                       stream_id: int, stats: BatchStats) -> None:
@@ -232,6 +313,7 @@ class CorePort:
             for engine in self.hierarchy.prefetchers_of(self.core_id)
             if self.hierarchy.prefetch_control.is_enabled(engine.kind)
         ]
+        hit_engines = [engine for engine in engines if engine.train_on_hits]
         remote = home != self.node
         dram = self.hierarchy.dram[home]
         tlb = self.tlb
@@ -247,6 +329,10 @@ class CorePort:
                     stats.tlb_walk_cycles += walk
             if l1.lookup_update(line, is_write):
                 stats.l1_hits += 1
+                for engine in hit_engines:
+                    candidates = engine.observe(line, False, stream_id)
+                    if candidates:
+                        self._hw_prefetch(candidates, home, stats)
                 continue
             # L1 miss: resolve below, then train the prefetchers
             if l2.lookup_update(line):
@@ -304,32 +390,42 @@ class CorePort:
     # ------------------------------------------------------------------
     def _fill_l1(self, line: int, dirty: bool, stats: BatchStats, dram) -> None:
         evicted = self.l1.fill(line, dirty=dirty)
-        if evicted is not None and evicted[1]:
-            self._absorb_dirty(self.l2, evicted[0], stats, dram)
+        if evicted is not None:
+            stats.l1_evictions += 1
+            if evicted[1]:
+                self._absorb_dirty(self.l2, evicted[0], stats, dram)
 
     def _fill_l2(self, line: int, stats: BatchStats, dram) -> None:
         evicted = self.l2.fill(line)
-        if evicted is not None and evicted[1]:
-            self._absorb_dirty(self.l3, evicted[0], stats, dram)
+        if evicted is not None:
+            stats.l2_evictions += 1
+            if evicted[1]:
+                self._absorb_dirty(self.l3, evicted[0], stats, dram)
 
     def _fill_l3(self, line: int, stats: BatchStats, dram) -> None:
         evicted = self.l3.fill(line)
-        if evicted is not None and evicted[1]:
-            dram.write_line()
-            stats.writebacks += 1
+        if evicted is not None:
+            stats.l3_evictions += 1
+            if evicted[1]:
+                dram.write_line()
+                stats.writebacks += 1
 
     def _absorb_dirty(self, lower: Cache, line: int, stats: BatchStats, dram) -> None:
         """Push a dirty eviction into ``lower``; cascade if it evicts."""
         if lower.mark_dirty(line):
             return
         evicted = lower.fill(line, dirty=True)
-        if evicted is None or not evicted[1]:
+        if evicted is None:
             return
         if lower is self.l2:
-            self._absorb_dirty(self.l3, evicted[0], stats, dram)
+            stats.l2_evictions += 1
+            if evicted[1]:
+                self._absorb_dirty(self.l3, evicted[0], stats, dram)
         else:
-            dram.write_line()
-            stats.writebacks += 1
+            stats.l3_evictions += 1
+            if evicted[1]:
+                dram.write_line()
+                stats.writebacks += 1
 
     # ------------------------------------------------------------------
     # prefetch / flush
@@ -366,6 +462,8 @@ class CorePort:
             self._fill_l1(line, False, stats, dram)
             self._prefetched.add(line)
         self.totals.merge(stats)
+        if self.bus.enabled:
+            self._emit_batch(stats, home)
         return stats
 
     def flush_lines(self, lines, node: Optional[int] = None) -> BatchStats:
@@ -383,6 +481,8 @@ class CorePort:
                 dram.write_line()
                 stats.writebacks += 1
         self.totals.merge(stats)
+        if self.bus.enabled:
+            self._emit_batch(stats, home)
         return stats
 
     def clear_prefetched(self) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..errors import PmuError
+from ..trace.events import COUNTERS, TraceEvent
 from .events import SCOPE_CORE, SCOPE_UNCORE, event
 
 
@@ -67,6 +68,8 @@ class PerfSession:
             self._start_uncore[event_id] = self.machine.uncore.read(
                 event_id, self._start_tsc
             )
+        self._emit_snapshot("session:begin", self._start_core,
+                            self._start_uncore, self._start_tsc)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -79,8 +82,23 @@ class PerfSession:
             self._end_uncore[event_id] = self.machine.uncore.read(
                 event_id, self._end_tsc
             )
+        self._emit_snapshot("session:end", self._end_core,
+                            self._end_uncore, self._end_tsc)
         self._open = False
         self._closed = True
+
+    def _emit_snapshot(self, name: str, core_values, uncore_values,
+                       tsc: float) -> None:
+        """Publish a counter snapshot on the machine's trace bus."""
+        bus = getattr(self.machine, "trace", None)
+        if bus is None or not bus.enabled:
+            return
+        args: Dict[str, float] = {"tsc": tsc}
+        for (core, event_id), value in core_values.items():
+            args[f"core{core}.{event_id}"] = value
+        for event_id, value in uncore_values.items():
+            args[f"uncore.{event_id}"] = value
+        bus.emit(TraceEvent(COUNTERS, name, tsc, args=args))
 
     # ------------------------------------------------------------------
     # reads

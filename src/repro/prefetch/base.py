@@ -34,12 +34,21 @@ class PrefetchStats:
     def accuracy(self) -> float:
         return self.useful / self.issued if self.issued else 0.0
 
+    def as_dict(self) -> dict:
+        return {"issued": self.issued, "useful": self.useful,
+                "accuracy": self.accuracy}
+
 
 class Prefetcher(ABC):
     """One hardware prefetch engine attached to a core."""
 
     #: short identifier used by the control mask and reports
     kind = "abstract"
+
+    #: whether the engine observes L1 *hits* as well as misses.  L2-side
+    #: engines (streamer) only see L1 misses; L1-side engines (the IP
+    #: prefetcher) watch the full load stream.
+    train_on_hits = False
 
     def __init__(self) -> None:
         self.stats = PrefetchStats()

@@ -25,9 +25,17 @@ class _SiteState:
 
 
 class StridePrefetcher(Prefetcher):
-    """Per-site constant-stride detector."""
+    """Per-site constant-stride detector.
+
+    As an L1-side engine it trains on the full demand stream (hits and
+    misses).  Miss-only training would starve it on warm reruns: a line
+    invalidated mid-run (non-temporal store) that the cold run re-covered
+    with an active stream would miss to DRAM on the rerun — breaking the
+    rerun-monotonicity invariant the property tests check.
+    """
 
     kind = "stride"
+    train_on_hits = True
 
     def __init__(self, sites: int = 64, degree: int = 2,
                  confidence_threshold: int = 2, max_stride: int = 512) -> None:

@@ -1,0 +1,54 @@
+"""Structured tracing and metrics for the simulated machine.
+
+The layer has three parts:
+
+* a zero-overhead-when-disabled event bus (:class:`TraceBus`) that the
+  interpreter, memory hierarchy, prefetchers and PMU sessions emit
+  :class:`TraceEvent` objects into;
+* a collector (:class:`TraceCollector`) that folds the stream into
+  per-phase records and per-kernel summaries with derived metrics;
+* exporters for Chrome trace-event JSON (Perfetto), Prometheus text
+  metrics, and JSON lines.
+
+See ``docs/OBSERVABILITY.md`` for the full tour.
+"""
+
+from .bus import ListSink, NullSink, TraceBus
+from .collector import BOUND_ORDER, PhaseRecord, TraceCollector
+from .events import (
+    CACHE,
+    COUNTERS,
+    DRAM,
+    KINDS,
+    MARK,
+    PHASE,
+    PREFETCH,
+    TraceEvent,
+)
+from .export import (
+    measurement_to_dict,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+
+__all__ = [
+    "TraceBus",
+    "TraceEvent",
+    "TraceCollector",
+    "PhaseRecord",
+    "ListSink",
+    "NullSink",
+    "BOUND_ORDER",
+    "PHASE",
+    "CACHE",
+    "DRAM",
+    "PREFETCH",
+    "COUNTERS",
+    "MARK",
+    "KINDS",
+    "to_chrome_trace",
+    "to_jsonl",
+    "to_prometheus",
+    "measurement_to_dict",
+]

@@ -1,0 +1,68 @@
+"""Trace event schema.
+
+Every observable the simulated machine produces flows through one event
+type, :class:`TraceEvent`, tagged with a *kind*:
+
+* ``phase``    — one timed phase (an innermost-loop execution or a
+  straight-line block) with its full cycle-breakdown attribution from
+  the timing model, the functional memory counts of its batch, and the
+  reissue-overcount bookkeeping.  Emitted by the interpreter.
+* ``cache``    — per-batch cache resolution counts: per-level hits,
+  evictions, TLB walks.  Emitted by each core's memory port.
+* ``dram``     — per-batch IMC-visible line transfers (CAS reads and
+  writes) attributed to the data's home node.  Emitted by the port.
+* ``prefetch`` — per-batch prefetch activity plus the cumulative
+  per-engine issued/useful counters.  Emitted by the port.
+* ``counters`` — a PMU counter snapshot (session open/close).  Emitted
+  by :class:`repro.pmu.perf.PerfSession`.
+* ``mark``     — an instant annotation (e.g. the measurement runner's
+  ``measured:begin`` / ``measured:end`` region markers).
+
+Timestamps (``ts``) and durations (``dur``) are in *cycles* on the
+machine's TSC timeline; exporters convert to wall time using the
+machine's frequency.  ``core`` is the emitting core id, or ``-1`` for
+machine-scope events (uncore counters, marks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: event-kind constants
+PHASE = "phase"
+CACHE = "cache"
+DRAM = "dram"
+PREFETCH = "prefetch"
+COUNTERS = "counters"
+MARK = "mark"
+
+KINDS = (PHASE, CACHE, DRAM, PREFETCH, COUNTERS, MARK)
+
+
+@dataclass
+class TraceEvent:
+    """One observable occurrence on the simulated machine.
+
+    ``args`` carries the kind-specific payload (flat numeric counters
+    for ``cache``/``dram``/``prefetch``, the cycle breakdown for
+    ``phase``, counter values for ``counters``).
+    """
+
+    kind: str
+    name: str
+    ts: float
+    core: int = -1
+    dur: float = 0.0
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready flat representation (used by the JSONL exporter)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "ts": self.ts,
+            "core": self.core,
+            "dur": self.dur,
+            "args": self.args,
+        }

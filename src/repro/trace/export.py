@@ -1,0 +1,193 @@
+"""Trace exporters: Chrome trace-event JSON, Prometheus text, JSONL.
+
+* :func:`to_chrome_trace` produces the Trace Event Format consumed by
+  Perfetto / ``chrome://tracing``: phases become complete (``X``)
+  duration events on one track per core, and the cache/DRAM/prefetch
+  batch streams become cumulative counter (``C``) tracks.
+* :func:`to_prometheus` renders a collector summary in the Prometheus
+  text exposition format (counters and gauges with labels).
+* :func:`to_jsonl` writes the raw event stream one JSON object per
+  line — the lossless form, for ad-hoc analysis.
+* :func:`measurement_to_dict` is the machine-readable form of a
+  :class:`~repro.measure.runner.Measurement` used by ``--json`` CLI
+  output; it embeds the trace summary when one was collected.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .events import CACHE, COUNTERS, DRAM, MARK, PHASE, PREFETCH, TraceEvent
+
+#: counter series exported per cache batch event
+_CACHE_SERIES = ("l1_hits", "l2_hits", "l3_hits", "dram_reads",
+                 "l1_evictions", "l2_evictions", "l3_evictions",
+                 "tlb_misses")
+
+
+def _cycles_to_us(cycles: float, frequency_hz: float) -> float:
+    return cycles / frequency_hz * 1e6
+
+
+def to_chrome_trace(events: Iterable[TraceEvent],
+                    frequency_hz: float = 1e9,
+                    machine_name: str = "repro") -> dict:
+    """Trace Event Format document (load in Perfetto / chrome://tracing).
+
+    Timestamps are converted from cycles to microseconds at
+    ``frequency_hz``.  Batch-level events are folded into cumulative
+    counter tracks; PMU snapshots and marks become instant events.
+    """
+    out: List[dict] = [{
+        "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+        "args": {"name": machine_name},
+    }]
+    counters: Dict[str, Dict[str, float]] = {}
+    seen_cores = set()
+    for event in events:
+        ts = _cycles_to_us(event.ts, frequency_hz)
+        tid = max(event.core, 0)
+        if event.core >= 0 and event.core not in seen_cores:
+            seen_cores.add(event.core)
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": 0,
+                "tid": event.core, "args": {"name": f"core {event.core}"},
+            })
+        if event.kind == PHASE:
+            out.append({
+                "ph": "X", "name": event.name, "cat": "phase",
+                "pid": 0, "tid": tid, "ts": ts,
+                "dur": _cycles_to_us(event.dur, frequency_hz),
+                "args": event.args,
+            })
+        elif event.kind in (CACHE, DRAM, PREFETCH):
+            track = f"{event.kind}.{event.name}"
+            running = counters.setdefault(track, {})
+            for key, value in event.args.items():
+                if isinstance(value, (int, float)):
+                    running[key] = running.get(key, 0) + value
+            if running:
+                out.append({
+                    "ph": "C", "name": track, "cat": event.kind,
+                    "pid": 0, "tid": tid, "ts": ts,
+                    "args": dict(running),
+                })
+        elif event.kind in (COUNTERS, MARK):
+            out.append({
+                "ph": "i", "name": event.name, "cat": event.kind,
+                "pid": 0, "tid": tid, "ts": ts, "s": "g",
+                "args": event.args,
+            })
+    return {"displayTimeUnit": "ms", "traceEvents": out}
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One JSON object per line, in emission order (lossless)."""
+    return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+
+
+def _prom_labels(labels: Dict[str, object]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + body + "}"
+
+
+def to_prometheus(summary: dict, prefix: str = "repro") -> str:
+    """Prometheus text exposition of a collector summary."""
+    lines: List[str] = []
+
+    def metric(name: str, kind: str, help_text: str,
+               samples: List) -> None:
+        if not samples:
+            return
+        lines.append(f"# HELP {prefix}_{name} {help_text}")
+        lines.append(f"# TYPE {prefix}_{name} {kind}")
+        for labels, value in samples:
+            lines.append(f"{prefix}_{name}{_prom_labels(labels)} {value:g}")
+
+    metric("phase_count", "gauge", "Measured phases in the trace",
+           [({}, summary.get("phase_count", 0))])
+    metric("cycles_total", "counter", "Cycles across measured phases",
+           [({}, summary.get("total_cycles", 0.0))])
+    metric("bound_cycles_total", "counter",
+           "Throughput-bound cycles attributed to each binding constraint",
+           [({"bound": b}, c)
+            for b, c in sorted(summary.get("bound_cycles", {}).items())])
+    metric("cache_events_total", "counter",
+           "Functional cache/TLB event counts",
+           [({"event": k}, v)
+            for k, v in sorted(summary.get("cache", {}).items())])
+    dram = summary.get("dram", {})
+    metric("dram_lines_total", "counter", "IMC-visible 64B line transfers",
+           [({"dir": "read"}, dram.get("read_lines", 0)),
+            ({"dir": "write"}, dram.get("write_lines", 0))])
+    metric("prefetch_total", "counter", "Per-engine prefetch counters",
+           [({"engine": engine, "kind": k}, stats.get(k, 0))
+            for engine, stats in sorted(
+                summary.get("prefetch_engines", {}).items())
+            for k in ("issued", "useful")])
+    reissue = summary.get("reissue", {})
+    metric("reissue_slots_total", "counter",
+           "FP re-dispatch slots (the W-overcount mechanism)",
+           [({}, reissue.get("slots", 0))])
+    metric("reissue_overcounted_flops_total", "counter",
+           "Counted flops attributable purely to FP reissue",
+           [({}, reissue.get("overcounted_flops", 0))])
+    metric("bandwidth_utilization", "gauge",
+           "Cycle-weighted achieved/roof bandwidth per memory level",
+           [({"level": level}, value)
+            for level, value in sorted(
+                (summary.get("bandwidth_utilization") or {}).items())
+            if value is not None])
+    mlp = summary.get("avg_outstanding_misses")
+    if mlp is not None:
+        metric("avg_outstanding_misses", "gauge",
+               "Average outstanding demand misses (MLP actually used)",
+               [({}, mlp)])
+    return "\n".join(lines) + "\n"
+
+
+def _summary_to_dict(summary) -> Optional[dict]:
+    if summary is None:
+        return None
+    return {
+        "median": summary.median,
+        "mean": summary.mean,
+        "min": summary.minimum,
+        "max": summary.maximum,
+        "count": summary.count,
+        "spread": summary.spread,
+    }
+
+
+def measurement_to_dict(m) -> dict:
+    """JSON-ready document for one Measurement (CLI ``--json`` output)."""
+    doc = {
+        "kernel": m.kernel,
+        "n": m.n,
+        "threads": m.threads,
+        "protocol": m.protocol,
+        "machine": m.machine,
+        "reps": m.reps,
+        "work_flops": m.work_flops,
+        "true_flops": m.true_flops,
+        "work_overcount": m.work_overcount,
+        "traffic_bytes": m.traffic_bytes,
+        "compulsory_bytes": m.compulsory_bytes,
+        "traffic_ratio": m.traffic_ratio,
+        "llc_bytes": m.llc_bytes,
+        "runtime_seconds": m.runtime_seconds,
+        "performance_flops_per_s": m.performance,
+        "intensity_flops_per_byte": m.intensity,
+        "summaries": {
+            "work": _summary_to_dict(m.work_summary),
+            "traffic": _summary_to_dict(m.traffic_summary),
+            "runtime": _summary_to_dict(m.runtime_summary),
+        },
+    }
+    trace = getattr(m, "trace", None)
+    if trace is not None:
+        doc["trace"] = trace.summary()
+    return doc

@@ -98,13 +98,26 @@ class TestGlobalInvariants:
     @given(random_affine_programs())
     @settings(max_examples=20, deadline=None)
     def test_rerun_never_reads_more_dram(self, program):
-        """A warm rerun can only hit more, never miss more."""
+        """A warm rerun never reads more lines from DRAM than a cold run.
+
+        The invariant holds for *IMC-visible* reads (demand misses plus
+        prefetch fills) — the quantity the methodology measures as Q.
+        Demand-only reads are not monotonic: prefetching legitimately
+        converts demand misses into prefetch fills and back.  A
+        non-temporal store that invalidates a line mid-run is re-covered
+        in the cold run by an already-trained prefetch stream (a
+        prefetch read) while the warm run — fewer misses, hence less
+        engine training — pays a demand miss for the same line.  Total
+        controller read traffic still only ever shrinks on a rerun.
+        """
         machine = tiny_test_machine()
         loaded = machine.load(program)
         machine.bust_caches()
         cold = machine.run(loaded, core_id=0).result.batch
         warm = machine.run(loaded, core_id=0).result.batch
-        assert warm.dram_reads <= cold.dram_reads
+        cold_reads = cold.dram_reads + cold.hw_prefetch_dram_reads
+        warm_reads = warm.dram_reads + warm.hw_prefetch_dram_reads
+        assert warm_reads <= cold_reads
 
     @given(random_affine_programs())
     @settings(max_examples=15, deadline=None)

@@ -1,0 +1,106 @@
+"""Trace bus semantics: emission, ordering, and zero-cost disabling."""
+
+from repro.machine.presets import tiny_test_machine
+from repro.trace import (
+    CACHE,
+    DRAM,
+    PHASE,
+    ListSink,
+    NullSink,
+    TraceBus,
+    TraceEvent,
+)
+from tests.conftest import build_triad
+
+
+class TestBus:
+    def test_disabled_by_default(self):
+        bus = TraceBus()
+        assert not bus.enabled
+        assert isinstance(bus.sink, NullSink)
+
+    def test_attach_enables_and_routes(self):
+        bus = TraceBus()
+        sink = ListSink()
+        bus.attach(sink)
+        assert bus.enabled
+        bus.emit(TraceEvent(PHASE, "p", 1.0))
+        assert len(sink) == 1
+
+    def test_detach_restores_nullsink_and_returns_sink(self):
+        bus = TraceBus()
+        sink = ListSink()
+        bus.attach(sink)
+        bus.emit(TraceEvent(PHASE, "p", 0.0))
+        returned = bus.detach()
+        assert returned is sink
+        assert not bus.enabled
+        bus.emit(TraceEvent(PHASE, "p", 1.0))
+        assert len(sink) == 1  # nothing new after detach
+
+    def test_emit_while_disabled_is_dropped(self):
+        bus = TraceBus()
+        bus.emit(TraceEvent(PHASE, "p", 1.0))  # must not raise
+
+
+class TestMachineEmission:
+    def run_traced(self, machine, program):
+        sink = ListSink()
+        machine.trace.attach(sink)
+        loaded = machine.load(program)
+        machine.bust_caches()
+        run = machine.run(loaded, core_id=0)
+        machine.trace.detach()
+        return run, sink.events
+
+    def test_phases_and_batches_emitted(self, tiny):
+        run, events = self.run_traced(tiny, build_triad(512))
+        kinds = {e.kind for e in events}
+        assert PHASE in kinds
+        assert CACHE in kinds
+        assert DRAM in kinds  # cold caches must reach DRAM
+
+    def test_event_ordering_is_monotonic_per_core(self, tiny):
+        _run, events = self.run_traced(tiny, build_triad(512))
+        timestamps = [e.ts for e in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_phase_durations_sum_to_run_cycles(self, tiny):
+        run, events = self.run_traced(tiny, build_triad(512))
+        phase_cycles = sum(e.dur for e in events if e.kind == PHASE)
+        assert abs(phase_cycles - run.cycles) < 1e-6
+
+    def test_phase_args_carry_bounds_and_batch(self, tiny):
+        _run, events = self.run_traced(tiny, build_triad(512))
+        phase = next(e for e in events if e.kind == PHASE)
+        assert phase.args["trips"] > 0
+        assert "dram_bandwidth" in phase.args["bounds"]
+        assert phase.args["batch"]["accesses"] > 0
+        assert phase.args["dominant"] in phase.args["bounds"]
+
+    def test_dram_events_match_imc_counters(self, tiny):
+        _run, events = self.run_traced(tiny, build_triad(512))
+        reads = sum(e.args["reads"] for e in events if e.kind == DRAM)
+        writes = sum(e.args["writes"] for e in events if e.kind == DRAM)
+        imc = tiny.hierarchy.dram[0].counters
+        assert reads == imc.cas_reads
+        assert writes == imc.cas_writes
+
+    def test_tracing_does_not_perturb_execution(self, tiny):
+        program = build_triad(512)
+        run_traced, _events = self.run_traced(tiny, program)
+        untraced = tiny_test_machine()
+        loaded = untraced.load(program)
+        untraced.bust_caches()
+        run_plain = untraced.run(loaded, core_id=0)
+        assert run_traced.cycles == run_plain.cycles
+        assert (run_traced.result.batch.as_dict()
+                == run_plain.result.batch.as_dict())
+
+    def test_disabled_bus_emits_nothing_during_run(self, tiny):
+        sink = ListSink()
+        tiny.trace.sink = sink  # routed but NOT enabled
+        loaded = tiny.load(build_triad(512))
+        tiny.bust_caches()
+        tiny.run(loaded, core_id=0)
+        assert len(sink) == 0

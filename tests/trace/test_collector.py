@@ -1,0 +1,104 @@
+"""Collector summarisation: phase records, marks, derived metrics."""
+
+from repro.trace import MARK, PHASE, TraceCollector, TraceEvent
+
+
+def phase_event(name="loop:j", ts=0.0, dur=100.0, core=0, dominant="dram_bandwidth",
+                exposed=20.0, l2_hits=0, dram_reads=8, mlp=4.0, dram_bpc=4.0,
+                reissue_slots=0, reissue_flops=0):
+    return TraceEvent(PHASE, name, ts, core=core, dur=dur, args={
+        "trips": 16,
+        "dominant": dominant,
+        "bounds": {"dram_bandwidth": dur - exposed, "exposed_latency": exposed},
+        "batch": {"l1_hits": 4, "l2_hits": l2_hits, "l3_hits": 0,
+                  "dram_reads": dram_reads, "writebacks": 2,
+                  "hw_prefetch_dram_reads": 1, "nt_lines": 0},
+        "dram_bpc": dram_bpc,
+        "mlp": mlp,
+        "reissue_slots": reissue_slots,
+        "reissue_flops": reissue_flops,
+    })
+
+
+class TestPhaseRecords:
+    def test_phase_unpacked(self):
+        col = TraceCollector()
+        col.emit(phase_event())
+        (record,) = col.phases
+        assert record.name == "loop:j"
+        assert record.cycles == 100.0
+        assert record.dominant == "dram_bandwidth"
+        assert record.trips == 16
+
+    def test_derived_bandwidth_and_mlp(self):
+        col = TraceCollector()
+        col.emit(phase_event())
+        derived = col.phases[0].derived
+        # (8 demand + 2 wb + 1 prefetch) lines * 64B / 100 cycles
+        assert abs(derived["achieved_dram_bpc"] - 11 * 64 / 100.0) < 1e-9
+        assert abs(derived["dram_utilization"]
+                   - derived["achieved_dram_bpc"] / 4.0) < 1e-9
+        assert abs(derived["exposed_fraction"] - 0.2) < 1e-9
+        # exposed * mlp / cycles = average outstanding misses
+        assert abs(derived["avg_outstanding_misses"] - 0.8) < 1e-9
+
+
+class TestMarks:
+    def test_marks_scope_the_summary(self):
+        col = TraceCollector()
+        col.emit(phase_event(name="setup", dur=1000.0))
+        col.emit(TraceEvent(MARK, "measured:begin", 1000.0))
+        col.emit(phase_event(name="kernel", ts=1000.0, dur=100.0))
+        col.emit(TraceEvent(MARK, "measured:end", 1100.0))
+        col.emit(phase_event(name="teardown", ts=1100.0, dur=500.0))
+        measured = col.measured_phases()
+        assert [p.name for p in measured] == ["kernel"]
+        assert col.summary()["total_cycles"] == 100.0
+
+    def test_without_marks_every_phase_counts(self):
+        col = TraceCollector()
+        col.emit(phase_event(dur=100.0))
+        col.emit(phase_event(dur=200.0, ts=100.0))
+        assert col.summary()["total_cycles"] == 300.0
+
+
+class TestSummary:
+    def test_bound_cycles_exclude_exposed_latency(self):
+        col = TraceCollector()
+        col.emit(phase_event(dur=100.0, exposed=20.0))
+        assert col.dominant_cycles() == {"dram_bandwidth": 80.0}
+
+    def test_reissue_totals(self):
+        col = TraceCollector()
+        col.emit(phase_event(reissue_slots=3, reissue_flops=24))
+        col.emit(phase_event(ts=100.0, reissue_slots=2, reissue_flops=16))
+        summary = col.summary()
+        assert summary["reissue"] == {"slots": 5, "overcounted_flops": 40}
+
+    def test_dram_totals(self):
+        col = TraceCollector()
+        col.emit(phase_event())
+        dram = col.summary()["dram"]
+        assert dram["read_lines"] == 9    # 8 demand + 1 prefetch
+        assert dram["write_lines"] == 2   # writebacks
+        assert dram["bytes"] == 11 * 64
+
+    def test_phase_table_renders(self):
+        col = TraceCollector()
+        col.emit(phase_event())
+        table = col.phase_table()
+        assert "loop:j" in table
+        assert "dram_bandwidth" in table
+
+    def test_bound_attribution_renders(self):
+        col = TraceCollector()
+        col.emit(phase_event())
+        text = col.bound_attribution()
+        assert "dram_bandwidth" in text
+        assert "100%" in text
+
+    def test_keep_events_false_drops_raw_stream(self):
+        col = TraceCollector(keep_events=False)
+        col.emit(phase_event())
+        assert col.events == []
+        assert len(col.phases) == 1

@@ -1,0 +1,75 @@
+"""Tracing composed with the measurement methodology.
+
+The critical regression: attaching a trace collector must not change
+the measured W/Q/T by a single bit — the collector only observes.
+"""
+
+import json
+
+from repro.kernels import make_kernel
+from repro.machine.presets import tiny_test_machine
+from repro.measure.runner import measure_kernel
+from repro.trace import MARK, TraceCollector, measurement_to_dict
+
+
+def measure(trace=None, reps=2):
+    machine = tiny_test_machine()
+    return measure_kernel(machine, make_kernel("triad"), 512,
+                          protocol="cold", reps=reps, trace=trace)
+
+
+class TestTracedMeasurement:
+    def test_traced_wqt_identical_to_untraced(self):
+        traced = measure(trace=True)
+        plain = measure()
+        assert traced.work_flops == plain.work_flops
+        assert traced.traffic_bytes == plain.traffic_bytes
+        assert traced.llc_bytes == plain.llc_bytes
+        assert traced.runtime_seconds == plain.runtime_seconds
+        assert traced.work_summary == plain.work_summary
+        assert traced.traffic_summary == plain.traffic_summary
+        assert traced.runtime_summary == plain.runtime_summary
+
+    def test_trace_attached_to_measurement(self):
+        m = measure(trace=True)
+        assert isinstance(m.trace, TraceCollector)
+        assert len(m.trace.events) > 0
+        assert m.trace.machine_name == "tiny"
+
+    def test_untraced_measurement_has_no_trace(self):
+        assert measure().trace is None
+
+    def test_marks_bracket_the_measured_kernel(self):
+        m = measure(trace=True)
+        marks = [e.name for e in m.trace.events if e.kind == MARK]
+        assert marks.count("measured:begin") == 1
+        assert marks.count("measured:end") == 1
+        # the measured region excludes init/protocol phases
+        assert len(m.trace.measured_phases()) < len(m.trace.phases)
+
+    def test_existing_collector_is_reused(self):
+        collector = TraceCollector()
+        m = measure(trace=collector)
+        assert m.trace is collector
+        assert len(collector.events) > 0
+
+    def test_bus_detached_after_measurement(self):
+        machine = tiny_test_machine()
+        measure_kernel(machine, make_kernel("triad"), 512, reps=1,
+                       trace=True)
+        assert not machine.trace.enabled
+
+    def test_summary_reflects_kernel_traffic(self):
+        m = measure(trace=True)
+        summary = m.trace.summary()
+        assert summary["phase_count"] >= 1
+        assert summary["dram"]["bytes"] > 0
+        assert summary["dominant_bound"] is not None
+
+    def test_measurement_to_dict_embeds_trace(self):
+        m = measure(trace=True)
+        doc = measurement_to_dict(m)
+        json.dumps(doc)  # JSON-ready
+        assert doc["kernel"] == "triad"
+        assert doc["trace"]["phase_count"] >= 1
+        assert measurement_to_dict(measure()).get("trace") is None
