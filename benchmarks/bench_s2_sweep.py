@@ -1,0 +1,52 @@
+"""Bench S2: sweep engine throughput (executor + result cache).
+
+Not a paper figure — this measures the measurement *pipeline* itself:
+how fast a plan's points simulate through the serial executor, and how
+much a warm content-addressed cache accelerates replay.  A replay
+should be orders of magnitude cheaper than simulation; if the two ever
+converge, cache lookup overhead has regressed.
+"""
+
+from repro.machine.ref import MachineRef
+from repro.sweep import SweepCache, SweepPlan, run_plan
+
+
+def f4_tiny_plan() -> SweepPlan:
+    plan = SweepPlan()
+    for protocol in ("cold", "warm"):
+        plan.add_sweep(MachineRef.of("tiny"), "daxpy", [128, 512, 2048],
+                       protocol=protocol, reps=1)
+    return plan
+
+
+def test_serial_simulation_throughput(benchmark):
+    def cold():
+        return run_plan(f4_tiny_plan(), jobs=1, cache=None)
+
+    run = benchmark(cold)
+    assert len(run.measurements) == 6
+    assert run.stats.misses == 6
+
+
+def test_cache_replay_throughput(benchmark, tmp_path):
+    cache = SweepCache(str(tmp_path / "sweepcache"))
+    seeded = run_plan(f4_tiny_plan(), cache=cache)
+    assert seeded.stats.misses == 6
+
+    def replay():
+        return run_plan(f4_tiny_plan(), cache=cache)
+
+    run = benchmark(replay)
+    assert run.stats.hit_rate == 1.0
+
+
+def test_key_hashing_throughput(benchmark):
+    from repro.sweep import point_key
+
+    points = list(f4_tiny_plan())
+
+    def hash_all():
+        return [point_key(p) for p in points]
+
+    keys = benchmark(hash_all)
+    assert len(set(keys)) == len(points)

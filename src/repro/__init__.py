@@ -21,6 +21,7 @@ Quickstart::
 from .errors import ReproError
 from .machine import (
     Machine,
+    MachineRef,
     MachineSpec,
     dual_socket_ep,
     haswell_node,
@@ -30,19 +31,25 @@ from .machine import (
     sandy_bridge_ep,
     tiny_test_machine,
 )
+from .sweep import SweepCache, SweepPlan, SweepPoint, run_plan
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Machine",
+    "MachineRef",
     "MachineSpec",
     "ReproError",
+    "SweepCache",
+    "SweepPlan",
+    "SweepPoint",
     "__version__",
     "dual_socket_ep",
     "haswell_node",
     "ivy_bridge_desktop",
     "make_machine",
     "paper_machine",
+    "run_plan",
     "sandy_bridge_ep",
     "tiny_test_machine",
 ]

@@ -7,11 +7,18 @@ Subcommands:
 * ``measure``     — measure one kernel and print its W/Q/T and point
 * ``profile``     — measure one kernel with tracing: phase-level cycle
   attribution, bound breakdown, Chrome-trace / metrics export
+* ``sweep``       — run a measurement grid (a named figure grid or an
+  explicit kernel x size list) through the parallel sweep engine with
+  content-addressed result caching
 * ``experiment``  — run experiments and write EXPERIMENTS-style output
 
-``measure`` and ``roofline`` accept ``--json`` for machine-readable
-output; ``profile`` adds ``--trace-out`` (Chrome trace-event JSON,
-loadable in Perfetto) and ``--metrics-out`` (Prometheus text format).
+``measure``, ``roofline``, and ``sweep`` accept ``--json`` for
+machine-readable output; ``profile`` and ``sweep`` add ``--trace-out``
+(Chrome trace-event JSON, loadable in Perfetto) and ``--metrics-out``
+(Prometheus text format).  The global ``--jobs N`` / ``--no-cache`` /
+``--cache-dir`` flags (also accepted after ``sweep``/``experiment``)
+control how measurement grids execute: ``--jobs`` fans points over a
+process pool, ``--no-cache`` forces re-simulation of every point.
 """
 
 from __future__ import annotations
@@ -26,10 +33,21 @@ from .experiments import ExperimentConfig, experiment_ids, run_experiments
 from .experiments.report import render_report, write_artifacts
 from .kernels import kernel_names, make_kernel
 from .machine.presets import PRESETS, make_machine
+from .machine.ref import MachineRef
 from .measure import explain_kernel, measure_kernel
 from .roofline import KernelPoint, analyze_point, ascii_plot, build_roofline
 from .roofline.export import to_json as roofline_to_json
+from .sweep import (
+    GRIDS,
+    SweepCache,
+    SweepPlan,
+    SweepStats,
+    make_grid,
+    measurement_to_payload,
+    run_plan,
+)
 from .trace import TraceCollector, measurement_to_dict, to_chrome_trace, to_prometheus
+from .trace.bus import ListSink, TraceBus
 from .units import format_bandwidth, format_bytes, format_flops, format_time
 
 
@@ -145,9 +163,76 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _sweep_machine_ref(machine: str, scale: float) -> MachineRef:
+    """CLI machine selection as a picklable ref (tiny takes no scale)."""
+    if machine == "tiny":
+        return MachineRef.of("tiny")
+    return MachineRef.of(machine, scale=scale)
+
+
+def _cmd_sweep(args) -> int:
+    ref = _sweep_machine_ref(args.machine, args.scale)
+    if args.grid:
+        plan = make_grid(args.grid, ref, quick=args.quick, reps=args.reps)
+    else:
+        if not args.kernel or not args.sizes:
+            print("error: sweep needs either --grid or KERNEL --sizes N,..",
+                  file=sys.stderr)
+            return 2
+        sizes = [int(s) for s in args.sizes.split(",") if s]
+        cores = tuple(ref.build().topology.first_cores(args.threads))
+        plan = SweepPlan()
+        for protocol in args.protocol.split(","):
+            plan.add_sweep(ref, args.kernel, sizes, protocol=protocol,
+                           reps=args.reps, cores=cores)
+
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    bus = TraceBus()
+    sink = ListSink()
+    bus.attach(sink)
+
+    def progress(done: int, total: int, point, status: str) -> None:
+        if not args.json:
+            print(f"[{done}/{total}] {status:7s} {point.label()}")
+
+    run = run_plan(plan, jobs=args.jobs, cache=cache, bus=bus,
+                   progress=progress)
+    if args.trace_out:
+        doc = to_chrome_trace(sink.events, frequency_hz=1.0,
+                              machine_name=f"sweep {ref.describe()}")
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus({"sweep": run.stats.to_dict()}))
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps({
+            "machine": ref.key_doc(),
+            "stats": run.stats.to_dict(),
+            "keys": run.keys,
+            "measurements": [measurement_to_payload(m)
+                             for m in run.measurements],
+        }, indent=2))
+        return 0
+    print()
+    print(f"{'kernel':<14} {'n':>9} {'proto':<5} {'threads':>7} "
+          f"{'I [F/B]':>9} {'P [Gflop/s]':>12}")
+    for m in run.measurements:
+        print(f"{m.kernel:<14} {m.n:>9} {m.protocol:<5} {m.threads:>7} "
+              f"{m.intensity:>9.4f} {m.performance / 1e9:>12.3f}")
+    print()
+    print(f"cache: {run.stats.describe()}")
+    return 0
+
+
 def _cmd_experiment(args) -> int:
+    stats = SweepStats()
     config = ExperimentConfig(scale=args.scale, quick=args.quick,
-                              reps=args.reps)
+                              reps=args.reps, jobs=args.jobs,
+                              cache=not args.no_cache,
+                              cache_dir=args.cache_dir, stats=stats)
     ids = args.ids or None
     results = run_experiments(ids, config)
     report = render_report(results, config)
@@ -160,7 +245,31 @@ def _cmd_experiment(args) -> int:
     if args.artifacts:
         written = write_artifacts(results, args.artifacts)
         print(f"{len(written)} artifact(s) written to {args.artifacts}")
+    if stats.points:
+        print(f"sweep cache: {stats.describe()}")
     return 0 if all(r.passed for r in results) else 1
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser,
+                     suppress: bool = False) -> None:
+    """Jobs/cache flags, shared by the main parser and subparsers.
+
+    Subparsers re-declare them with ``SUPPRESS`` defaults so a bare
+    ``repro --jobs 4 sweep ...`` is not clobbered by the subparser's
+    own default, while ``repro sweep --jobs 4 ...`` still works.
+    """
+    kw = {"default": argparse.SUPPRESS} if suppress else {}
+    parser.add_argument(
+        "--jobs", type=int, **(kw or {"default": None}),
+        help="fan measurement points over N worker processes "
+             "(default: $REPRO_SWEEP_JOBS, else serial)")
+    parser.add_argument(
+        "--no-cache", action="store_true", **(kw or {"default": False}),
+        help="bypass the sweep result cache (re-simulate every point)")
+    parser.add_argument(
+        "--cache-dir", **(kw or {"default": None}),
+        help="sweep cache directory (default: artifacts/sweepcache or "
+             "$REPRO_SWEEP_CACHE)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Measured roofline models on a simulated machine "
                     "(ISPASS 2014 reproduction)",
     )
+    _add_sweep_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list machines, kernels, experiments")
@@ -222,6 +332,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_expl.add_argument("--protocol", choices=("cold", "warm"),
                         default="warm")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a measurement grid through the parallel sweep engine",
+    )
+    p_sweep.add_argument("kernel", nargs="?", choices=kernel_names(),
+                         help="kernel to sweep (alternative to --grid)")
+    p_sweep.add_argument("--grid", choices=sorted(GRIDS),
+                         help="named figure grid (f4=daxpy, f5=dgemv, "
+                              "f6=dgemm, f7=fft)")
+    p_sweep.add_argument("--sizes",
+                         help="comma-separated problem sizes "
+                              "(with KERNEL form)")
+    p_sweep.add_argument("--machine", default="snb-ep",
+                         choices=sorted(PRESETS))
+    p_sweep.add_argument("--scale", type=float, default=0.125)
+    p_sweep.add_argument("--protocol", default="cold",
+                         help="cache protocol(s), comma-separated "
+                              "(cold, warm)")
+    p_sweep.add_argument("--reps", type=int, default=2)
+    p_sweep.add_argument("--threads", type=int, default=1)
+    p_sweep.add_argument("--quick", action="store_true",
+                         help="trim grid sizes (named grids only)")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="emit stats, keys, and measurement payloads "
+                              "as JSON")
+    p_sweep.add_argument("--trace-out",
+                         help="write Chrome trace-event JSON of the sweep")
+    p_sweep.add_argument("--metrics-out",
+                         help="write Prometheus-format sweep metrics here")
+    _add_sweep_flags(p_sweep, suppress=True)
+
     p_exp = sub.add_parser("experiment", help="run paper experiments")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
     p_exp.add_argument("--scale", type=float, default=0.125)
@@ -229,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--reps", type=int, default=2)
     p_exp.add_argument("--output", help="write markdown report here")
     p_exp.add_argument("--artifacts", help="directory for SVG/CSV artifacts")
+    _add_sweep_flags(p_exp, suppress=True)
 
     return parser
 
@@ -241,6 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "measure": _cmd_measure,
         "profile": _cmd_profile,
         "explain": _cmd_explain,
+        "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
     }
     try:

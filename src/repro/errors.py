@@ -50,3 +50,7 @@ class MeasurementError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment failed to run or validate its shape criteria."""
+
+
+class SweepError(ReproError):
+    """A sweep plan, its executor, or the result cache misbehaved."""

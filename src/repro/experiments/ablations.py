@@ -8,34 +8,10 @@ mechanical rather than tuned-in.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from ..cpu.timing import TimingParams
 from ..kernels.blas1 import StreamTriad
-from ..kernels.blas2 import Dgemv
-from ..machine.machine import Machine, MachineSpec
-from ..measure.runner import measure_kernel
 from ..memory.replacement import policy_names
+from ..units import round_to
 from .base import Experiment, ExperimentConfig, ExperimentResult, Table
-from .validation import round_to
-
-
-def _with_l3_policy(config: ExperimentConfig, policy: str) -> Machine:
-    base = config.machine()
-    hierarchy = base.spec.hierarchy
-    l3 = hierarchy.l3
-    if policy == "plru" and l3.assoc & (l3.assoc - 1):
-        # tree-PLRU needs power-of-two ways; keep the set count, trim
-        # the ways (capacity changes slightly — noted in the table)
-        assoc = 1 << (l3.assoc.bit_length() - 1)
-        l3 = replace(l3, assoc=assoc,
-                     size_bytes=l3.nsets * assoc * l3.line_bytes)
-    spec = replace(
-        base.spec,
-        name=f"{base.spec.name}+{policy}",
-        hierarchy=replace(hierarchy, l3=replace(l3, policy=policy)),
-    )
-    return Machine(spec)
 
 
 class ReplacementAblation(Experiment):
@@ -57,16 +33,15 @@ class ReplacementAblation(Experiment):
         probe = config.machine()
         l3 = probe.spec.hierarchy.l3.size_bytes
         n = round_to(int(math.sqrt(1.25 * l3 / 8)), 8)
-        kernel = Dgemv(layout="row")
         table = Table(
             f"dgemv-row at n={n} (footprint ~1.25x L3), warm protocol",
             ["L3 policy", "Q / compulsory", "P [Gflop/s]"],
         )
         ratios = {}
         for policy in policy_names():
-            machine = _with_l3_policy(config, policy)
-            m = measure_kernel(machine, kernel, n, protocol="warm",
-                               reps=1)
+            ref = config.ref().with_overrides(l3_policy=policy)
+            m = config.measure("dgemv-row", n, protocol="warm", reps=1,
+                               machine=ref)
             ratios[policy] = m.traffic_ratio
             table.add(policy, f"{m.traffic_ratio:.3f}",
                       f"{m.performance / 1e9:.3f}")
@@ -169,9 +144,7 @@ class ReissueAblation(Experiment):
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         result = self.new_result()
-        base = config.machine()
-        l3 = base.spec.hierarchy.l3.size_bytes
-        kernel = StreamTriad()
+        l3 = config.machine().spec.hierarchy.l3.size_bytes
         n = round_to(2 * l3 // 24, 32)
         table = Table(
             f"triad cold-cache overcount at n={n}",
@@ -180,20 +153,21 @@ class ReissueAblation(Experiment):
         )
         rows = []
         for interval, cap in ((8, 8), (16, 4), (32, 2), (64, 1)):
-            timing = TimingParams(reissue_interval_cycles=interval,
-                                  max_reissue_per_miss=cap)
-            machine = Machine(replace(base.spec, timing=timing))
             # prefetchers off so replays wait on full DRAM latency —
             # otherwise L2-hit replays (one per line) flatten the sweep
-            machine.prefetch_control.disable_all()
-            m = measure_kernel(machine, kernel, n, protocol="cold", reps=1)
+            ref = config.ref().with_overrides(
+                timing={"reissue_interval_cycles": interval,
+                        "max_reissue_per_miss": cap},
+                prefetch_enabled=False,
+            )
+            m = config.measure("triad", n, protocol="cold", reps=1,
+                               machine=ref)
             rows.append(m.work_overcount)
             table.add(interval, cap, f"{m.work_overcount:.2f}")
         # the hide-everything configuration: replays never fire
-        timing = TimingParams(reissue_hide_cycles=10_000)
-        machine = Machine(replace(base.spec, timing=timing))
-        machine.prefetch_control.disable_all()
-        m = measure_kernel(machine, kernel, n, protocol="cold", reps=1)
+        ref = config.ref().with_overrides(
+            timing={"reissue_hide_cycles": 10_000}, prefetch_enabled=False)
+        m = config.measure("triad", n, protocol="cold", reps=1, machine=ref)
         table.add("hidden (no replays)", 0, f"{m.work_overcount:.2f}")
         result.tables.append(table)
         result.check(

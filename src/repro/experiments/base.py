@@ -11,10 +11,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
-from ..machine.presets import sandy_bridge_ep
+from ..machine.ref import MachineRef
+from ..measure.runner import Measurement
+from ..sweep.cache import SweepCache
+from ..sweep.executor import SweepStats, run_plan
+from ..sweep.plan import SweepPlan
 
 
 @dataclass
@@ -23,18 +27,86 @@ class ExperimentConfig:
 
     ``scale`` shrinks preset cache capacities (see presets docstring);
     ``quick`` trims sweep sizes and repetitions for test/bench runs.
+
+    The platform is described by a picklable :class:`MachineRef`
+    (preset name + kwargs), *not* a factory callable: experiment
+    measurement grids run through the sweep engine, whose worker
+    processes rebuild machines from the ref.  ``machine_ref=None``
+    means the default paper platform (Sandy Bridge-EP at ``scale``).
+
+    ``jobs`` fans measurement points over a process pool (``None``
+    defers to ``$REPRO_SWEEP_JOBS``, then serial); ``cache`` memoises
+    every point in the content-addressed on-disk sweep cache so
+    re-running an experiment only simulates points whose inputs
+    changed.  ``stats``, when set, accumulates cache hit/miss counters
+    across every sweep the experiments submit.
     """
 
     scale: float = 0.125
     quick: bool = False
     reps: int = 2
-    machine_factory: Optional[Callable] = None
+    machine_ref: Optional[MachineRef] = None
+    jobs: Optional[int] = None
+    cache: bool = True
+    cache_dir: Optional[str] = None
+    stats: Optional[SweepStats] = field(default=None, repr=False,
+                                        compare=False)
+
+    # ------------------------------------------------------------------
+    # platform access
+    # ------------------------------------------------------------------
+    def ref(self, sockets: int = 1,
+            scale: Optional[float] = None) -> MachineRef:
+        """The platform as a picklable recipe.
+
+        A custom ``machine_ref`` wins outright; ``sockets``/``scale``
+        parameterise only the default preset (experiments that need a
+        different geometry on a custom platform build their own ref).
+        """
+        if self.machine_ref is not None:
+            return self.machine_ref
+        options = {"scale": scale if scale is not None else self.scale}
+        if sockets != 1:
+            options["sockets"] = sockets
+        return MachineRef.of("snb-ep", **options)
 
     def machine(self, sockets: int = 1):
-        """A fresh machine for this experiment run."""
-        if self.machine_factory is not None:
-            return self.machine_factory()
-        return sandy_bridge_ep(scale=self.scale, sockets=sockets)
+        """A fresh live machine for this experiment run."""
+        return self.ref(sockets=sockets).build()
+
+    # ------------------------------------------------------------------
+    # measurement through the sweep engine
+    # ------------------------------------------------------------------
+    def sweep_cache(self) -> Optional[SweepCache]:
+        return SweepCache(self.cache_dir) if self.cache else None
+
+    def run_plan(self, plan: SweepPlan) -> List[Measurement]:
+        """Execute a plan under this config's jobs/cache settings."""
+        run = run_plan(plan, jobs=self.jobs, cache=self.sweep_cache(),
+                       stats=self.stats)
+        return run.measurements
+
+    def sweep(self, kernel: str, sizes: Sequence[int],
+              protocol: str = "cold", reps: Optional[int] = None,
+              cores: Tuple[int, ...] = (0,),
+              machine: Optional[MachineRef] = None,
+              kernel_args: Optional[dict] = None) -> List[Measurement]:
+        """Measure one kernel across sizes (a roofline trajectory)."""
+        plan = SweepPlan()
+        plan.add_sweep(machine or self.ref(), kernel, sizes,
+                       protocol=protocol,
+                       reps=self.reps if reps is None else reps,
+                       cores=cores, kernel_args=kernel_args)
+        return self.run_plan(plan)
+
+    def measure(self, kernel: str, n: int, protocol: str = "cold",
+                reps: Optional[int] = None, cores: Tuple[int, ...] = (0,),
+                machine: Optional[MachineRef] = None,
+                kernel_args: Optional[dict] = None) -> Measurement:
+        """Measure a single point through the same engine (cached too)."""
+        return self.sweep(kernel, [n], protocol=protocol, reps=reps,
+                          cores=cores, machine=machine,
+                          kernel_args=kernel_args)[0]
 
 
 @dataclass

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..kernels.blas1 import Daxpy
 from ..kernels.spmv import Spmv
-from ..measure.runner import measure_kernel
+from ..machine.ref import MachineRef
 from ..roofline.cache_aware import (
     build_cache_aware_roofline,
     level_bandwidth_map,
@@ -20,9 +20,8 @@ from ..roofline.cache_aware import (
 )
 from ..roofline.plot_svg import svg_plot
 from ..roofline.point import KernelPoint
-from ..units import format_bandwidth, format_bytes
+from ..units import format_bandwidth, format_bytes, round_to
 from .base import Experiment, ExperimentConfig, ExperimentResult, Table
-from .validation import round_to
 
 
 class CacheAwareRoofline(Experiment):
@@ -64,8 +63,7 @@ class CacheAwareRoofline(Experiment):
         for level, footprint in targets.items():
             n = round_to(footprint // 16, 32)
             protocol = "warm" if level != "DRAM" else "cold"
-            m = measure_kernel(machine, Daxpy(), n, protocol=protocol,
-                               reps=config.reps)
+            m = config.measure("daxpy", n, protocol=protocol)
             point = KernelPoint(
                 f"daxpy {level}-resident",
                 # judge throughput against each level's roof at the
@@ -127,14 +125,14 @@ class SpmvRoofline(Experiment):
     paper_item = "extension: sparse kernel with data-dependent access"
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
-        from ..machine.presets import sandy_bridge_ep
         from ..roofline.builder import build_roofline
         from ..roofline.point import KernelPoint
 
         result = self.new_result()
         # a further-shrunk machine keeps the x-vector-misses-L3 regime
         # reachable with an affordable gather count
-        machine = sandy_bridge_ep(scale=config.scale / 4)
+        ref = MachineRef.of("snb-ep", scale=config.scale / 4)
+        machine = ref.build()
         l3 = machine.spec.hierarchy.l3.size_bytes
         l2 = machine.spec.hierarchy.l2.size_bytes
         row_nnz = 4
@@ -156,8 +154,10 @@ class SpmvRoofline(Experiment):
         for label, bandwidth in (("narrow (cache-resident)", narrow_band),
                                  ("matrix-wide", 1 << 30)):
             kernel = Spmv(row_nnz=row_nnz, bandwidth=bandwidth)
-            m = measure_kernel(machine, kernel, n, protocol="cold",
-                               reps=config.reps)
+            m = config.measure(
+                "spmv", n, protocol="cold", machine=ref,
+                kernel_args={"row_nnz": row_nnz, "bandwidth": bandwidth},
+            )
             results[label] = m
             table.add(label, f"{m.intensity:.4f}",
                       f"{m.performance / 1e9:.3f}",

@@ -1,35 +1,41 @@
-"""Experiments F1, F4-F8: the roofline figures themselves."""
+"""Experiments F1, F4-F8: the roofline figures themselves.
+
+Measurement grids are submitted to the sweep engine
+(:mod:`repro.sweep`) rather than looped inline: points run under the
+config's ``jobs``/``cache`` settings, so repeated experiment runs only
+simulate points whose inputs changed.  Size selection lives in
+:mod:`repro.sweep.grids`, shared with ``repro sweep --grid``.
+"""
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..kernels.blas1 import Daxpy
-from ..kernels.blas2 import Dgemv
-from ..kernels.blas3 import Dgemm
-from ..kernels.fft import Fft
-from ..measure.runner import Measurement, measure_kernel
+from ..measure.runner import Measurement
 from ..roofline.analysis import analyze_point
 from ..roofline.builder import build_roofline, theoretical_roofline
 from ..roofline.export import trajectories_to_csv
 from ..roofline.plot_ascii import ascii_plot
 from ..roofline.plot_svg import svg_plot
 from ..roofline.point import KernelPoint, Trajectory
-from ..units import format_bytes
+from ..sweep.grids import (
+    DGEMM_VARIANTS,
+    daxpy_sizes,
+    dgemm_sizes,
+    dgemv_sizes,
+    fft_sizes,
+)
+from ..units import round_to
 from .base import Experiment, ExperimentConfig, ExperimentResult, Table
-from .validation import round_to
 
 
-def _sweep(machine, kernel, sizes, protocol, reps, cores=(0,),
-           series=None) -> Tuple[Trajectory, List[Measurement]]:
-    """Measure a size sweep and wrap it as a plot trajectory."""
-    measurements = [
-        measure_kernel(machine, kernel, n, protocol=protocol, reps=reps,
-                       cores=cores)
-        for n in sizes
-    ]
-    name = series or f"{kernel.name} ({protocol})"
+def _sweep(config: ExperimentConfig, kernel: str, sizes, protocol,
+           series=None, cores=(0,),
+           ) -> Tuple[Trajectory, List[Measurement]]:
+    """Submit a size sweep and wrap it as a plot trajectory."""
+    measurements = config.sweep(kernel, sizes, protocol=protocol,
+                                cores=cores)
+    name = series or f"{kernel} ({protocol})"
     return Trajectory.from_measurements(name, measurements), measurements
 
 
@@ -89,17 +95,12 @@ class DaxpyRoofline(Experiment):
         result = self.new_result()
         machine = config.machine()
         hier = machine.spec.hierarchy
-        targets = [hier.l2.size_bytes // 2, hier.l3.size_bytes // 2,
-                   2 * hier.l3.size_bytes]
-        if not config.quick:
-            targets.insert(0, hier.l1.size_bytes // 2)
-            targets.append(6 * hier.l3.size_bytes)
-        sizes = sorted({round_to(t // 16, 32) for t in targets})
+        sizes = daxpy_sizes(machine, config.quick)
         model = build_roofline(machine, cores=(0,), trips=4096,
                                stream_elements=round_to(
                                    2 * hier.l3.size_bytes // 8, 64))
-        cold_t, cold_m = _sweep(machine, Daxpy(), sizes, "cold", config.reps)
-        warm_t, warm_m = _sweep(machine, Daxpy(), sizes, "warm", config.reps)
+        cold_t, cold_m = _sweep(config, "daxpy", sizes, "cold")
+        warm_t, warm_m = _sweep(config, "daxpy", sizes, "warm")
         result.tables.append(_points_table("daxpy points", cold_m + warm_m))
         result.artifacts["f4_daxpy.svg"] = svg_plot(
             model, trajectories=[cold_t, warm_t], title="Roofline: daxpy"
@@ -141,17 +142,12 @@ class DgemvRoofline(Experiment):
         result = self.new_result()
         machine = config.machine()
         hier = machine.spec.hierarchy
-        targets = [hier.l3.size_bytes // 2, 2 * hier.l3.size_bytes]
-        if not config.quick:
-            targets.insert(0, hier.l2.size_bytes)
-        sizes = sorted({round_to(int(math.sqrt(t / 8)), 8) for t in targets})
+        sizes = dgemv_sizes(machine, config.quick)
         model = build_roofline(machine, cores=(0,), trips=4096,
                                stream_elements=round_to(
                                    2 * hier.l3.size_bytes // 8, 64))
-        row_t, row_m = _sweep(machine, Dgemv(layout="row"), sizes, "cold",
-                              config.reps)
-        col_t, col_m = _sweep(machine, Dgemv(layout="col"), sizes, "cold",
-                              config.reps)
+        row_t, row_m = _sweep(config, "dgemv-row", sizes, "cold")
+        col_t, col_m = _sweep(config, "dgemv-col", sizes, "cold")
         result.tables.append(_points_table("dgemv points", row_m + col_m))
         result.artifacts["f5_dgemv.svg"] = svg_plot(
             model, trajectories=[row_t, col_t],
@@ -184,17 +180,16 @@ class DgemmRoofline(Experiment):
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         result = self.new_result()
         machine = config.machine()
-        sizes = [32, 64] if config.quick else [32, 64, 96, 128]
+        sizes = dgemm_sizes(machine, config.quick)
         model = build_roofline(machine, cores=(0,), trips=4096,
                                stream_elements=round_to(
                                    machine.spec.hierarchy.l3.size_bytes // 8,
                                    64))
         trajectories = []
         by_variant = {}
-        for variant in ("naive", "ikj", "tiled"):
-            kernel = Dgemm(variant=variant)
+        for variant in DGEMM_VARIANTS:
             vsizes = [n for n in sizes if n % 32 == 0]
-            traj, ms = _sweep(machine, kernel, vsizes, "warm", config.reps)
+            traj, ms = _sweep(config, f"dgemm-{variant}", vsizes, "warm")
             trajectories.append(traj)
             by_variant[variant] = ms
         result.tables.append(_points_table(
@@ -235,14 +230,11 @@ class FftRoofline(Experiment):
         result = self.new_result()
         machine = config.machine()
         l3 = machine.spec.hierarchy.l3.size_bytes
-        max_exp = int(math.log2(max(2 * l3 // 24, 1 << 10)))
-        exps = range(8, max_exp + 1, 2) if not config.quick else \
-            range(8, min(max_exp, 12) + 1, 2)
-        sizes = [1 << e for e in exps]
+        sizes = fft_sizes(machine, config.quick)
         model = build_roofline(machine, cores=(0,), trips=4096,
                                stream_elements=round_to(2 * l3 // 8, 64))
-        warm_t, warm_m = _sweep(machine, Fft(), sizes, "warm", config.reps)
-        cold_t, cold_m = _sweep(machine, Fft(), sizes, "cold", config.reps)
+        warm_t, warm_m = _sweep(config, "fft", sizes, "warm")
+        cold_t, cold_m = _sweep(config, "fft", sizes, "cold")
         result.tables.append(_points_table("fft points", warm_m + cold_m))
         result.artifacts["f7_fft.svg"] = svg_plot(
             model, trajectories=[warm_t, cold_t], title="Roofline: FFT"
@@ -281,22 +273,22 @@ class ParallelRoofline(Experiment):
         speedups = {}
         points = []
         for kernel, n, protocol in (
-            (Daxpy(), daxpy_n, "cold"),
-            (Dgemm(variant="tiled"), gemm_n, "warm"),
+            ("daxpy", daxpy_n, "cold"),
+            ("dgemm-tiled", gemm_n, "warm"),
         ):
             base = None
             for threads in thread_counts:
-                cores = machine.topology.first_cores(threads)
-                m = measure_kernel(machine, kernel, n, protocol=protocol,
+                cores = tuple(machine.topology.first_cores(threads))
+                m = config.measure(kernel, n, protocol=protocol,
                                    reps=1, cores=cores)
                 if base is None:
                     base = m.performance
                 speedup = m.performance / base
-                speedups[(kernel.name, threads)] = speedup
-                table.add(kernel.name, threads,
+                speedups[(kernel, threads)] = speedup
+                table.add(kernel, threads,
                           f"{m.performance / 1e9:.2f}", f"{speedup:.2f}x")
                 points.append(KernelPoint.from_measurement(
-                    m, series=f"{kernel.name} {threads}t"))
+                    m, series=f"{kernel} {threads}t"))
         result.tables.append(table)
         model_all = build_roofline(
             machine, cores=machine.topology.first_cores(ncores),

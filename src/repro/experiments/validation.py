@@ -21,9 +21,7 @@ from ..units import format_bytes
 from .base import Experiment, ExperimentConfig, ExperimentResult, Table
 
 
-def round_to(value: int, multiple: int) -> int:
-    """Round ``value`` to the nearest positive multiple of ``multiple``."""
-    return max(multiple, int(round(value / multiple)) * multiple)
+from ..units import round_to  # re-export: historical home of the helper
 
 
 class WorkValidation(Experiment):

@@ -1,7 +1,14 @@
-"""Kernel registry: name -> factory, for the CLI and experiments."""
+"""Kernel registry: name -> factory, for the CLI, experiments, sweeps.
+
+Factories are :func:`functools.partial` objects (not lambdas) so that
+:func:`make_kernel` can forward extra keyword arguments — sweep points
+address a kernel as ``registry name + kwargs`` and the kwargs must
+reach the constructor (e.g. ``spmv`` with a custom gather bandwidth).
+"""
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, List
 
 from ..errors import ConfigurationError
@@ -14,41 +21,50 @@ from .memops import Memcpy, Memset, ReadStream
 from .spmv import Spmv
 from .stencil import Stencil3
 
-_FACTORIES: Dict[str, Callable[[], Kernel]] = {
+_FACTORIES: Dict[str, Callable[..., Kernel]] = {
     "daxpy": Daxpy,
     "triad": StreamTriad,
-    "triad-nt": lambda: StreamTriad(nt_stores=True),
+    "triad-nt": partial(StreamTriad, nt_stores=True),
     "dot": Dot,
     "scale": Scale,
     "sum": SumReduction,
     "strided-sum": StridedSum,
-    "dgemv-row": lambda: Dgemv(layout="row"),
-    "dgemv-col": lambda: Dgemv(layout="col"),
-    "dgemm-naive": lambda: Dgemm(variant="naive"),
-    "dgemm-ikj": lambda: Dgemm(variant="ikj"),
-    "dgemm-blocked": lambda: Dgemm(variant="blocked"),
-    "dgemm-tiled": lambda: Dgemm(variant="tiled"),
+    "dgemv-row": partial(Dgemv, layout="row"),
+    "dgemv-col": partial(Dgemv, layout="col"),
+    "dgemm-naive": partial(Dgemm, variant="naive"),
+    "dgemm-ikj": partial(Dgemm, variant="ikj"),
+    "dgemm-blocked": partial(Dgemm, variant="blocked"),
+    "dgemm-tiled": partial(Dgemm, variant="tiled"),
     "fft": Fft,
     "spmv": Spmv,
-    "spmv-wide": lambda: Spmv(bandwidth=1 << 20),
+    "spmv-wide": partial(Spmv, bandwidth=1 << 20),
     "stencil3": Stencil3,
     "read": ReadStream,
     "memset": Memset,
-    "memset-nt": lambda: Memset(nt_stores=True),
+    "memset-nt": partial(Memset, nt_stores=True),
     "memcpy": Memcpy,
-    "memcpy-nt": lambda: Memcpy(nt_stores=True),
+    "memcpy-nt": partial(Memcpy, nt_stores=True),
 }
 
 
-def make_kernel(name: str) -> Kernel:
-    """Instantiate a kernel by registry name."""
+def make_kernel(name: str, **kwargs) -> Kernel:
+    """Instantiate a kernel by registry name.
+
+    ``kwargs`` are forwarded to the kernel constructor on top of the
+    entry's baked-in arguments (a duplicate keyword is an error).
+    """
     try:
         factory = _FACTORIES[name]
     except KeyError as exc:
         raise ConfigurationError(
             f"unknown kernel {name!r}; known: {', '.join(kernel_names())}"
         ) from exc
-    return factory()
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"kernel {name!r} rejected arguments {kwargs}: {exc}"
+        ) from exc
 
 
 def kernel_names() -> List[str]:

@@ -1,6 +1,7 @@
-"""Machine assembly and platform presets."""
+"""Machine assembly, platform presets, and picklable machine refs."""
 
 from .machine import LoadedProgram, Machine, MachineSpec, RunResult
+from .ref import MachineRef
 from .presets import (
     PRESETS,
     dual_socket_ep,
@@ -15,6 +16,7 @@ from .presets import (
 __all__ = [
     "LoadedProgram",
     "Machine",
+    "MachineRef",
     "MachineSpec",
     "PRESETS",
     "RunResult",

@@ -1,0 +1,132 @@
+"""Content-addressed on-disk cache for sweep measurements.
+
+Every sweep point's full input — machine recipe, kernel identity and
+arguments, size, protocol, repetitions, core set, SIMD width — is
+hashed together with a simulator *version salt* into a SHA-256 key.
+The key addresses a small JSON file under the cache root (sharded by
+the first two hex digits, ``ab/abcdef....json``), holding the
+measurement payload plus a checksum over its canonical encoding.
+
+Integrity rules:
+
+* entries are written atomically (temp file + ``os.replace``) so a
+  crashed run can leave at worst a stray temp file, never a torn entry;
+* every load re-verifies the checksum and the payload schema; a
+  truncated, corrupted, or stale entry is treated as a *miss* (and
+  counted as ``corrupt``), so the point is transparently re-simulated —
+  bad bytes are never silently returned;
+* :data:`VERSION_SALT` participates in every key.  Bump it whenever a
+  simulator change alters measured values; old entries then simply stop
+  being addressed, no invalidation pass required.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional, Tuple
+
+from ..errors import SweepError
+from .serialize import PAYLOAD_SCHEMA
+
+#: simulator version salt — part of every cache key.  Bump on any
+#: change that can move a measured W/Q/T value (timing model, cache
+#: simulation, codegen, measurement protocol).
+VERSION_SALT = "roofline-sim-1"
+
+#: default cache location, relative to the working directory unless
+#: overridden by the REPRO_SWEEP_CACHE environment variable
+DEFAULT_CACHE_DIR = os.path.join("artifacts", "sweepcache")
+
+#: lookup outcomes
+HIT, MISS, CORRUPT = "hit", "miss", "corrupt"
+
+
+def canonical_json(doc: dict) -> str:
+    """Deterministic encoding: sorted keys, no whitespace."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def point_key(point, salt: str = VERSION_SALT) -> str:
+    """SHA-256 hex key for one sweep point under ``salt``."""
+    doc = {"salt": salt, "schema": PAYLOAD_SCHEMA, "point": point.key_doc()}
+    try:
+        encoded = canonical_json(doc)
+    except (TypeError, ValueError) as exc:
+        raise SweepError(
+            f"sweep point is not canonically hashable: {exc}"
+        ) from exc
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _checksum(payload: dict) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_SWEEP_CACHE", DEFAULT_CACHE_DIR)
+
+
+class SweepCache:
+    """Filesystem-backed, checksum-verified measurement store."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Tuple[Optional[dict], str]:
+        """``(payload, status)``: payload is ``None`` unless status=hit.
+
+        Any defect — unreadable file, bad JSON, wrong envelope, key or
+        checksum mismatch — downgrades to a miss so the caller
+        re-simulates; a defective *existing* entry reports ``corrupt``.
+        """
+        path = self.path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None, MISS
+        except (OSError, ValueError):
+            return None, CORRUPT
+        if not isinstance(entry, dict):
+            return None, CORRUPT
+        payload = entry.get("payload")
+        if (entry.get("key") != key or not isinstance(payload, dict)
+                or entry.get("checksum") != _checksum(payload)):
+            return None, CORRUPT
+        return payload, HIT
+
+    def store(self, key: str, payload: dict) -> str:
+        """Atomically persist one payload; returns the entry path."""
+        path = self.path(key)
+        entry = {
+            "key": key,
+            "salt": VERSION_SALT,
+            "checksum": _checksum(payload),
+            "payload": payload,
+        }
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __repr__(self) -> str:
+        return f"SweepCache({self.root!r})"

@@ -1,0 +1,232 @@
+"""Sweep executor: fan measurement points out, memoise results.
+
+The executor takes a :class:`~repro.sweep.plan.SweepPlan` and produces
+one :class:`~repro.measure.runner.Measurement` per point, in plan
+order, via three interchangeable paths:
+
+* **cache hit** — the point's content-addressed key is present on disk
+  and checksum-verified; the stored payload is replayed;
+* **serial miss** — the point is simulated in-process;
+* **parallel miss** — the point is pickled to a
+  :class:`~concurrent.futures.ProcessPoolExecutor` worker, which
+  rebuilds a fresh machine from the point's :class:`MachineRef` recipe
+  and simulates there.  Machines are never shipped across processes —
+  only the recipe and the resulting payload are.
+
+All three paths funnel through the same serialised payload
+(:mod:`repro.sweep.serialize`), so serial, parallel and cached runs are
+bit-identical by construction — the determinism suite in
+``tests/sweep/`` asserts it point by point.
+
+Execution emits ``sweep``-kind events on a :class:`repro.trace.TraceBus`
+(timestamps in seconds on the host clock) so per-point progress and
+cache hit/miss counts flow through the same observability layer as
+simulation traces: export with ``to_chrome_trace(..., frequency_hz=1.0)``
+or fold :meth:`SweepStats.to_dict` into a Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SweepError
+from ..measure.runner import Measurement, measure_kernel
+from ..trace.bus import TraceBus
+from ..trace.events import MARK, SWEEP, TraceEvent
+from .cache import CORRUPT, HIT, SweepCache, point_key
+from .plan import SweepPlan, SweepPoint
+from .serialize import measurement_to_payload, payload_to_measurement
+
+#: environment default for ``jobs`` when the caller passes ``None``
+JOBS_ENV = "REPRO_SWEEP_JOBS"
+
+#: cap on in-flight futures per worker, so huge plans don't pickle the
+#: whole grid into the executor queue at once
+_BACKLOG_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Explicit value, else $REPRO_SWEEP_JOBS, else serial."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError as exc:
+            raise SweepError(f"bad {JOBS_ENV}={env!r}: {exc}") from exc
+    if jobs < 1:
+        raise SweepError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def simulate_point(point: SweepPoint) -> dict:
+    """Measure one point on a fresh machine; returns the payload.
+
+    Module-level so the process pool can import it by name; the only
+    argument and the return value are plain picklable data.
+    """
+    machine = point.machine.build()
+    measurement = measure_kernel(
+        machine, point.build_kernel(), point.n, protocol=point.protocol,
+        cores=point.cores, reps=point.reps, width_bits=point.width_bits,
+    )
+    return measurement_to_payload(measurement)
+
+
+@dataclass
+class SweepStats:
+    """Cache and execution counters for one or more plan runs."""
+
+    points: int = 0
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.points if self.points else 0.0
+
+    def merge(self, other: "SweepStats") -> None:
+        self.points += other.points
+        self.hits += other.hits
+        self.misses += other.misses
+        self.corrupt += other.corrupt
+        self.elapsed_seconds += other.elapsed_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "points": self.points,
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hit_rate,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def describe(self) -> str:
+        return (f"{self.points} point(s): {self.hits} cached, "
+                f"{self.misses} simulated"
+                + (f", {self.corrupt} corrupt entr(y/ies) re-simulated"
+                   if self.corrupt else "")
+                + (f" ({self.hit_rate:.0%} hit rate)" if self.points else ""))
+
+
+@dataclass
+class SweepRun:
+    """Measurements in plan order plus the run's cache statistics."""
+
+    measurements: List[Measurement]
+    stats: SweepStats
+    keys: List[str] = field(default_factory=list)
+
+
+def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
+             cache: Optional[SweepCache] = None,
+             bus: Optional[TraceBus] = None,
+             progress: Optional[Callable[[int, int, SweepPoint, str], None]]
+             = None,
+             stats: Optional[SweepStats] = None) -> SweepRun:
+    """Execute a plan: replay cached points, simulate the rest.
+
+    ``cache=None`` disables memoisation entirely.  ``bus`` receives one
+    ``sweep`` event per point and a closing ``mark``; ``progress`` is
+    called as ``(done, total, point, status)`` after each point.
+    ``stats`` lets callers accumulate counters across several plans
+    (the experiment runner does); a fresh one is used when omitted.
+    """
+    jobs = resolve_jobs(jobs)
+    run_stats = SweepStats()
+    started = time.perf_counter()
+    points = list(plan)
+    keys = [point_key(p) for p in points]
+    payloads: List[Optional[dict]] = [None] * len(points)
+    status: List[str] = [""] * len(points)
+
+    pending: List[int] = []
+    for idx, key in enumerate(keys):
+        if cache is None:
+            status[idx] = "miss"
+            pending.append(idx)
+            continue
+        payload, outcome = cache.lookup(key)
+        if outcome == HIT:
+            payloads[idx] = payload
+            status[idx] = HIT
+        else:
+            if outcome == CORRUPT:
+                run_stats.corrupt += 1
+            status[idx] = outcome
+            pending.append(idx)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for idx in pending:
+                payloads[idx] = simulate_point(points[idx])
+        else:
+            _simulate_parallel(points, pending, payloads, jobs)
+        if cache is not None:
+            for idx in pending:
+                cache.store(keys[idx], payloads[idx])
+
+    run_stats.points = len(points)
+    run_stats.hits = sum(1 for s in status if s == HIT)
+    run_stats.misses = len(pending)
+    run_stats.elapsed_seconds = time.perf_counter() - started
+
+    measurements: List[Measurement] = []
+    done = 0
+    for idx, (point, payload) in enumerate(zip(points, payloads)):
+        measurements.append(payload_to_measurement(payload))
+        done += 1
+        if bus is not None:
+            bus.emit(TraceEvent(
+                SWEEP, point.label(), ts=time.perf_counter() - started,
+                args={"status": status[idx], "key": keys[idx][:12],
+                      "kernel": point.kernel, "n": point.n,
+                      "protocol": point.protocol,
+                      "threads": len(point.cores)},
+            ))
+        if progress is not None:
+            progress(done, len(points), point, status[idx])
+    if bus is not None:
+        bus.emit(TraceEvent(
+            MARK, "sweep:done", ts=time.perf_counter() - started,
+            args=run_stats.to_dict(),
+        ))
+    if stats is not None:
+        stats.merge(run_stats)
+    return SweepRun(measurements=measurements, stats=run_stats, keys=keys)
+
+
+def _simulate_parallel(points: List[SweepPoint], pending: List[int],
+                       payloads: List[Optional[dict]], jobs: int) -> None:
+    """Fan pending points over a process pool, bounded backlog."""
+    workers = min(jobs, len(pending))
+    backlog = workers * _BACKLOG_PER_WORKER
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        queue = iter(pending)
+        in_flight: Dict[object, int] = {}
+        try:
+            for idx in queue:
+                in_flight[pool.submit(simulate_point, points[idx])] = idx
+                if len(in_flight) >= backlog:
+                    break
+            while in_flight:
+                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    idx = in_flight.pop(future)
+                    payloads[idx] = future.result()
+                for idx in queue:
+                    in_flight[pool.submit(simulate_point, points[idx])] = idx
+                    if len(in_flight) >= backlog:
+                        break
+        except BaseException:
+            for future in in_flight:
+                future.cancel()
+            raise

@@ -1,0 +1,126 @@
+"""Named measurement grids: the paper's figure sweeps as SweepPlans.
+
+The roofline experiments (F4-F7) each sweep one kernel family across
+working-set sizes chosen relative to the machine's cache capacities.
+This module holds both halves reusably:
+
+* the *size selectors* (``daxpy_sizes`` & friends), shared with
+  :mod:`repro.experiments.rooflines` so the ``repro sweep --grid f4``
+  CLI and the F4 experiment enumerate the exact same grid;
+* the *grid builders* (``GRIDS``), which turn a machine ref into the
+  full plan (all protocols / variants of that figure).
+
+Sizes depend only on a machine's static spec, so building a scratch
+machine from the ref just to read cache capacities is cheap and has no
+effect on measured points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from ..errors import SweepError
+from ..machine.machine import Machine
+from ..machine.ref import MachineRef
+from ..units import round_to
+from .plan import SweepPlan
+
+#: dgemm variants swept by the F6 figure, slowest first
+DGEMM_VARIANTS = ("naive", "ikj", "tiled")
+
+
+def daxpy_sizes(machine: Machine, quick: bool) -> List[int]:
+    """F4 grid: working sets straddling L2, L3, and DRAM residency."""
+    hier = machine.spec.hierarchy
+    targets = [hier.l2.size_bytes // 2, hier.l3.size_bytes // 2,
+               2 * hier.l3.size_bytes]
+    if not quick:
+        targets.insert(0, hier.l1.size_bytes // 2)
+        targets.append(6 * hier.l3.size_bytes)
+    return sorted({round_to(t // 16, 32) for t in targets})
+
+
+def dgemv_sizes(machine: Machine, quick: bool) -> List[int]:
+    """F5 grid: matrix orders whose footprint brackets the L3."""
+    hier = machine.spec.hierarchy
+    targets = [hier.l3.size_bytes // 2, 2 * hier.l3.size_bytes]
+    if not quick:
+        targets.insert(0, hier.l2.size_bytes)
+    return sorted({round_to(int(math.sqrt(t / 8)), 8) for t in targets})
+
+
+def dgemm_sizes(machine: Machine, quick: bool) -> List[int]:
+    """F6 grid: small orders — dgemm is compute-bound, not capacity-probing."""
+    return [32, 64] if quick else [32, 64, 96, 128]
+
+
+def fft_sizes(machine: Machine, quick: bool) -> List[int]:
+    """F7 grid: power-of-two transform lengths up to 2x L3 residency."""
+    l3 = machine.spec.hierarchy.l3.size_bytes
+    max_exp = int(math.log2(max(2 * l3 // 24, 1 << 10)))
+    exps = range(8, min(max_exp, 12) + 1, 2) if quick else \
+        range(8, max_exp + 1, 2)
+    return [1 << e for e in exps]
+
+
+def f4_daxpy_grid(ref: MachineRef, quick: bool = False,
+                  reps: int = 2) -> SweepPlan:
+    """The F4 figure's full grid: daxpy sizes, cold and warm."""
+    sizes = daxpy_sizes(ref.build(), quick)
+    plan = SweepPlan()
+    for protocol in ("cold", "warm"):
+        plan.add_sweep(ref, "daxpy", sizes, protocol=protocol, reps=reps)
+    return plan
+
+
+def f5_dgemv_grid(ref: MachineRef, quick: bool = False,
+                  reps: int = 2) -> SweepPlan:
+    """The F5 grid: dgemv row- and column-major, cold caches."""
+    sizes = dgemv_sizes(ref.build(), quick)
+    plan = SweepPlan()
+    for kernel in ("dgemv-row", "dgemv-col"):
+        plan.add_sweep(ref, kernel, sizes, protocol="cold", reps=reps)
+    return plan
+
+
+def f6_dgemm_grid(ref: MachineRef, quick: bool = False,
+                  reps: int = 2) -> SweepPlan:
+    """The F6 grid: dgemm variants, warm caches."""
+    sizes = [n for n in dgemm_sizes(ref.build(), quick) if n % 32 == 0]
+    plan = SweepPlan()
+    for variant in DGEMM_VARIANTS:
+        plan.add_sweep(ref, f"dgemm-{variant}", sizes, protocol="warm",
+                       reps=reps)
+    return plan
+
+
+def f7_fft_grid(ref: MachineRef, quick: bool = False,
+                reps: int = 2) -> SweepPlan:
+    """The F7 grid: FFT, warm and cold."""
+    sizes = fft_sizes(ref.build(), quick)
+    plan = SweepPlan()
+    for protocol in ("warm", "cold"):
+        plan.add_sweep(ref, "fft", sizes, protocol=protocol, reps=reps)
+    return plan
+
+
+#: named grids accepted by ``repro sweep --grid``
+GRIDS: Dict[str, Callable[..., SweepPlan]] = {
+    "f4": f4_daxpy_grid,
+    "f5": f5_dgemv_grid,
+    "f6": f6_dgemm_grid,
+    "f7": f7_fft_grid,
+}
+
+
+def make_grid(name: str, ref: MachineRef, quick: bool = False,
+              reps: int = 2) -> SweepPlan:
+    """Build a named grid's plan for ``ref``."""
+    try:
+        builder = GRIDS[name.lower()]
+    except KeyError as exc:
+        raise SweepError(
+            f"unknown grid {name!r}; known: {sorted(GRIDS)}"
+        ) from exc
+    return builder(ref, quick=quick, reps=reps)

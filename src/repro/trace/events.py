@@ -17,6 +17,10 @@ type, :class:`TraceEvent`, tagged with a *kind*:
   by :class:`repro.pmu.perf.PerfSession`.
 * ``mark``     — an instant annotation (e.g. the measurement runner's
   ``measured:begin`` / ``measured:end`` region markers).
+* ``sweep``    — one sweep-plan point completing (cache hit or fresh
+  simulation) with its status and short cache key.  Emitted by the
+  sweep executor; timestamps are host *seconds*, not cycles, since a
+  sweep spans many machines (export with ``frequency_hz=1.0``).
 
 Timestamps (``ts``) and durations (``dur``) are in *cycles* on the
 machine's TSC timeline; exporters convert to wall time using the
@@ -36,8 +40,9 @@ DRAM = "dram"
 PREFETCH = "prefetch"
 COUNTERS = "counters"
 MARK = "mark"
+SWEEP = "sweep"
 
-KINDS = (PHASE, CACHE, DRAM, PREFETCH, COUNTERS, MARK)
+KINDS = (PHASE, CACHE, DRAM, PREFETCH, COUNTERS, MARK, SWEEP)
 
 
 @dataclass

@@ -18,7 +18,16 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional
 
-from .events import CACHE, COUNTERS, DRAM, MARK, PHASE, PREFETCH, TraceEvent
+from .events import (
+    CACHE,
+    COUNTERS,
+    DRAM,
+    MARK,
+    PHASE,
+    PREFETCH,
+    SWEEP,
+    TraceEvent,
+)
 
 #: counter series exported per cache batch event
 _CACHE_SERIES = ("l1_hits", "l2_hits", "l3_hits", "dram_reads",
@@ -54,9 +63,9 @@ def to_chrome_trace(events: Iterable[TraceEvent],
                 "ph": "M", "name": "thread_name", "pid": 0,
                 "tid": event.core, "args": {"name": f"core {event.core}"},
             })
-        if event.kind == PHASE:
+        if event.kind in (PHASE, SWEEP):
             out.append({
-                "ph": "X", "name": event.name, "cat": "phase",
+                "ph": "X", "name": event.name, "cat": event.kind,
                 "pid": 0, "tid": tid, "ts": ts,
                 "dur": _cycles_to_us(event.dur, frequency_hz),
                 "args": event.args,
@@ -146,6 +155,20 @@ def to_prometheus(summary: dict, prefix: str = "repro") -> str:
         metric("avg_outstanding_misses", "gauge",
                "Average outstanding demand misses (MLP actually used)",
                [({}, mlp)])
+    sweep = summary.get("sweep", {})
+    if sweep:
+        metric("sweep_points_total", "counter",
+               "Sweep-plan points by outcome (hit=cache replay, "
+               "miss=simulated, corrupt=bad entry re-simulated)",
+               [({"outcome": "hit"}, sweep.get("hits", 0)),
+                ({"outcome": "miss"}, sweep.get("misses", 0)),
+                ({"outcome": "corrupt"}, sweep.get("corrupt", 0))])
+        metric("sweep_cache_hit_rate", "gauge",
+               "Fraction of sweep points served from the result cache",
+               [({}, sweep.get("hit_rate", 0.0))])
+        metric("sweep_elapsed_seconds", "gauge",
+               "Wall time the sweep executor spent on the plan",
+               [({}, sweep.get("elapsed_seconds", 0.0))])
     return "\n".join(lines) + "\n"
 
 

@@ -92,6 +92,11 @@ def round_up(value: int, multiple: int) -> int:
     return ((value + multiple - 1) // multiple) * multiple
 
 
+def round_to(value: int, multiple: int) -> int:
+    """Round ``value`` to the nearest positive multiple of ``multiple``."""
+    return max(multiple, int(round(value / multiple)) * multiple)
+
+
 def geometric_sizes(lo: int, hi: int, per_decade: int = 4) -> list:
     """Geometrically spaced integer sizes in ``[lo, hi]``, inclusive.
 

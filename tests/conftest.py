@@ -2,11 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.isa import ProgramBuilder
 from repro.kernels.base import CodegenCaps
 from repro.machine.presets import paper_machine, tiny_test_machine
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_sweep_cache(tmp_path_factory):
+    """Point the sweep result cache at a per-session temp directory.
+
+    Keeps test runs from writing into the repo's ``artifacts/`` tree
+    and — more importantly — from replaying measurements cached by a
+    *previous* run of a since-modified simulator, which would let stale
+    results mask regressions.  Tests that exercise the cache itself
+    pass explicit directories and are unaffected.
+    """
+    path = str(tmp_path_factory.mktemp("sweepcache"))
+    previous = os.environ.get("REPRO_SWEEP_CACHE")
+    os.environ["REPRO_SWEEP_CACHE"] = path
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_SWEEP_CACHE", None)
+    else:
+        os.environ["REPRO_SWEEP_CACHE"] = previous
 
 
 @pytest.fixture

@@ -13,7 +13,7 @@ from repro.experiments import (
     render_report,
 )
 from repro.experiments.report import write_artifacts
-from repro.machine.presets import tiny_test_machine
+from repro.machine.ref import MachineRef
 
 
 class TestTable:
@@ -72,7 +72,7 @@ class TestRegistry:
 
 def tiny_config():
     return ExperimentConfig(quick=True, reps=1,
-                            machine_factory=tiny_test_machine)
+                            machine_ref=MachineRef.of("tiny"))
 
 
 class TestFastExperiments:

@@ -1,0 +1,164 @@
+"""Cache corruption regression: bad entries are detected and healed.
+
+A result cache that can return damaged bytes is worse than no cache.
+Every lookup re-verifies the envelope (key echo + checksum over the
+canonical payload encoding), so any corruption — truncation, bit flips,
+a stale entry copied under the wrong key, garbage JSON — downgrades to
+a miss: the point is re-simulated, the entry rewritten, and the defect
+surfaces in the ``corrupt`` counter.  Silently replaying bad data is
+the one behaviour these tests exist to forbid.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.machine.ref import MachineRef
+from repro.sweep import (
+    SweepCache,
+    SweepPlan,
+    measurement_to_payload,
+    point_key,
+    run_plan,
+)
+from repro.sweep.cache import CORRUPT, HIT, MISS
+
+pytestmark = pytest.mark.sweep
+
+
+def one_point_plan() -> SweepPlan:
+    plan = SweepPlan()
+    plan.add_sweep(MachineRef.of("tiny"), "daxpy", [256],
+                   protocol="cold", reps=1)
+    return plan
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return SweepCache(str(tmp_path / "sweepcache"))
+
+
+@pytest.fixture()
+def seeded(cache):
+    """Cache with one good daxpy entry; returns (cache, key, payload)."""
+    plan = one_point_plan()
+    run = run_plan(plan, cache=cache)
+    key = run.keys[0]
+    return cache, key, measurement_to_payload(run.measurements[0])
+
+
+def corrupt_truncate(path):
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 2)
+
+
+def corrupt_flip_payload(path):
+    entry = json.load(open(path))
+    entry["payload"]["work_flops"] += 1.0  # checksum now stale
+    json.dump(entry, open(path, "w"))
+
+
+def corrupt_wrong_key(path):
+    entry = json.load(open(path))
+    entry["key"] = "0" * 64
+    json.dump(entry, open(path, "w"))
+
+
+def corrupt_not_json(path):
+    with open(path, "w") as handle:
+        handle.write("not json {")
+
+
+def corrupt_not_a_dict(path):
+    json.dump(["entry"], open(path, "w"))
+
+
+CORRUPTIONS = {
+    "truncated": corrupt_truncate,
+    "flipped-payload": corrupt_flip_payload,
+    "wrong-key": corrupt_wrong_key,
+    "not-json": corrupt_not_json,
+    "not-a-dict": corrupt_not_a_dict,
+}
+
+
+class TestLookupStatuses:
+    def test_absent_entry_is_a_plain_miss(self, cache):
+        payload, status = cache.lookup("ab" + "0" * 62)
+        assert payload is None and status == MISS
+
+    def test_good_entry_hits(self, seeded):
+        cache, key, payload = seeded
+        loaded, status = cache.lookup(key)
+        assert status == HIT
+        assert loaded == payload
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_damaged_entry_reports_corrupt(self, seeded, name):
+        cache, key, _ = seeded
+        CORRUPTIONS[name](cache.path(key))
+        loaded, status = cache.lookup(key)
+        assert loaded is None, f"{name}: corrupted bytes were returned"
+        assert status == CORRUPT
+
+
+class TestTransparentResimulation:
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    def test_corrupt_entry_is_resimulated_and_healed(self, seeded, name):
+        cache, key, good_payload = seeded
+        CORRUPTIONS[name](cache.path(key))
+
+        run = run_plan(one_point_plan(), cache=cache)
+        assert run.stats.corrupt == 1
+        assert run.stats.misses == 1 and run.stats.hits == 0
+        # the re-simulated measurement is bit-identical to the original
+        assert measurement_to_payload(run.measurements[0]) == good_payload
+
+        # and the entry on disk is healed: next run is a clean hit
+        again = run_plan(one_point_plan(), cache=cache)
+        assert again.stats.hits == 1 and again.stats.corrupt == 0
+        assert measurement_to_payload(again.measurements[0]) == good_payload
+
+    def test_stale_schema_payload_is_rejected(self, seeded):
+        cache, key, _ = seeded
+        path = cache.path(key)
+        entry = json.load(open(path))
+        entry["payload"]["schema"] = 999
+        # recompute a *valid* checksum so only schema validation can
+        # catch the stale payload
+        from repro.sweep.cache import _checksum
+        entry["checksum"] = _checksum(entry["payload"])
+        json.dump(entry, open(path, "w"))
+
+        payload, status = cache.lookup(key)
+        assert status == HIT  # envelope is intact...
+        from repro.errors import MeasurementError
+        from repro.sweep import payload_to_measurement
+        with pytest.raises(MeasurementError):
+            payload_to_measurement(payload)  # ...but deserialise refuses
+
+    def test_store_never_leaves_partial_entries(self, cache, seeded):
+        _, key, payload = seeded
+        cache.store(key, payload)
+        shard = os.path.dirname(cache.path(key))
+        leftovers = [f for f in os.listdir(shard) if f.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestKeyAddressing:
+    def test_entry_path_is_sharded_by_key_prefix(self, seeded):
+        cache, key, _ = seeded
+        path = cache.path(key)
+        assert os.path.basename(os.path.dirname(path)) == key[:2]
+        assert os.path.exists(path)
+
+    def test_different_points_never_collide(self, cache):
+        ref = MachineRef.of("tiny")
+        plan = SweepPlan()
+        plan.add_sweep(ref, "daxpy", [128, 256], protocol="cold", reps=1)
+        plan.add_sweep(ref, "daxpy", [128], protocol="warm", reps=1)
+        run = run_plan(plan, cache=cache)
+        assert len(set(run.keys)) == 3
+        docs = [measurement_to_payload(m) for m in run.measurements]
+        assert docs[0] != docs[1] != docs[2]

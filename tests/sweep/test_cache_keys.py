@@ -1,0 +1,154 @@
+"""Cache-key properties: stable across orderings and processes,
+sensitive to every input field and to the version salt.
+
+The content-addressed cache is only sound if (a) the same point always
+hashes to the same key, no matter how its kwargs were ordered or which
+process computed it, and (b) *any* change to the machine recipe, the
+kernel identity, the measurement knobs, or the simulator version salt
+moves the key.  Property (a) prevents spurious misses; property (b)
+prevents the far worse failure of replaying a stale result.
+"""
+
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import kernel_names
+from repro.machine.ref import MachineRef
+from repro.sweep import SweepPoint, point_key
+from repro.sweep.cache import VERSION_SALT, canonical_json
+
+pytestmark = pytest.mark.sweep
+
+
+def refs():
+    scaled = st.builds(
+        lambda preset, scale: MachineRef.of(preset, scale=scale),
+        st.sampled_from(["snb-ep", "snb-ep-x2"]),
+        st.sampled_from([0.0625, 0.125, 0.25, 1.0]),
+    )
+    return st.one_of(st.just(MachineRef.of("tiny")), scaled)
+
+
+def points():
+    return st.builds(
+        SweepPoint,
+        machine=refs(),
+        kernel=st.sampled_from(sorted(kernel_names())),
+        n=st.integers(min_value=1, max_value=1 << 20),
+        protocol=st.sampled_from(["cold", "warm"]),
+        reps=st.integers(min_value=1, max_value=5),
+        cores=st.lists(st.integers(0, 7), min_size=1, max_size=4,
+                       unique=True).map(tuple),
+        kernel_args=st.dictionaries(
+            st.sampled_from(["row_nnz", "bandwidth", "tile"]),
+            st.integers(1, 4096), max_size=2,
+        ).map(lambda d: tuple(sorted(d.items()))),
+        width_bits=st.sampled_from([None, 128, 256]),
+    )
+
+
+class TestKeyStability:
+    @given(points())
+    @settings(max_examples=60, deadline=None)
+    def test_key_is_deterministic(self, point):
+        assert point_key(point) == point_key(point)
+        clone = replace(point)
+        assert point_key(clone) == point_key(point)
+
+    @given(st.dictionaries(st.sampled_from(["scale", "sockets"]),
+                           st.integers(1, 4), min_size=2))
+    @settings(max_examples=20, deadline=None)
+    def test_option_order_is_irrelevant(self, options):
+        items = list(options.items())
+        forward = MachineRef.of("snb-ep", **dict(items))
+        backward = MachineRef.of("snb-ep", **dict(reversed(items)))
+        a = SweepPoint(machine=forward, kernel="daxpy", n=64)
+        b = SweepPoint(machine=backward, kernel="daxpy", n=64)
+        assert point_key(a) == point_key(b)
+
+    @given(points())
+    @settings(max_examples=30, deadline=None)
+    def test_key_doc_is_canonically_encodable(self, point):
+        text = canonical_json(point.key_doc())
+        assert ", " not in text and ": " not in text
+        assert canonical_json(point.key_doc()) == text
+
+    def test_key_is_stable_across_processes(self):
+        point = SweepPoint(
+            machine=MachineRef.of("snb-ep", scale=0.125),
+            kernel="dgemm-tiled", n=96, protocol="warm", reps=3,
+            cores=(0, 1), width_bits=256,
+        )
+        script = (
+            "from repro.machine.ref import MachineRef\n"
+            "from repro.sweep import SweepPoint, point_key\n"
+            "p = SweepPoint(machine=MachineRef.of('snb-ep', scale=0.125),\n"
+            "               kernel='dgemm-tiled', n=96, protocol='warm',\n"
+            "               reps=3, cores=(0, 1), width_bits=256)\n"
+            "print(point_key(p))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == point_key(point)
+
+
+class TestKeySensitivity:
+    @given(points())
+    @settings(max_examples=40, deadline=None)
+    def test_every_point_field_moves_the_key(self, point):
+        base = point_key(point)
+        mutations = {
+            "n": replace(point, n=point.n + 1),
+            "protocol": replace(
+                point,
+                protocol="warm" if point.protocol == "cold" else "cold"),
+            "reps": replace(point, reps=point.reps + 1),
+            "cores": replace(point, cores=point.cores + (63,)),
+            "kernel_args": replace(
+                point,
+                kernel_args=tuple(sorted(
+                    dict(point.kernel_args, _probe=1).items()))),
+            "width_bits": replace(
+                point,
+                width_bits=128 if point.width_bits != 128 else 256),
+        }
+        for field_name, mutated in mutations.items():
+            assert point_key(mutated) != base, field_name
+
+    @given(points())
+    @settings(max_examples=40, deadline=None)
+    def test_machine_recipe_moves_the_key(self, point):
+        base = point_key(point)
+        ref = point.machine
+        variants = [
+            replace(point, machine=ref.with_overrides(l3_policy="plru")
+                    if ref.l3_policy != "plru"
+                    else ref.with_overrides(l3_policy="lru")),
+            replace(point, machine=ref.with_overrides(
+                prefetch_enabled=not ref.prefetch_enabled)),
+            replace(point, machine=ref.with_overrides(
+                timing={"reissue_hide_cycles": 123})),
+        ]
+        for mutated in variants:
+            assert point_key(mutated) != base
+
+    @given(points(), st.text(min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_version_salt_moves_the_key(self, point, salt):
+        if salt == VERSION_SALT:
+            return
+        assert point_key(point, salt=salt) != point_key(point)
+
+    @given(points())
+    @settings(max_examples=20, deadline=None)
+    def test_kernel_identity_moves_the_key(self, point):
+        other = next(name for name in sorted(kernel_names())
+                     if name != point.kernel)
+        assert point_key(replace(point, kernel=other)) != point_key(point)

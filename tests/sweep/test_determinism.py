@@ -1,0 +1,113 @@
+"""Golden determinism: serial ≡ parallel ≡ cached, bit for bit.
+
+The whole point of the sweep engine is that *how* a point executes —
+in-process, in a worker, or replayed from disk — is unobservable in the
+result.  These tests lock that down over a golden grid (daxpy, dgemv,
+dgemm; cold and warm) by comparing full serialised payloads, which
+carry every W/Q/T field, the per-level traffic (LLC vs DRAM bytes),
+and the rep summaries.
+"""
+
+import pytest
+
+from repro.machine.ref import MachineRef
+from repro.sweep import (
+    SweepCache,
+    SweepPlan,
+    measurement_to_payload,
+    run_plan,
+)
+
+pytestmark = pytest.mark.sweep
+
+#: kernel, sizes, protocols — small enough for the tiny machine, wide
+#: enough to cross BLAS levels and both cache-state protocols
+GOLDEN_GRID = (
+    ("daxpy", (96, 384), ("cold", "warm")),
+    ("dgemv-row", (24, 48), ("cold", "warm")),
+    ("dgemm-naive", (16, 24), ("cold", "warm")),
+)
+
+
+def golden_plan() -> SweepPlan:
+    ref = MachineRef.of("tiny")
+    plan = SweepPlan()
+    for kernel, sizes, protocols in GOLDEN_GRID:
+        for protocol in protocols:
+            plan.add_sweep(ref, kernel, sizes, protocol=protocol, reps=2)
+    return plan
+
+
+def payloads(run):
+    return [measurement_to_payload(m) for m in run.measurements]
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_plan(golden_plan(), jobs=1, cache=None)
+
+
+class TestSerialParallelCached:
+    def test_grid_is_nontrivial(self, serial_run):
+        assert len(serial_run.measurements) == 12
+        kernels = {m.kernel for m in serial_run.measurements}
+        assert kernels == {"daxpy", "dgemv-row", "dgemm-naive"}
+        protocols = {m.protocol for m in serial_run.measurements}
+        assert protocols == {"cold", "warm"}
+
+    def test_parallel_matches_serial_bitwise(self, serial_run):
+        parallel = run_plan(golden_plan(), jobs=4, cache=None)
+        assert payloads(parallel) == payloads(serial_run)
+
+    def test_cache_replay_matches_cold_run_bitwise(self, serial_run,
+                                                   tmp_path):
+        cache = SweepCache(str(tmp_path / "sweepcache"))
+        cold = run_plan(golden_plan(), jobs=1, cache=cache)
+        assert cold.stats.misses == 12 and cold.stats.hits == 0
+        replay = run_plan(golden_plan(), jobs=1, cache=cache)
+        assert replay.stats.hits == 12 and replay.stats.misses == 0
+        assert replay.stats.hit_rate == 1.0
+        assert payloads(cold) == payloads(serial_run)
+        assert payloads(replay) == payloads(serial_run)
+
+    def test_parallel_populates_cache_identically(self, serial_run,
+                                                  tmp_path):
+        cache = SweepCache(str(tmp_path / "sweepcache"))
+        cold = run_plan(golden_plan(), jobs=4, cache=cache)
+        assert cold.stats.misses == 12
+        replay = run_plan(golden_plan(), jobs=1, cache=cache)
+        assert replay.stats.hit_rate == 1.0
+        assert payloads(replay) == payloads(serial_run)
+
+    def test_payload_carries_per_level_traffic(self, serial_run):
+        for doc in payloads(serial_run):
+            assert doc["traffic_bytes"] >= 0
+            assert doc["llc_bytes"] >= 0
+            assert doc["work_flops"] > 0
+            assert doc["runtime_seconds"] > 0
+            for summary in ("work_summary", "traffic_summary",
+                            "runtime_summary"):
+                assert doc[summary] is None or doc[summary]["count"] >= 1
+
+    def test_result_order_matches_plan_order(self, serial_run):
+        plan = golden_plan()
+        for point, m in zip(plan, serial_run.measurements):
+            assert (point.kernel, point.n, point.protocol) == \
+                (m.kernel, m.n, m.protocol)
+
+
+class TestRoundTrip:
+    def test_payload_round_trip_is_lossless(self, serial_run):
+        from repro.sweep import payload_to_measurement
+
+        for m in serial_run.measurements:
+            doc = measurement_to_payload(m)
+            again = measurement_to_payload(payload_to_measurement(doc))
+            assert doc == again
+
+    def test_json_round_trip_is_lossless(self, serial_run):
+        import json
+
+        for m in serial_run.measurements:
+            doc = measurement_to_payload(m)
+            assert json.loads(json.dumps(doc)) == doc
