@@ -11,6 +11,10 @@ Subcommands:
   explicit kernel x size list) through the parallel sweep engine with
   content-addressed result caching
 * ``experiment``  — run experiments and write EXPERIMENTS-style output
+* ``conformance`` — differential-fuzz the fast interpreter against the
+  reference oracle and check every kernel's measured W/Q against
+  analytic closed forms; exits nonzero and writes a JSONL divergence
+  report under ``artifacts/`` on any mismatch
 
 ``measure``, ``roofline``, and ``sweep`` accept ``--json`` for
 machine-readable output; ``profile`` and ``sweep`` add ``--trace-out``
@@ -250,6 +254,93 @@ def _cmd_experiment(args) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_conformance(args) -> int:
+    import os
+    import random
+
+    from .oracle import (
+        minimize_program,
+        random_program,
+        render_program,
+        run_differential,
+    )
+    from .oracle.analytic import check_kernel, oracle_n
+
+    report_path = args.report or os.path.join(
+        "artifacts", "conformance", "report.jsonl"
+    )
+    records = []
+    divergent = 0
+    for i in range(args.n):
+        # independent stream per program: failure i reproduces alone
+        rng = random.Random(args.seed * 1_000_003 + i)
+        program = random_program(rng)
+        mask = rng.randint(0, 15)
+        outcome = run_differential(program, prefetch_mask=mask)
+        if not outcome.ok:
+            divergent += 1
+
+            def still_diverges(p, _mask=mask):
+                return not run_differential(p, prefetch_mask=_mask).ok
+
+            minimized = minimize_program(program, still_diverges)
+            min_outcome = run_differential(minimized, prefetch_mask=mask)
+            records.append({
+                "kind": "differential",
+                "seed": args.seed,
+                "index": i,
+                "prefetch_mask": mask,
+                "divergences": [d.as_dict() for d in outcome.divergences],
+                "minimized_divergences": [
+                    d.as_dict() for d in min_outcome.divergences
+                ],
+                "minimized_program": render_program(minimized),
+                "program": render_program(program),
+            })
+            print(f"DIVERGENCE at index {i} (mask {mask}): "
+                  f"{outcome.divergences[0]}")
+        if (i + 1) % 500 == 0:
+            print(f"  {i + 1}/{args.n} programs, {divergent} divergent")
+
+    kernel_problems = 0
+    if args.kernels != "none":
+        names = (kernel_names() if args.kernels == "all"
+                 else [k.strip() for k in args.kernels.split(",")])
+        for name in names:
+            problems = check_kernel(name)
+            if problems:
+                kernel_problems += len(problems)
+                records.append({
+                    "kind": "analytic",
+                    "kernel": name,
+                    "n": oracle_n(name),
+                    "problems": problems,
+                })
+                for p in problems:
+                    print(f"ANALYTIC MISMATCH: {p}")
+        print(f"  {len(names)} kernels checked, "
+              f"{kernel_problems} analytic mismatch(es)")
+
+    summary = {
+        "kind": "summary",
+        "programs": args.n,
+        "seed": args.seed,
+        "divergent_programs": divergent,
+        "analytic_mismatches": kernel_problems,
+    }
+    os.makedirs(os.path.dirname(report_path), exist_ok=True)
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(summary) + "\n")
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+    failed = divergent or kernel_problems
+    print(f"conformance: {args.n} programs, {divergent} divergent; "
+          f"kernel oracles: {kernel_problems} mismatch(es); "
+          f"report: {report_path}")
+    return 1 if failed else 0
+
+
 def _add_sweep_flags(parser: argparse.ArgumentParser,
                      suppress: bool = False) -> None:
     """Jobs/cache flags, shared by the main parser and subparsers.
@@ -363,6 +454,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write Prometheus-format sweep metrics here")
     _add_sweep_flags(p_sweep, suppress=True)
 
+    p_conf = sub.add_parser(
+        "conformance",
+        help="fuzz the fast interpreter against the reference oracle "
+             "and check kernel W/Q against closed forms",
+    )
+    p_conf.add_argument("--n", type=int, default=200,
+                        help="number of random programs (default 200)")
+    p_conf.add_argument("--seed", type=int, default=0,
+                        help="base seed for the program stream")
+    p_conf.add_argument("--kernels", default="all",
+                        help="comma-separated kernels for the analytic "
+                             "W/Q oracle, 'all', or 'none'")
+    p_conf.add_argument("--report",
+                        help="JSONL divergence report path (default "
+                             "artifacts/conformance/report.jsonl)")
+
     p_exp = sub.add_parser("experiment", help="run paper experiments")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
     p_exp.add_argument("--scale", type=float, default=0.125)
@@ -385,6 +492,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explain": _cmd_explain,
         "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
+        "conformance": _cmd_conformance,
     }
     try:
         return handlers[args.command](args)

@@ -12,6 +12,20 @@ sequence is evaluated with numpy, collapsed to its cache-line touch
 stream, and fed to the core's port in one batch.  Loop bodies are
 analysed once (FP mix, load-dependence taint, carried accumulator
 chains) and the analysis is cached per loop object.
+
+Canonical touch-stream semantics (mirrored by ``repro.oracle``):
+
+* an affine site coalesces under the *monotone frontier* rule — within
+  one flat-loop execution it emits, in iteration order, only the lines
+  beyond the furthest line it has already touched (direction-aware for
+  negative strides), skipping gap lines a stride jumps over entirely;
+* a gather site coalesces *consecutive duplicates* of its per-iteration
+  ``[first, end]`` line pair (its stream is data-dependent, so there is
+  no monotone frontier to track);
+* multi-site bodies interleave emissions in true iteration order, sites
+  in body order within an iteration;
+* straight-line memory instructions (and bodies of non-flat loops) emit
+  their full ``[first .. end]`` line range on every execution.
 """
 
 from __future__ import annotations
@@ -256,16 +270,17 @@ class Core:
                           buffers) -> BatchStats:
         """Walk a multi-site loop in iteration order at line granularity.
 
-        The chunk size is chosen so that no site advances more than one
-        cache line per chunk; each site then issues only its *new* lines
-        per chunk, preserving both intra-iteration locality across sites
-        and the per-site coalescing of repeated same-line touches.
+        Each affine site emits under the monotone frontier rule and each
+        gather site under consecutive-duplicate coalescing, with sites
+        visited in body order within an iteration.  Iterations where no
+        affine site can cross a line boundary are skipped in closed
+        form, so the walk costs O(lines emitted + gather trips), not
+        O(trips) — while emitting exactly the iteration-order stream.
         """
         trips = loop.trips
         shift = self._line_shift
-        line_bytes = self.config.line_bytes
         sites = []
-        chunk = trips
+        has_gather = False
         for site in info.mem_sites:
             if site.kind == "gather":
                 positions, node = self._gather_positions(
@@ -274,7 +289,7 @@ class Core:
                 width = site.width_bits // 8
                 # base/stride unused for gathers; positions precomputed
                 sites.append([site, positions, None, node, width, -1])
-                chunk = 1
+                has_gather = True
                 continue
             base, stride, node = self._site_base_stride(
                 site, loop.loop_id, ivs, buffers
@@ -286,27 +301,30 @@ class Core:
                 )
             width = site.width_bits // 8
             sites.append([site, base, stride, node, width, -1])
-            if stride > 0:
-                chunk = min(chunk, max(1, line_bytes // stride))
         batch = BatchStats()
-        for start in range(0, trips, chunk):
-            span = min(chunk, trips - start)
+        t = 0
+        while t < trips:
             for record in sites:
                 site, base, stride, node, width, last = record
                 if stride is None:  # gather: positions precomputed
                     positions = base
-                    pos = int(positions[min(start, positions.size - 1)])
+                    pos = int(positions[min(t, positions.size - 1)])
                     first = pos >> shift
                     end = (pos + width - 1) >> shift
-                    if first == last and end == last:
+                    if first == end:
+                        lines = [] if first == last else [first]
+                    elif first == last:
+                        lines = [end]
+                    else:
+                        lines = [first, end]
+                    if not lines:
                         continue
-                    lines = [first] if end == first else [first, end]
-                    record[5] = end
+                    record[5] = lines[-1]
                     batch.merge(self._dispatch_site(site, lines, node))
                     continue
-                pos = base + start * stride
+                pos = base + t * stride
                 first = pos >> shift
-                end = (pos + (span - 1) * stride + width - 1) >> shift
+                end = (pos + width - 1) >> shift
                 if end <= last:
                     continue
                 lo = first if first > last else last + 1
@@ -316,6 +334,23 @@ class Core:
                     lines = list(range(lo, end + 1))
                 record[5] = end
                 batch.merge(self._dispatch_site(site, lines, node))
+            if has_gather:
+                # gather streams are data-dependent: visit every trip
+                t += 1
+                continue
+            # skip ahead to the next iteration at which some affine
+            # site's [start..end] window reaches a line past its frontier
+            nxt = trips
+            for record in sites:
+                stride = record[2]
+                if not stride:
+                    continue
+                base, width, last = record[1], record[4], record[5]
+                need = ((last + 1) << shift) - base - width + 1
+                t_cross = -(-need // stride)
+                if t_cross < nxt:
+                    nxt = t_cross
+            t = max(nxt, t + 1)
         return batch
 
     def _gather_positions(self, site: _MemSite, loop_id: str, trips: int,
@@ -332,7 +367,9 @@ class Core:
             else:
                 idx0 += ivs[lid] * st
         if stride == 0:
-            indices = np.array([idx0], dtype=np.int64)
+            # one position per trip: a two-line gather re-touches both
+            # lines every iteration under consecutive-dedup semantics
+            indices = np.full(trips, idx0, dtype=np.int64)
         else:
             indices = idx0 + np.arange(trips, dtype=np.int64) * stride
         return alloc.base + table[indices], alloc.node
@@ -367,16 +404,41 @@ class Core:
         positions = base + np.arange(trips, dtype=np.int64) * stride
         start = positions >> shift
         end = (positions + (width_bytes - 1)) >> shift
-        if np.array_equal(start, end):
-            lines = start
+        lines: List[int] = []
+        if stride > 0:
+            # ascending frontier: each crossing iteration emits the lines
+            # between the frontier and its window end, skipping gap lines
+            # the window never covers
+            mask = np.empty(trips, dtype=bool)
+            mask[0] = True
+            np.greater(end[1:], end[:-1], out=mask[1:])
+            frontier = -1
+            for t in np.flatnonzero(mask):
+                hi = int(end[t])
+                lo = int(start[t])
+                if lo <= frontier:
+                    lo = frontier + 1
+                if lo > hi:
+                    continue
+                lines.extend(range(lo, hi + 1))
+                frontier = hi
         else:
-            lines = np.column_stack((start, end)).ravel()
-        if lines.size > 1:
-            keep = np.empty(lines.size, dtype=bool)
-            keep[0] = True
-            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
-            lines = lines[keep]
-        return lines.tolist(), node
+            # descending frontier (only legal for single-site bodies):
+            # new lines appear below the lowest line touched so far
+            mask = np.empty(trips, dtype=bool)
+            mask[0] = True
+            np.less(start[1:], start[:-1], out=mask[1:])
+            floor_line = None
+            for t in np.flatnonzero(mask):
+                lo = int(start[t])
+                hi = int(end[t])
+                if floor_line is not None and hi >= floor_line:
+                    hi = floor_line - 1
+                if lo > hi:
+                    continue
+                lines.extend(range(lo, hi + 1))
+                floor_line = lo
+        return lines, node
 
     # ------------------------------------------------------------------
     # slow path: straight-line instruction

@@ -131,20 +131,47 @@ class Cache:
                             for _ in range(config.nsets)]
 
     # ------------------------------------------------------------------
+    # shared state-transition accounting
+    #
+    # The two representations only *locate and move* lines; every
+    # statistic is recorded by exactly one of the helpers below, so the
+    # fast and generic paths cannot drift apart in their accounting
+    # (the historical duplication hazard).
+    # ------------------------------------------------------------------
+    def _record_lookup(self, hit: bool) -> bool:
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return hit
+
+    def _record_eviction(
+        self, evicted: Optional[Tuple[int, bool]]
+    ) -> Optional[Tuple[int, bool]]:
+        if evicted is not None:
+            self.stats.evictions += 1
+            if evicted[1]:
+                self.stats.dirty_evictions += 1
+        return evicted
+
+    def _record_invalidation(self, dirty: Optional[bool]) -> Optional[bool]:
+        if dirty is not None:
+            self.stats.invalidations += 1
+        return dirty
+
+    # ------------------------------------------------------------------
     # core operations
     # ------------------------------------------------------------------
     def lookup_update(self, line: int, mark_dirty: bool = False) -> bool:
         """Demand access: on hit, refresh recency (and dirty); no fill."""
         if self._fast:
             s = self._sets[line & self._set_mask]
-            if line in s:
-                dirty = s.pop(line) or mark_dirty
-                s[line] = dirty
-                self.stats.hits += 1
-                return True
-            self.stats.misses += 1
-            return False
-        return self._generic_lookup(line, mark_dirty)
+            hit = line in s
+            if hit:
+                s[line] = s.pop(line) or mark_dirty
+        else:
+            hit = self._generic_lookup(line, mark_dirty)
+        return self._record_lookup(hit)
 
     def _generic_lookup(self, line: int, mark_dirty: bool) -> bool:
         set_idx = line & self._set_mask
@@ -154,9 +181,7 @@ class Cache:
                 self._policy.on_hit(self._pstate[set_idx], way)
                 if mark_dirty:
                     self._dirty[set_idx][way] = True
-                self.stats.hits += 1
                 return True
-        self.stats.misses += 1
         return False
 
     def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
@@ -168,19 +193,17 @@ class Cache:
         if self._fast:
             s = self._sets[line & self._set_mask]
             if line in s:
-                dirty = s.pop(line) or dirty
+                s[line] = s.pop(line) or dirty
+                evicted = None
+            else:
+                evicted = None
+                if len(s) >= self._assoc:
+                    victim = next(iter(s))
+                    evicted = (victim, s.pop(victim))
                 s[line] = dirty
-                return None
-            evicted = None
-            if len(s) >= self._assoc:
-                victim = next(iter(s))
-                evicted = (victim, s.pop(victim))
-                self.stats.evictions += 1
-                if evicted[1]:
-                    self.stats.dirty_evictions += 1
-            s[line] = dirty
-            return evicted
-        return self._generic_fill(line, dirty)
+        else:
+            evicted = self._generic_fill(line, dirty)
+        return self._record_eviction(evicted)
 
     def _generic_fill(self, line: int, dirty: bool) -> Optional[Tuple[int, bool]]:
         set_idx = line & self._set_mask
@@ -199,9 +222,6 @@ class Cache:
                 return None
         way = self._policy.victim(state, self._assoc)
         evicted = (lines[way], self._dirty[set_idx][way])
-        self.stats.evictions += 1
-        if evicted[1]:
-            self.stats.dirty_evictions += 1
         lines[way] = line
         self._dirty[set_idx][way] = dirty
         self._policy.on_fill(state, way)
@@ -229,10 +249,12 @@ class Cache:
         """Drop ``line`` if present; returns its dirty flag, else None."""
         if self._fast:
             s = self._sets[line & self._set_mask]
-            if line in s:
-                self.stats.invalidations += 1
-                return s.pop(line)
-            return None
+            dirty = s.pop(line) if line in s else None
+        else:
+            dirty = self._generic_invalidate(line)
+        return self._record_invalidation(dirty)
+
+    def _generic_invalidate(self, line: int) -> Optional[bool]:
         set_idx = line & self._set_mask
         lines = self._lines[set_idx]
         for way in range(self._assoc):
@@ -240,7 +262,6 @@ class Cache:
                 lines[way] = None
                 dirty = self._dirty[set_idx][way]
                 self._dirty[set_idx][way] = False
-                self.stats.invalidations += 1
                 return dirty
         return None
 

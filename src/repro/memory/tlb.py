@@ -115,3 +115,7 @@ class Tlb:
     @property
     def resident_pages(self) -> int:
         return len(self._l1) + len(self._l2)
+
+    def page_sets(self):
+        """(L1 pages, L2 pages) as frozensets (conformance/diagnostics)."""
+        return frozenset(self._l1), frozenset(self._l2)

@@ -1,0 +1,42 @@
+"""Conformance oracles: reference models cross-checked against the
+fast simulation paths.
+
+Three pillars (see ``docs/TESTING.md``):
+
+* :mod:`repro.oracle.refmem` / :mod:`repro.oracle.reference` — a
+  deliberately slow, obviously-correct reference interpreter and
+  textbook cache/TLB model,
+* :mod:`repro.oracle.differential` — the engine that runs a program on
+  both paths and diffs every observable, with greedy repro
+  minimisation,
+* :mod:`repro.oracle.analytic` — exact closed-form W(n)/Q(n) checks
+  for every registry kernel.
+
+Driven by ``repro conformance`` (seeded CLI fuzzing) and by the
+hypothesis suite under ``tests/oracle/``.
+"""
+
+from .differential import (
+    DifferentialOutcome,
+    Divergence,
+    minimize_program,
+    render_program,
+    run_differential,
+)
+from .fuzz import ProgramGenerator, random_program
+from .refmem import InfiniteCacheMemory, ReferenceMemory
+from .reference import ReferenceInterpreter, RefResult
+
+__all__ = [
+    "DifferentialOutcome",
+    "Divergence",
+    "InfiniteCacheMemory",
+    "ProgramGenerator",
+    "ReferenceInterpreter",
+    "ReferenceMemory",
+    "RefResult",
+    "minimize_program",
+    "random_program",
+    "render_program",
+    "run_differential",
+]

@@ -1,0 +1,530 @@
+"""Deliberately slow reference interpreter for the conformance harness.
+
+Executes a program iteration by iteration and line by line — no numpy
+address vectorisation, no batched port calls, no closed-form iteration
+skipping — while reproducing the canonical touch-stream semantics
+documented in :mod:`repro.cpu.core`:
+
+* affine sites coalesce under the monotone frontier rule (direction
+  aware, gap lines skipped);
+* gather sites coalesce consecutive duplicates of their per-iteration
+  ``[first, end]`` line pair;
+* multi-site bodies interleave in true iteration order, sites in body
+  order within an iteration;
+* straight-line memory instructions emit their full line range every
+  execution.
+
+The cycle model (phase bounds, exposed latency, FP reissue slots) and
+PMU wiring are transcribed here from their specifications rather than
+imported, so a regression in :mod:`repro.cpu.timing` or the
+interpreter's event accounting shows up as a diff.  Only the pure
+per-instruction port arithmetic (``fp_issue_cycles`` /
+``mem_issue_cycles`` / ``latency``) is shared — it is config-table math
+with its own unit tests, and duplicating it would test nothing.
+
+The memory backend is pluggable (see :mod:`repro.oracle.refmem`):
+:class:`ReferenceMemory` for differential conformance against the fast
+hierarchy, :class:`InfiniteCacheMemory` for analytic kernel oracles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ExecutionError
+from ..isa.instructions import (
+    Flush,
+    GatherLoad,
+    Load,
+    Loop,
+    PrefetchHint,
+    Store,
+    VecOp,
+)
+from .refmem import STAT_KEYS, zero_stats
+
+#: (width_bits, precision) -> core FP event id; literal on purpose so a
+#: remapping in repro.pmu.events is caught by the differential run
+_FP_EVENT = {
+    (64, "f64"): "fp_scalar_f64",
+    (128, "f64"): "fp_128_f64",
+    (256, "f64"): "fp_256_f64",
+    (512, "f64"): "fp_512_f64",
+    (64, "f32"): "fp_scalar_f32",
+    (128, "f32"): "fp_128_f32",
+    (256, "f32"): "fp_256_f32",
+    (512, "f32"): "fp_512_f32",
+}
+
+
+@dataclass
+class RefResult:
+    """Everything one reference execution produced."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+    batch: Dict[str, int] = field(default_factory=zero_stats)
+    phase_totals: List[float] = field(default_factory=list)
+    true_flops: int = 0
+
+
+@dataclass
+class _Site:
+    instr: object
+    kind: str          # 'load' | 'store' | 'ntstore' | 'gather' | 'prefetch' | 'flush'
+    width_bits: int
+    site_id: int
+
+
+@dataclass
+class _LoopAnalysis:
+    fp_ops: Dict[Tuple[str, int], int]
+    fp_events: Dict[Tuple[int, str, bool], int]
+    dep_fp_events: Dict[Tuple[int, str, bool], int]
+    chain_latency: int
+    sites: List[_Site]
+    load_widths: Dict[int, int]
+    store_widths: Dict[int, int]
+    body_len: int
+
+
+class ReferenceInterpreter:
+    """One core's worth of reference execution over a pluggable memory."""
+
+    def __init__(self, spec, memory, core_id: int = 0) -> None:
+        self.spec = spec
+        self.ports = spec.ports
+        self.config = spec.hierarchy
+        self.timing = spec.timing
+        self.memory = memory
+        self.core_id = core_id
+        self._line_shift = self.config.line_bytes.bit_length() - 1
+        self._tables: Dict[str, object] = {}
+        # site ids must be stable across re-executions of the same loop
+        # object (the stride prefetcher keys on them), so analysis is
+        # memoised exactly like the fast path does
+        self._analysis: Dict[int, Tuple[Loop, _LoopAnalysis]] = {}
+        self._next_site_id = core_id << 20
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def execute(self, program, buffer_map,
+                dram_bytes_per_cycle: float) -> RefResult:
+        for name in program.buffers:
+            if name not in buffer_map:
+                raise ExecutionError(f"buffer {name!r} not mapped")
+        self._tables = program.tables
+        result = RefResult()
+        self._exec_nodes(program.body, {}, buffer_map,
+                         dram_bytes_per_cycle, result)
+        result.true_flops = self._true_flops(program.body, 1)
+        counters = result.counters
+        batch = result.batch
+        counters["cycles"] = counters.get("cycles", 0) + int(result.cycles)
+        counters["instructions"] = (
+            counters.get("instructions", 0) + result.instructions
+        )
+        counters["l1_replacement"] = counters.get("l1_replacement", 0) + max(
+            batch["accesses"] - batch["l1_hits"], 0
+        )
+        counters["l2_lines_in"] = counters.get("l2_lines_in", 0) + (
+            batch["l3_hits"] + batch["dram_reads"]
+            + batch["hw_prefetch_issued"]
+        )
+        counters["llc_misses"] = (
+            counters.get("llc_misses", 0) + batch["dram_reads"]
+        )
+        counters["dtlb_walks"] = (
+            counters.get("dtlb_walks", 0) + batch["tlb_misses"]
+        )
+        return result
+
+    def _true_flops(self, nodes, multiplier: int) -> int:
+        total = 0
+        for node in nodes:
+            if isinstance(node, Loop):
+                total += self._true_flops(node.body, multiplier * node.trips)
+            elif isinstance(node, VecOp):
+                total += node.flops * multiplier
+        return total
+
+    # ------------------------------------------------------------------
+    # tree walk
+    # ------------------------------------------------------------------
+    def _exec_nodes(self, nodes, ivs, buffers, dram_bpc, result) -> None:
+        for node in nodes:
+            if isinstance(node, Loop):
+                if node.trips == 0:
+                    continue
+                if any(isinstance(child, Loop) for child in node.body):
+                    for trip in range(node.trips):
+                        ivs[node.loop_id] = trip
+                        self._exec_nodes(node.body, ivs, buffers,
+                                         dram_bpc, result)
+                    del ivs[node.loop_id]
+                else:
+                    self._exec_flat(node, ivs, buffers, dram_bpc, result)
+            else:
+                self._exec_single(node, ivs, buffers, dram_bpc, result)
+
+    # ------------------------------------------------------------------
+    # flat loop, iteration by iteration
+    # ------------------------------------------------------------------
+    def _exec_flat(self, loop: Loop, ivs, buffers, dram_bpc, result) -> None:
+        info = self._analyze(loop)
+        trips = loop.trips
+
+        # FP events counted one iteration at a time
+        for _ in range(trips):
+            for (width, prec, is_fma), instrs in info.fp_events.items():
+                self._count_fp(width, prec, instrs, is_fma, result.counters)
+
+        # memory traffic: per iteration, per site in body order,
+        # per line — each site carries its own coalescing state
+        stats = zero_stats()
+        trackers = []
+        for site in info.sites:
+            trackers.append(self._site_tracker(site, loop.loop_id,
+                                               ivs, buffers))
+        for t in range(trips):
+            for site, tracker in zip(info.sites, trackers):
+                for line in tracker.lines_for(t):
+                    self._dispatch(site, line, tracker.home, stats)
+
+        fp_ops = {key: count * trips for key, count in info.fp_ops.items()}
+        load_widths = {w: c * trips for w, c in info.load_widths.items()}
+        store_widths = {w: c * trips for w, c in info.store_widths.items()}
+        total = self._phase_total(
+            fp_ops, load_widths, store_widths,
+            float(info.chain_latency * trips), stats, dram_bpc,
+        )
+
+        # the FP reissue overcount: every slot re-counts the body's
+        # load-dependent FP instructions once
+        if info.dep_fp_events:
+            slots = self._reissue_slots(stats)
+            if slots:
+                for (width, prec, is_fma), instrs in \
+                        info.dep_fp_events.items():
+                    self._count_fp(width, prec, instrs * slots, is_fma,
+                                   result.counters)
+
+        result.cycles += total
+        result.instructions += info.body_len * trips
+        self._merge(result.batch, stats)
+        result.phase_totals.append(total)
+
+    def _dispatch(self, site: _Site, line: int, home: int,
+                  stats: Dict[str, int]) -> None:
+        if site.kind == "prefetch":
+            self.memory.sw_prefetch(self.core_id, line, home, stats)
+        elif site.kind == "flush":
+            self.memory.flush(self.core_id, line, home, stats)
+        else:
+            self.memory.access(
+                self.core_id, line,
+                is_write=(site.kind in ("store", "ntstore")),
+                nt=(site.kind == "ntstore"),
+                home=home, stream_id=site.site_id, stats=stats,
+            )
+
+    def _site_tracker(self, site: _Site, loop_id: str, ivs, buffers):
+        if site.kind == "gather":
+            instr = site.instr
+            alloc = buffers[instr.buffer]
+            table = self._tables[instr.index_addr.buffer]
+            idx0 = instr.index_addr.offset
+            idx_stride = 0
+            for lid, s in instr.index_addr.strides:
+                if lid == loop_id:
+                    idx_stride = s
+                else:
+                    idx0 += ivs[lid] * s
+            return _GatherTracker(alloc.base, table, idx0, idx_stride,
+                                  site.width_bits // 8, self._line_shift,
+                                  alloc.node)
+        addr = site.instr.addr
+        alloc = buffers[addr.buffer]
+        base = alloc.base + addr.offset
+        stride = 0
+        for lid, s in addr.strides:
+            if lid == loop_id:
+                stride = s
+            else:
+                base += ivs[lid] * s
+        return _AffineTracker(base, stride, site.width_bits // 8,
+                              self._line_shift, alloc.node)
+
+    # ------------------------------------------------------------------
+    # straight-line instructions
+    # ------------------------------------------------------------------
+    def _exec_single(self, node, ivs, buffers, dram_bpc, result) -> None:
+        result.instructions += 1
+        if isinstance(node, VecOp):
+            if node.flops:
+                self._count_fp(node.width_bits, node.precision, 1,
+                               node.op == "fma", result.counters)
+            result.cycles += self.ports.fp_issue_cycles(
+                {(node.op, node.width_bits): 1}
+            )
+            return
+        shift = self._line_shift
+        stats = zero_stats()
+        if isinstance(node, GatherLoad):
+            alloc = buffers[node.buffer]
+            table = self._tables[node.index_addr.buffer]
+            base = alloc.base + int(table[node.index_addr.evaluate(ivs)])
+            first = base >> shift
+            last = (base + node.bytes - 1) >> shift
+            for line in range(first, last + 1):
+                self.memory.access(self.core_id, line, is_write=False,
+                                   nt=False, home=alloc.node, stream_id=0,
+                                   stats=stats)
+            total = self._phase_total({}, {node.width_bits: 1}, {},
+                                      0.0, stats, dram_bpc)
+            result.cycles += total
+            self._merge(result.batch, stats)
+            result.phase_totals.append(total)
+            return
+        addr = node.addr
+        alloc = buffers[addr.buffer]
+        base = alloc.base + addr.offset + sum(
+            ivs[lid] * s for lid, s in addr.strides
+        )
+        width_bytes = getattr(node, "width_bits", 64) // 8
+        first = base >> shift
+        last = (base + max(width_bytes - 1, 0)) >> shift
+        lines = range(first, last + 1)
+        if isinstance(node, PrefetchHint):
+            for line in lines:
+                self.memory.sw_prefetch(self.core_id, line, alloc.node, stats)
+        elif isinstance(node, Flush):
+            for line in lines:
+                self.memory.flush(self.core_id, line, alloc.node, stats)
+        elif isinstance(node, Load):
+            for line in lines:
+                self.memory.access(self.core_id, line, is_write=False,
+                                   nt=False, home=alloc.node, stream_id=0,
+                                   stats=stats)
+        elif isinstance(node, Store):
+            for line in lines:
+                self.memory.access(self.core_id, line, is_write=True,
+                                   nt=node.nt, home=alloc.node, stream_id=0,
+                                   stats=stats)
+        else:
+            raise ExecutionError(f"cannot execute node {node!r}")
+        total = self._phase_total(
+            {},
+            {node.width_bits: 1} if isinstance(node, Load) else {},
+            {node.width_bits: 1} if isinstance(node, Store) else {},
+            0.0, stats, dram_bpc,
+        )
+        result.cycles += total
+        self._merge(result.batch, stats)
+        result.phase_totals.append(total)
+
+    # ------------------------------------------------------------------
+    # cycle model (transcribed, not imported)
+    # ------------------------------------------------------------------
+    def _phase_total(self, fp_ops, load_widths, store_widths,
+                     chain: float, stats: Dict[str, int],
+                     dram_bpc: float) -> float:
+        cfg = self.config
+        line = cfg.line_bytes
+        fp_issue = self.ports.fp_issue_cycles(fp_ops) if fp_ops else 0.0
+        mem_issue = self.ports.mem_issue_cycles(load_widths, store_widths)
+        l2_bw = stats["l2_hits"] * line / cfg.l2.bytes_per_cycle
+        l3_bw = stats["l3_hits"] * line / cfg.l3.bytes_per_cycle
+        dram_lines = (stats["dram_reads"] + stats["writebacks"]
+                      + stats["nt_lines"] + stats["hw_prefetch_dram_reads"])
+        local_lines = dram_lines - stats["remote_dram_lines"]
+        effective = (local_lines + stats["remote_dram_lines"]
+                     / cfg.numa.remote_bandwidth_factor)
+        dram_bw = effective * line / dram_bpc
+        if stats["dram_reads"] and stats["remote_dram_lines"]:
+            remote_share = stats["remote_dram_lines"] / stats["dram_reads"]
+        else:
+            remote_share = 0.0
+        dram_latency = (cfg.dram.latency_cycles
+                        + remote_share * cfg.numa.remote_latency_extra_cycles)
+        exposed = (
+            stats["l2_hits"] * cfg.l2.latency_cycles
+            + stats["l3_hits"] * cfg.l3.latency_cycles
+            + stats["dram_reads"] * dram_latency
+            + stats["tlb_walk_cycles"]
+        ) / self.timing.mlp
+        return max(fp_issue, mem_issue, chain, l2_bw, l3_bw, dram_bw) + exposed
+
+    def _reissue_slots(self, stats: Dict[str, int]) -> int:
+        cfg = self.config
+        params = self.timing
+
+        def per_line(latency: int) -> int:
+            hidden = max(latency - params.reissue_hide_cycles, 0)
+            if hidden == 0:
+                return 0
+            return min(params.max_reissue_per_miss,
+                       math.ceil(hidden / params.reissue_interval_cycles))
+
+        return (stats["l2_hits"] * per_line(cfg.l2.latency_cycles)
+                + stats["l3_hits"] * per_line(cfg.l3.latency_cycles)
+                + stats["dram_reads"] * per_line(cfg.dram.latency_cycles))
+
+    # ------------------------------------------------------------------
+    # body analysis (memoised for site-id stability)
+    # ------------------------------------------------------------------
+    def _analyze(self, loop: Loop) -> _LoopAnalysis:
+        cached = self._analysis.get(id(loop))
+        if cached is not None:
+            return cached[1]
+        fp_ops: Dict[Tuple[str, int], int] = {}
+        fp_events: Dict[Tuple[int, str, bool], int] = {}
+        dep_fp_events: Dict[Tuple[int, str, bool], int] = {}
+        chains: Dict[str, int] = {}
+        sites: List[_Site] = []
+        load_widths: Dict[int, int] = {}
+        store_widths: Dict[int, int] = {}
+        tainted = set()
+
+        for instr in loop.body:
+            if isinstance(instr, VecOp):
+                key = (instr.op, instr.width_bits)
+                fp_ops[key] = fp_ops.get(key, 0) + 1
+                if instr.flops:
+                    ekey = (instr.width_bits, instr.precision,
+                            instr.op == "fma")
+                    fp_events[ekey] = fp_events.get(ekey, 0) + 1
+                    if any(src.name in tainted for src in instr.srcs):
+                        dep_fp_events[ekey] = dep_fp_events.get(ekey, 0) + 1
+                        tainted.add(instr.dst.name)
+                if instr.dst in instr.srcs:
+                    chains[instr.dst.name] = (
+                        chains.get(instr.dst.name, 0)
+                        + self.ports.latency(instr.op)
+                    )
+            elif isinstance(instr, Load):
+                tainted.add(instr.dst.name)
+                load_widths[instr.width_bits] = (
+                    load_widths.get(instr.width_bits, 0) + 1
+                )
+                sites.append(self._site(instr, "load", instr.width_bits))
+            elif isinstance(instr, GatherLoad):
+                tainted.add(instr.dst.name)
+                load_widths[instr.width_bits] = (
+                    load_widths.get(instr.width_bits, 0) + 1
+                )
+                sites.append(self._site(instr, "gather", instr.width_bits))
+            elif isinstance(instr, Store):
+                kind = "ntstore" if instr.nt else "store"
+                store_widths[instr.width_bits] = (
+                    store_widths.get(instr.width_bits, 0) + 1
+                )
+                sites.append(self._site(instr, kind, instr.width_bits))
+            elif isinstance(instr, PrefetchHint):
+                sites.append(self._site(instr, "prefetch", 64))
+            elif isinstance(instr, Flush):
+                sites.append(self._site(instr, "flush", 64))
+            else:
+                raise ExecutionError(f"unexpected node in flat loop: {instr!r}")
+
+        info = _LoopAnalysis(
+            fp_ops=fp_ops,
+            fp_events=fp_events,
+            dep_fp_events=dep_fp_events,
+            chain_latency=max(chains.values(), default=0),
+            sites=sites,
+            load_widths=load_widths,
+            store_widths=store_widths,
+            body_len=len(loop.body),
+        )
+        self._analysis[id(loop)] = (loop, info)
+        return info
+
+    def _site(self, instr, kind: str, width_bits: int) -> _Site:
+        site = _Site(instr, kind, width_bits, self._next_site_id)
+        self._next_site_id += 1
+        return site
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def _count_fp(self, width_bits: int, precision: str, instrs: int,
+                  is_fma: bool, counters: Dict[str, int]) -> None:
+        event = _FP_EVENT[(width_bits, precision)]
+        counters[event] = (
+            counters.get(event, 0) + instrs * (2 if is_fma else 1)
+        )
+
+    @staticmethod
+    def _merge(into: Dict[str, int], stats: Dict[str, int]) -> None:
+        for key in STAT_KEYS:
+            into[key] += stats[key]
+
+
+class _AffineTracker:
+    """Monotone-frontier line emission for one affine site."""
+
+    def __init__(self, base: int, stride: int, width_bytes: int,
+                 shift: int, home: int) -> None:
+        self.base = base
+        self.stride = stride
+        self.width_bytes = width_bytes
+        self.shift = shift
+        self.home = home
+        self.frontier = None   # furthest line emitted (ascending)
+        self.floor = None      # lowest line emitted (descending)
+
+    def lines_for(self, t: int) -> List[int]:
+        pos = self.base + t * self.stride
+        first = pos >> self.shift
+        end = (pos + self.width_bytes - 1) >> self.shift
+        if self.stride >= 0:
+            if self.frontier is None:
+                self.frontier = end
+                return list(range(first, end + 1))
+            if end <= self.frontier:
+                return []
+            lo = max(first, self.frontier + 1)
+            self.frontier = end
+            return list(range(lo, end + 1))
+        if self.floor is None:
+            self.floor = first
+            return list(range(first, end + 1))
+        if first >= self.floor:
+            return []
+        hi = min(end, self.floor - 1)
+        self.floor = first
+        return list(range(first, hi + 1))
+
+
+class _GatherTracker:
+    """Consecutive-duplicate coalescing for one gather site."""
+
+    def __init__(self, base: int, table, idx0: int, idx_stride: int,
+                 width_bytes: int, shift: int, home: int) -> None:
+        self.base = base
+        self.table = table
+        self.idx0 = idx0
+        self.idx_stride = idx_stride
+        self.width_bytes = width_bytes
+        self.shift = shift
+        self.home = home
+        self.last = None       # last line emitted
+
+    def lines_for(self, t: int) -> List[int]:
+        pos = self.base + int(self.table[self.idx0 + t * self.idx_stride])
+        first = pos >> self.shift
+        end = (pos + self.width_bytes - 1) >> self.shift
+        if first == end:
+            lines = [] if first == self.last else [first]
+        elif first == self.last:
+            lines = [end]
+        else:
+            lines = [first, end]
+        if lines:
+            self.last = lines[-1]
+        return lines

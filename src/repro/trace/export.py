@@ -16,6 +16,7 @@
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, Iterable, List, Optional
 
 from .events import (
@@ -91,9 +92,31 @@ def to_chrome_trace(events: Iterable[TraceEvent],
     return {"displayTimeUnit": "ms", "traceEvents": out}
 
 
+def _strict_json(value):
+    """Replace non-finite floats with their string spelling.
+
+    ``json.dumps`` would emit bare ``NaN``/``Infinity`` — tokens the
+    JSON grammar does not define, which strict consumers (and most
+    non-Python tooling) reject.  A corrupted metric must not corrupt
+    the whole artifact line.
+    """
+    if isinstance(value, dict):
+        return {k: _strict_json(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_strict_json(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
 def to_jsonl(events: Iterable[TraceEvent]) -> str:
-    """One JSON object per line, in emission order (lossless)."""
-    return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in events)
+    """One JSON object per line, in emission order (lossless for every
+    finite value; non-finite floats become strings — see
+    :func:`_strict_json`)."""
+    return "\n".join(
+        json.dumps(_strict_json(e.to_dict()), sort_keys=True)
+        for e in events
+    )
 
 
 def _prom_labels(labels: Dict[str, object]) -> str:

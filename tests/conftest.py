@@ -10,6 +10,17 @@ from repro.isa import ProgramBuilder
 from repro.kernels.base import CodegenCaps
 from repro.machine.presets import paper_machine, tiny_test_machine
 
+try:
+    from hypothesis import settings
+
+    # `ci` runs many more examples with no deadline (simulation time per
+    # example varies widely); select with HYPOTHESIS_PROFILE=ci.
+    settings.register_profile("ci", max_examples=300, deadline=None)
+    settings.register_profile("default", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+
 
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_sweep_cache(tmp_path_factory):

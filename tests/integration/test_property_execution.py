@@ -98,26 +98,29 @@ class TestGlobalInvariants:
     @given(random_affine_programs())
     @settings(max_examples=20, deadline=None)
     def test_rerun_never_reads_more_dram(self, program):
-        """A warm rerun never reads more lines from DRAM than a cold run.
+        """With prefetchers off, a warm rerun never reads more DRAM lines.
 
-        The invariant holds for *IMC-visible* reads (demand misses plus
-        prefetch fills) — the quantity the methodology measures as Q.
-        Demand-only reads are not monotonic: prefetching legitimately
-        converts demand misses into prefetch fills and back.  A
-        non-temporal store that invalidates a line mid-run is re-covered
-        in the cold run by an already-trained prefetch stream (a
-        prefetch read) while the warm run — fewer misses, hence less
-        engine training — pays a demand miss for the same line.  Total
-        controller read traffic still only ever shrinks on a rerun.
+        The prefetch-*on* version of this claim is false, which the
+        conformance harness work surfaced while pinning down reference
+        semantics: when a program's footprint exceeds the LLC, the warm
+        rerun starts with engines already trained from the cold pass, so
+        they can issue *more* (and more speculative) prefetch fills than
+        the cold run did — prefetch pollution and mispredicted streams
+        legitimately inflate IMC-visible warm traffic.  This is exactly
+        the overfetch artifact the paper controls for by validating Q
+        with prefetchers disabled (MSR 0x1A4), so the provable invariant
+        is the prefetch-off one.  Exact prefetch-on accounting is
+        covered by the differential oracle in ``tests/oracle``.
         """
         machine = tiny_test_machine()
+        machine.prefetch_control.disable_all()
         loaded = machine.load(program)
         machine.bust_caches()
         cold = machine.run(loaded, core_id=0).result.batch
         warm = machine.run(loaded, core_id=0).result.batch
-        cold_reads = cold.dram_reads + cold.hw_prefetch_dram_reads
-        warm_reads = warm.dram_reads + warm.hw_prefetch_dram_reads
-        assert warm_reads <= cold_reads
+        assert cold.hw_prefetch_dram_reads == 0
+        assert warm.hw_prefetch_dram_reads == 0
+        assert warm.dram_reads <= cold.dram_reads
 
     @given(random_affine_programs())
     @settings(max_examples=15, deadline=None)

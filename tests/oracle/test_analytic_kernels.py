@@ -1,0 +1,63 @@
+"""Analytic W/Q oracle: cheap representative kernels in tier-1.
+
+The full registry runs through ``repro conformance`` in CI; here a
+spread of kernel shapes (stream, reduction, NT store, RFO write) keeps
+the oracle honest on every plain ``pytest`` run without the cost of
+the dgemm/fft/spmv family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.analytic import (
+    CLOSED_FORM_Q_COLD,
+    check_kernel,
+    expected_w_q,
+    oracle_n,
+)
+
+TIER1_KERNELS = ("triad", "daxpy", "dot", "sum", "memset-nt", "read")
+
+
+@pytest.mark.parametrize("kernel", TIER1_KERNELS)
+def test_kernel_conforms_to_analytic_oracle(kernel):
+    problems = check_kernel(kernel)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("kernel", sorted(CLOSED_FORM_Q_COLD))
+def test_model_q_matches_closed_form(kernel):
+    # model-only (no measurement): fast enough to cover every closed
+    # form on each run
+    n = oracle_n(kernel)
+    _, q = expected_w_q(kernel, n, "cold")
+    assert q == float(CLOSED_FORM_Q_COLD[kernel](n))
+
+
+def test_warm_traffic_is_zero_for_cached_kernels():
+    _, q = expected_w_q("triad", oracle_n("triad"), "warm")
+    assert q == 0.0
+
+
+def test_warm_nt_traffic_is_store_stream_only():
+    n = oracle_n("memset-nt")
+    _, q = expected_w_q("memset-nt", n, "warm")
+    assert q == 8.0 * n
+
+
+def test_cold_work_includes_reissue_overcount():
+    # dot's dependent FMA-less multiply-add chain reissues on cold
+    # misses: counted W must exceed true W (the paper's F2 artifact)
+    from repro.kernels.registry import make_kernel
+    from repro.kernels.base import CodegenCaps
+    from repro.oracle.analytic import oracle_machine
+
+    n = oracle_n("dot")
+    machine = oracle_machine()
+    caps = CodegenCaps.from_machine(machine)
+    true_flops = make_kernel("dot").expected_flops(n, caps)
+    cold_w, _ = expected_w_q("dot", n, "cold")
+    warm_w, _ = expected_w_q("dot", n, "warm")
+    assert warm_w == float(true_flops)
+    assert cold_w > warm_w

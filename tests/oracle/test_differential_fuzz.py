@@ -1,0 +1,105 @@
+"""Property-based differential conformance: fast path vs reference.
+
+Hypothesis drives the shared program generator through a draw adapter,
+so a failing example shrinks through hypothesis's machinery on top of
+the program-level semantics the generator guarantees (in-bounds
+addresses, legal ops).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.isa import ProgramBuilder  # noqa: E402
+from repro.oracle import (  # noqa: E402
+    minimize_program,
+    random_program,
+    render_program,
+    run_differential,
+)
+
+
+class HypoRng:
+    """random.Random-shaped adapter over a hypothesis data draw."""
+
+    def __init__(self, data) -> None:
+        self.data = data
+
+    def randint(self, a: int, b: int) -> int:
+        return self.data.draw(st.integers(min_value=a, max_value=b))
+
+    def choice(self, seq):
+        return self.data.draw(st.sampled_from(list(seq)))
+
+
+@given(st.data())
+@settings(max_examples=60)
+def test_fast_path_matches_reference(data):
+    rng = HypoRng(data)
+    program = random_program(rng)
+    mask = rng.randint(0, 15)
+    outcome = run_differential(program, prefetch_mask=mask)
+    assert outcome.ok, "\n".join(
+        [f"prefetch mask {mask}"]
+        + [str(d) for d in outcome.divergences]
+        + ["program:", render_program(program)]
+    )
+
+
+def _triad_like(trips: int):
+    b = ProgramBuilder()
+    x = b.buffer("x", 8192)
+    y = b.buffer("y", 8192)
+    with b.loop(trips) as i:
+        vx = b.load(x[i * 32], width=256)
+        vy = b.load(y[i * 32], width=256)
+        b.store(b.add(vx, vy), x[i * 32], width=256)
+    return b.build()
+
+
+def test_minimizer_shrinks_to_smallest_diverging_program():
+    # Use a synthetic divergence criterion (loop deeper than 3 trips)
+    # so the greedy minimizer's contract is testable without an actual
+    # fast-path bug: it must keep the predicate true while shrinking.
+    program = _triad_like(64)
+
+    def predicate(p):
+        loops = [n for n in p.body if hasattr(n, "trips")]
+        return bool(loops) and loops[0].trips > 3
+
+    small = minimize_program(program, predicate)
+    assert predicate(small)
+    loops = [n for n in small.body if hasattr(n, "trips")]
+    assert loops[0].trips == 4  # smallest value satisfying > 3
+
+
+def test_differential_reports_injected_cycle_divergence(monkeypatch):
+    # Corrupt the reference timing slightly and require the engine to
+    # notice: guards against a diff loop that silently compares
+    # nothing (e.g. after an observable is renamed).
+    from repro.oracle import reference as refmod
+
+    original = refmod.ReferenceInterpreter._phase_total
+
+    def skewed(self, *args, **kwargs):
+        return original(self, *args, **kwargs) + 1.0
+
+    monkeypatch.setattr(refmod.ReferenceInterpreter, "_phase_total", skewed)
+    outcome = run_differential(_triad_like(16))
+    assert not outcome.ok
+    observables = {d.observable for d in outcome.divergences}
+    assert any(o.startswith(("cycles", "phase")) for o in observables)
+
+
+def test_render_program_handles_gather_programs():
+    b = ProgramBuilder()
+    buf = b.buffer("data", 4096)
+    tab = b.index_table("idx", [0, 64, 128])
+    with b.loop(3) as i:
+        b.gather(buf, tab[i * 1 + 0], width=64)
+    text = render_program(b.build())
+    assert text  # structural fallback, never raises

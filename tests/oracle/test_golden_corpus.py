@@ -1,0 +1,102 @@
+"""Golden conformance corpus: pinned digests over seeded fuzz programs.
+
+Twenty seeded programs from the shared conformance generator run
+through the *fast* path on a fresh tiny machine; a sha256 over every
+observable (cycles, counters, cache stats, memory state summary) is
+compared against digests committed in ``golden_digests.json``.
+
+This is the cheap tier-1 tripwire: the differential and analytic
+oracles prove semantics, the golden corpus catches *any* behaviour
+change instantly — including intentional ones, which must regenerate
+the file (``REPRO_REGEN_GOLDEN=1 pytest tests/oracle -m
+conformance_golden``) and justify the diff in review.
+
+The simulator is pure Python/IEEE-754 arithmetic, so digests are
+platform-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.machine.presets import tiny_test_machine
+from repro.oracle import random_program
+
+GOLDEN_PATH = Path(__file__).parent / "golden_digests.json"
+CORPUS_SEEDS = range(20)
+_CACHE_FIELDS = ("hits", "misses", "fills", "evictions",
+                 "dirty_evictions", "invalidations")
+
+
+def _observables(seed: int) -> dict:
+    rng = random.Random(seed)
+    program = random_program(rng)
+    mask = rng.randint(0, 15)
+    machine = tiny_test_machine()
+    machine.prefetch_control.write_msr(mask)
+    loaded = machine.load(program)
+    result = machine.run(loaded, core_id=0).result
+
+    hier = machine.hierarchy
+    payload = {
+        "mask": mask,
+        "cycles": repr(result.cycles),
+        "instructions": result.instructions,
+        "true_flops": result.true_flops,
+        "phases": [repr(cost.total) for cost in result.phases],
+        "batch": result.batch.as_dict(),
+        "pmu": machine.core_pmu(0).snapshot(),
+        "dram": [
+            {"reads": node.counters.cas_reads,
+             "writes": node.counters.cas_writes}
+            for node in hier.dram
+        ],
+        "caches": {
+            name: {f: getattr(cache.stats, f) for f in _CACHE_FIELDS}
+            for name, cache in (
+                ("l1", hier.l1[0]), ("l2", hier.l2[0]), ("l3", hier.l3[0]),
+            )
+        },
+        "resident": {
+            name: [sorted(cache.resident_lines()),
+                   sorted(cache.dirty_lines())]
+            for name, cache in (
+                ("l1", hier.l1[0]), ("l2", hier.l2[0]), ("l3", hier.l3[0]),
+            )
+        },
+    }
+    return payload
+
+
+def _digest(seed: int) -> str:
+    blob = json.dumps(_observables(seed), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.conformance_golden
+def test_golden_corpus_digests():
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        digests = {str(seed): _digest(seed) for seed in CORPUS_SEEDS}
+        GOLDEN_PATH.write_text(json.dumps(digests, indent=2) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        "golden_digests.json missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    mismatches = []
+    for seed in CORPUS_SEEDS:
+        actual = _digest(seed)
+        want = expected.get(str(seed))
+        if actual != want:
+            mismatches.append(f"seed {seed}: {actual} != {want}")
+    assert not mismatches, (
+        "golden conformance digests changed — if intentional, regenerate "
+        "with REPRO_REGEN_GOLDEN=1 and explain in the PR:\n"
+        + "\n".join(mismatches)
+    )

@@ -1,0 +1,101 @@
+"""Sweep serialisation negative paths: malformed payloads, non-finite
+metrics, empty plans.
+
+The cache replays these payloads across simulator versions; a payload
+that deserialises *wrongly* is worse than one that fails loudly, so
+the structural validation is pinned here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import MeasurementError, SweepError
+from repro.measure.runner import Measurement
+from repro.measure.stats import summarize
+from repro.sweep import SweepPlan, run_plan
+from repro.sweep.serialize import (
+    PAYLOAD_SCHEMA,
+    measurement_to_payload,
+    payload_to_measurement,
+)
+
+
+def _measurement(**overrides) -> Measurement:
+    base = dict(
+        kernel="triad", n=64, threads=1, protocol="cold",
+        machine="tiny", work_flops=128.0, traffic_bytes=4096.0,
+        llc_bytes=4096.0, runtime_seconds=1e-6, true_flops=128,
+        compulsory_bytes=3072, reps=2,
+        work_summary=summarize([128.0, 128.0]),
+        traffic_summary=summarize([4096.0, 4096.0]),
+        runtime_summary=summarize([1e-6, 2e-6]),
+    )
+    base.update(overrides)
+    return Measurement(**base)
+
+
+def test_round_trip_preserves_every_field():
+    m = _measurement()
+    rebuilt = payload_to_measurement(measurement_to_payload(m))
+    for name in ("kernel", "n", "threads", "protocol", "machine",
+                 "work_flops", "traffic_bytes", "llc_bytes",
+                 "runtime_seconds", "true_flops", "compulsory_bytes",
+                 "reps"):
+        assert getattr(rebuilt, name) == getattr(m, name)
+    assert rebuilt.work_summary == m.work_summary
+
+
+def test_non_finite_metrics_survive_json_round_trip_bitwise():
+    # A broken subtraction can produce NaN/inf W — the cache must
+    # reproduce it exactly (so the failure reproduces from cache too),
+    # not quietly coerce it
+    m = _measurement(work_flops=float("inf"),
+                     traffic_bytes=float("nan"))
+    doc = measurement_to_payload(m)
+    rebuilt = payload_to_measurement(doc)
+    assert math.isinf(rebuilt.work_flops)
+    assert math.isnan(rebuilt.traffic_bytes)
+
+
+@pytest.mark.parametrize("doc", [
+    None,
+    [],
+    "payload",
+    {},
+    {"schema": PAYLOAD_SCHEMA + 1},
+    {"schema": "1"},
+])
+def test_wrong_schema_or_shape_is_rejected(doc):
+    with pytest.raises(MeasurementError):
+        payload_to_measurement(doc)
+
+
+def test_missing_field_is_rejected():
+    doc = measurement_to_payload(_measurement())
+    del doc["traffic_bytes"]
+    with pytest.raises(MeasurementError):
+        payload_to_measurement(doc)
+
+
+def test_malformed_summary_is_rejected():
+    doc = measurement_to_payload(_measurement())
+    doc["work_summary"] = {"median": 1.0}  # missing the other fields
+    with pytest.raises((MeasurementError, KeyError)):
+        payload_to_measurement(doc)
+
+
+def test_payload_is_strict_json():
+    doc = measurement_to_payload(_measurement())
+    rebuilt = payload_to_measurement(json.loads(json.dumps(doc)))
+    assert rebuilt.kernel == "triad"
+
+
+def test_empty_plan_runs_to_empty_result():
+    run = run_plan(SweepPlan(), cache=False)
+    assert run.measurements == []
+    assert run.keys == []
+    assert run.stats.points == 0
