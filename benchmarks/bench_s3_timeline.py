@@ -1,0 +1,172 @@
+"""Bench S3: timeline sampler overhead and windowing throughput.
+
+Not a paper figure — this measures the observability layer itself.
+Three costs matter:
+
+* the *attach tax*: how much slower a run gets when a
+  :class:`~repro.trace.TimelineSampler` is on the bus, against both a
+  fully untraced run (the zero-overhead baseline) and a
+  :class:`~repro.trace.NullSink` (event construction + dispatch with
+  no retention — the floor any real sink pays);
+* *windowing throughput*: how many windows/sec ``timeline()`` derives
+  from an already-collected phase stream.
+
+Run under pytest-benchmark (``pytest benchmarks/bench_s3_timeline.py
+--benchmark-only``), or directly (``python benchmarks/
+bench_s3_timeline.py --out BENCH_timeline.json``) to regenerate the
+committed telemetry baseline that future PRs regress against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.kernels.base import CodegenCaps
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import tiny_test_machine
+from repro.trace import NullSink, TimelineConfig, TimelineSampler
+
+BENCH_KERNEL = "daxpy"
+BENCH_N = 4096
+BENCH_WINDOW = 500.0
+
+
+def _make_jobs():
+    machine = tiny_test_machine()
+    kernel = make_kernel(BENCH_KERNEL)
+    caps = CodegenCaps.from_machine(machine)
+    program = kernel.build(BENCH_N, caps)
+    loaded = machine.load(program)
+    return machine, [(loaded, 0)]
+
+
+def _run(machine, jobs) -> None:
+    machine.run_parallel(jobs)
+
+
+def _run_with_sink(machine, jobs, sink) -> None:
+    machine.trace.attach(sink)
+    try:
+        machine.run_parallel(jobs)
+    finally:
+        machine.trace.detach()
+
+
+def _collected_sampler():
+    """A sampler that has already swallowed one run's phase stream."""
+    machine, jobs = _make_jobs()
+    sampler = TimelineSampler(machine, TimelineConfig(BENCH_WINDOW))
+    _run_with_sink(machine, jobs, sampler)
+    return sampler
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_untraced_run_baseline(benchmark):
+    machine, jobs = _make_jobs()
+    benchmark(_run, machine, jobs)
+
+
+def test_nullsink_run(benchmark):
+    machine, jobs = _make_jobs()
+    sink = NullSink()
+    benchmark(_run_with_sink, machine, jobs, sink)
+
+
+def test_sampler_run(benchmark):
+    machine, jobs = _make_jobs()
+    sampler = TimelineSampler(machine, TimelineConfig(BENCH_WINDOW))
+    benchmark(_run_with_sink, machine, jobs, sampler)
+    assert sampler.entries  # it actually collected phases
+
+
+def test_window_binning_throughput(benchmark):
+    sampler = _collected_sampler()
+    timeline = benchmark(sampler.timeline)
+    assert len(timeline) > 1
+
+
+# ----------------------------------------------------------------------
+# standalone baseline writer
+# ----------------------------------------------------------------------
+def _time(fn, repeats: int = 7) -> float:
+    """Median seconds of ``fn()`` over ``repeats`` calls."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def collect_baseline(repeats: int = 7) -> dict:
+    machine, jobs = _make_jobs()
+    _run(machine, jobs)  # warm the process (allocator, bytecode caches)
+
+    untraced = _time(lambda: _run(machine, jobs), repeats)
+    null_sink = NullSink()
+    nullsink = _time(
+        lambda: _run_with_sink(machine, jobs, null_sink), repeats
+    )
+
+    def sampled_run():
+        sampler = TimelineSampler(machine, TimelineConfig(BENCH_WINDOW))
+        _run_with_sink(machine, jobs, sampler)
+        return sampler
+
+    sampled = _time(sampled_run, repeats)
+
+    sampler = _collected_sampler()
+    timeline = sampler.timeline()
+    binning = _time(sampler.timeline, repeats)
+    return {
+        "bench": "s3_timeline",
+        "machine": "tiny",
+        "kernel": BENCH_KERNEL,
+        "n": BENCH_N,
+        "window_cycles": BENCH_WINDOW,
+        "repeats": repeats,
+        "run_seconds": {
+            "untraced": untraced,
+            "nullsink": nullsink,
+            "sampler": sampled,
+        },
+        "overhead_vs_untraced": {
+            "nullsink": nullsink / untraced,
+            "sampler": sampled / untraced,
+        },
+        "windowing": {
+            "phase_entries": len(sampler.entries),
+            "windows": len(timeline),
+            "seconds": binning,
+            "windows_per_second": len(timeline) / binning,
+            "entries_per_second": len(sampler.entries) / binning,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the timeline telemetry baseline")
+    parser.add_argument("--out", default="BENCH_timeline.json")
+    parser.add_argument("--repeats", type=int, default=7)
+    args = parser.parse_args(argv)
+    doc = collect_baseline(repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    over = doc["overhead_vs_untraced"]
+    print(f"sampler overhead: x{over['sampler']:.3f} vs untraced "
+          f"(nullsink floor x{over['nullsink']:.3f}); "
+          f"{doc['windowing']['windows_per_second']:.0f} windows/s; "
+          f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

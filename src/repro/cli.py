@@ -7,6 +7,9 @@ Subcommands:
 * ``measure``     — measure one kernel and print its W/Q/T and point
 * ``profile``     — measure one kernel with tracing: phase-level cycle
   attribution, bound breakdown, Chrome-trace / metrics export
+* ``timeline``    — measure one kernel with windowed sampling: per-window
+  bandwidth/hit-rate/IPC series and the roofline trajectory, exported
+  as SVG/CSV/Chrome-trace artifacts under ``artifacts/timeline/``
 * ``sweep``       — run a measurement grid (a named figure grid or an
   explicit kernel x size list) through the parallel sweep engine with
   content-addressed result caching
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -41,6 +45,7 @@ from .machine.ref import MachineRef
 from .measure import explain_kernel, measure_kernel
 from .roofline import KernelPoint, analyze_point, ascii_plot, build_roofline
 from .roofline.export import to_json as roofline_to_json
+from .roofline.plot_svg import svg_plot
 from .sweep import (
     GRIDS,
     SweepCache,
@@ -50,7 +55,15 @@ from .sweep import (
     measurement_to_payload,
     run_plan,
 )
-from .trace import TraceCollector, measurement_to_dict, to_chrome_trace, to_prometheus
+from .trace import (
+    RooflineTrajectory,
+    TimelineConfig,
+    TraceCollector,
+    measurement_to_dict,
+    timeline_from_events,
+    to_chrome_trace,
+    to_prometheus,
+)
 from .trace.bus import ListSink, TraceBus
 from .units import format_bandwidth, format_bytes, format_flops, format_time
 
@@ -156,6 +169,102 @@ def _cmd_profile(args) -> int:
         print(f"trace written to {args.trace_out}", file=sys.stderr)
     if args.metrics_out:
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+#: convenience spellings for the timeline CLI — the registry names the
+#: dgemm/dgemv variants explicitly, but "the dgemm" of the paper's
+#: figures is the tiled one (and dgemv the row-major walk)
+_KERNEL_ALIASES = {"dgemm": "dgemm-tiled", "dgemv": "dgemv-row"}
+
+
+def _default_timeline_n(name: str) -> int:
+    """A problem size big enough to span many 10k-cycle windows."""
+    if name.startswith("dgemm"):
+        return 96
+    if name.startswith("dgemv"):
+        return 768
+    if name == "fft" or name.startswith("spmv") or name == "stencil3":
+        return 8192
+    return 65536
+
+
+def _cmd_timeline(args) -> int:
+    # validate the window before paying for a measurement
+    config = TimelineConfig(args.window)
+    kernel_name = _KERNEL_ALIASES.get(args.kernel, args.kernel)
+    machine = make_machine(args.machine, scale=args.scale)
+    kernel = make_kernel(kernel_name)
+    n = args.n if args.n is not None else _default_timeline_n(kernel_name)
+    cores = machine.topology.first_cores(args.threads)
+    # collect the raw event stream (so the Chrome export keeps its phase
+    # spans) and window it afterwards
+    collector = TraceCollector(machine)
+    m = measure_kernel(machine, kernel, n, protocol=args.protocol,
+                       cores=cores, reps=args.reps, trace=collector)
+    timeline = timeline_from_events(collector.events, config,
+                                    machine=machine)
+    label = f"{kernel_name} n={n} ({args.protocol})"
+    trajectory = RooflineTrajectory.from_timeline(timeline, label=label)
+
+    want_svg, want_csv, want_chrome = args.svg, args.csv, args.chrome
+    if not (want_svg or want_csv or want_chrome):
+        want_svg = want_csv = want_chrome = True
+    os.makedirs(args.out_dir, exist_ok=True)
+    stem = os.path.join(
+        args.out_dir,
+        f"{kernel_name}_n{n}_{machine.spec.name}_w{args.window:g}",
+    )
+    written = {}
+    if want_svg:
+        model = build_roofline(machine, cores=cores,
+                               include_thread_scaling=args.threads > 1)
+        svg = svg_plot(model, timeline=trajectory,
+                       title=f"Roofline trajectory: {label} "
+                             f"on {machine.spec.name}")
+        written["svg"] = stem + ".svg"
+        with open(written["svg"], "w", encoding="utf-8") as handle:
+            handle.write(svg)
+    if want_csv:
+        written["csv"] = stem + ".csv"
+        with open(written["csv"], "w", encoding="utf-8") as handle:
+            handle.write(timeline.to_csv())
+        written["trajectory_csv"] = stem + ".trajectory.csv"
+        with open(written["trajectory_csv"], "w", encoding="utf-8") as handle:
+            handle.write(trajectory.to_csv())
+    if want_chrome:
+        doc = to_chrome_trace(collector.events,
+                              frequency_hz=machine.spec.base_hz,
+                              machine_name=machine.spec.name,
+                              timeline=timeline)
+        written["chrome"] = stem + ".trace.json"
+        with open(written["chrome"], "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+
+    if args.json:
+        print(json.dumps({
+            "measurement": measurement_to_dict(m),
+            "timeline": timeline.to_json_doc(),
+            "trajectory": trajectory.to_json_doc(),
+            "artifacts": written,
+        }, indent=2))
+    else:
+        print(f"kernel    : {kernel.describe()}")
+        print(f"machine   : {machine.spec.name}, {args.threads} thread(s), "
+              f"{args.protocol} caches")
+        print(f"window    : {args.window:g} cycles x {len(timeline)} "
+              f"window(s) over {timeline.span:.0f} measured cycles")
+        print(f"P         : {format_flops(m.performance)}   "
+              f"I: {m.intensity:.4f} flops/byte")
+        print()
+        print(timeline.window_table())
+        if trajectory.points:
+            model = build_roofline(machine, cores=cores,
+                                   include_thread_scaling=args.threads > 1)
+            print()
+            print(ascii_plot(model, timeline=trajectory))
+    for kind, path in sorted(written.items()):
+        print(f"{kind} written to {path}", file=sys.stderr)
     return 0
 
 
@@ -415,6 +524,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the measurement (incl. trace summary) "
                              "as JSON")
 
+    p_tl = sub.add_parser(
+        "timeline",
+        help="measure one kernel with windowed sampling and export the "
+             "roofline trajectory",
+    )
+    p_tl.add_argument("--kernel", default="daxpy",
+                      choices=kernel_names() + sorted(_KERNEL_ALIASES),
+                      help="kernel to profile (dgemm/dgemv resolve to the "
+                           "paper's tiled/row variants)")
+    p_tl.add_argument("--n", type=int, default=None,
+                      help="problem size (default: per-kernel size that "
+                           "spans many windows)")
+    p_tl.add_argument("--machine", default="snb-ep")
+    p_tl.add_argument("--scale", type=float, default=0.125)
+    p_tl.add_argument("--threads", type=int, default=1)
+    p_tl.add_argument("--protocol", choices=("cold", "warm"),
+                      default="cold")
+    p_tl.add_argument("--reps", type=int, default=1)
+    p_tl.add_argument("--window", type=float, default=10_000.0,
+                      help="window width in cycles (default 10000)")
+    p_tl.add_argument("--out-dir", default=os.path.join(
+                          "artifacts", "timeline"),
+                      help="artifact directory "
+                           "(default artifacts/timeline)")
+    p_tl.add_argument("--svg", action="store_true",
+                      help="write the roofline-trajectory SVG")
+    p_tl.add_argument("--csv", action="store_true",
+                      help="write per-window and trajectory CSVs")
+    p_tl.add_argument("--chrome", action="store_true",
+                      help="write Chrome trace-event JSON with timeline "
+                           "counter tracks")
+    p_tl.add_argument("--json", action="store_true",
+                      help="emit measurement + timeline + trajectory "
+                           "as JSON")
+
     p_expl = sub.add_parser("explain", help="attribute a kernel's cycles")
     p_expl.add_argument("kernel", choices=kernel_names())
     p_expl.add_argument("n", type=int)
@@ -489,6 +633,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "roofline": _cmd_roofline,
         "measure": _cmd_measure,
         "profile": _cmd_profile,
+        "timeline": _cmd_timeline,
         "explain": _cmd_explain,
         "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,

@@ -95,6 +95,7 @@ class _LoopInfo:
     load_widths: Dict[int, int]
     store_widths: Dict[int, int]
     body_instructions: int
+    flops_per_trip: int = 0
 
 
 class Core:
@@ -234,6 +235,8 @@ class Core:
                     "mlp": self.timing.mlp,
                     "reissue_slots": slots,
                     "reissue_flops": reissue_flops,
+                    "instructions": info.body_instructions * trips,
+                    "flops": info.flops_per_trip * trips,
                 },
             ))
             bus.cursor += cost.total
@@ -451,8 +454,28 @@ class Core:
                                 node.op == "fma")
             cost = self.ports.fp_issue_cycles({(node.op, node.width_bits): 1})
             result.cycles += cost
-            if self.bus.enabled:
-                self.bus.cursor += cost
+            bus = self.bus
+            if bus.enabled:
+                # a retired-op batch with a cycle stamp: without it the
+                # timeline sampler could not attribute straight-line
+                # flops (or their issue cycles) to a window
+                bus.emit(TraceEvent(
+                    PHASE, f"instr:{node.op}", bus.cursor,
+                    core=self.core_id, dur=cost,
+                    args={
+                        "trips": 1,
+                        "dominant": "fp_issue",
+                        "bounds": {"fp_issue": cost},
+                        "batch": {},
+                        "dram_bpc": dram_bpc,
+                        "mlp": self.timing.mlp,
+                        "reissue_slots": 0,
+                        "reissue_flops": 0,
+                        "instructions": 1,
+                        "flops": node.flops,
+                    },
+                ))
+                bus.cursor += cost
             return
         if isinstance(node, GatherLoad):
             alloc = buffers[node.buffer]
@@ -528,6 +551,8 @@ class Core:
                 "mlp": self.timing.mlp,
                 "reissue_slots": 0,
                 "reissue_flops": 0,
+                "instructions": 1,
+                "flops": 0,
             },
         ))
         bus.cursor += cost.total
@@ -549,11 +574,13 @@ class Core:
         load_widths: Dict[int, int] = {}
         store_widths: Dict[int, int] = {}
         tainted = set()
+        flops_per_trip = 0
 
         for instr in loop.body:
             if isinstance(instr, VecOp):
                 key = (instr.op, instr.width_bits)
                 fp_ops[key] = fp_ops.get(key, 0) + 1
+                flops_per_trip += instr.flops
                 if instr.flops:
                     ekey = (instr.width_bits, instr.precision, instr.op == "fma")
                     fp_events[ekey] = fp_events.get(ekey, 0) + 1
@@ -599,6 +626,7 @@ class Core:
             load_widths=load_widths,
             store_widths=store_widths,
             body_instructions=len(loop.body),
+            flops_per_trip=flops_per_trip,
         )
         self._loop_info[id(loop)] = (loop, info)
         return info

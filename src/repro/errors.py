@@ -54,3 +54,8 @@ class ExperimentError(ReproError):
 
 class SweepError(ReproError):
     """A sweep plan, its executor, or the result cache misbehaved."""
+
+
+class TimelineError(ReproError):
+    """A timeline profile was misconfigured or the trace cannot be
+    windowed (empty trace, window wider than the measured span, ...)."""

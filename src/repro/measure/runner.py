@@ -25,6 +25,7 @@ from ..machine.machine import LoadedProgram, Machine
 from ..pmu.perf import PerfSession
 from ..trace.collector import TraceCollector
 from ..trace.events import MARK, TraceEvent
+from ..trace.timeline import TimelineConfig, TimelineSampler
 from .protocol import Protocol, make_protocol
 from .stats import Summary, summarize
 from .traffic import TRAFFIC_EVENTS, bytes_from_session
@@ -82,9 +83,10 @@ class Measurement:
     #: per-rep distribution of the measured runtimes
     runtime_summary: Optional[Summary] = None
     #: structured trace of the final repetition's measured window
-    #: (a :class:`repro.trace.TraceCollector`), when requested via
+    #: (a :class:`repro.trace.TraceCollector` or
+    #: :class:`repro.trace.TimelineSampler`), when requested via
     #: ``measure_kernel(..., trace=...)``; ``None`` otherwise
-    trace: Optional[TraceCollector] = None
+    trace: Optional[object] = None
 
     # ------------------------------------------------------------------
     # derived roofline coordinates
@@ -157,17 +159,24 @@ def measure_kernel(machine: Machine, kernel: Kernel, n: int,
     """Measure one kernel configuration with the full methodology.
 
     ``trace`` requests a structured trace of the final repetition:
-    pass ``True`` for a fresh :class:`~repro.trace.TraceCollector`, or
-    an existing collector/sink to reuse.  The collector is attached to
-    the machine's trace bus only around the final rep's A window — the
-    sink merely records events, so the measured W/Q/T are identical
-    with and without it (a regression test asserts this exactly).
+    pass ``True`` for a fresh :class:`~repro.trace.TraceCollector`, a
+    :class:`~repro.trace.TimelineConfig` for a windowed
+    :class:`~repro.trace.TimelineSampler`, or an existing
+    collector/sink to reuse.  The sink is attached to the machine's
+    trace bus only around the final rep's A window — it merely records
+    events, so the measured W/Q/T are identical with and without it
+    (a regression test asserts this exactly).
     """
     if reps < 1:
         raise MeasurementError("need at least one repetition")
     collector = None
     if trace is not None and trace is not False:
-        collector = TraceCollector(machine) if trace is True else trace
+        if trace is True:
+            collector = TraceCollector(machine)
+        elif isinstance(trace, TimelineConfig):
+            collector = TimelineSampler(machine, trace)
+        else:
+            collector = trace
     cores = tuple(cores)
     proto: Protocol = make_protocol(protocol)
     caps = CodegenCaps.from_machine(machine, width_bits)

@@ -48,10 +48,19 @@ def ascii_plot(model: RooflineModel,
                trajectories: Iterable[Trajectory] = (),
                width: int = 76, height: int = 22,
                x_range: Optional[Tuple[float, float]] = None,
-               y_range: Optional[Tuple[float, float]] = None) -> str:
-    """Render a roofline with kernel points as ASCII art."""
+               y_range: Optional[Tuple[float, float]] = None,
+               timeline=None) -> str:
+    """Render a roofline with kernel points as ASCII art.
+
+    ``timeline`` takes a :class:`~repro.trace.RooflineTrajectory`; up
+    to nine of its windows are sampled evenly over execution time and
+    drawn as breadcrumb digits ``1``..``9`` in time order.
+    """
     pts = _collect_points(points, trajectories)
-    xmin, xmax, ymin, ymax = _ranges(model, pts, x_range, y_range)
+    range_pts = pts
+    if timeline is not None:
+        range_pts = pts + list(timeline.points)
+    xmin, xmax, ymin, ymax = _ranges(model, range_pts, x_range, y_range)
     lx0, lx1 = _log(xmin), _log(xmax)
     ly0, ly1 = _log(ymin), _log(ymax)
 
@@ -96,6 +105,18 @@ def ascii_plot(model: RooflineModel,
         marker = _MARKERS[series_order.index(point.series) % len(_MARKERS)]
         put(col_of(point.intensity), row_of(point.performance), marker)
 
+    # timeline trajectory breadcrumbs: up to nine windows sampled
+    # evenly over execution, drawn as 1..9 in time order (drawn last so
+    # the path stays readable over ceilings and points)
+    breadcrumbs = []
+    if timeline is not None and len(timeline.points) > 0:
+        tpts = list(timeline.points)
+        count = min(len(tpts), 9)
+        step = (len(tpts) - 1) / max(count - 1, 1)
+        breadcrumbs = [tpts[round(k * step)] for k in range(count)]
+        for idx, p in enumerate(breadcrumbs):
+            put(col_of(p.intensity), row_of(p.performance), str(idx + 1))
+
     lines = [f"Roofline: {model.name}"]
     lines.append(f"{format_flops(ymax):>14} +" + "".join(["-"] * width) + "+")
     for row in range(height):
@@ -119,4 +140,15 @@ def ascii_plot(model: RooflineModel,
         lines.append(f"  ceiling // {ceiling.label}")
     for idx, series in enumerate(series_order):
         lines.append(f"  {_MARKERS[idx % len(_MARKERS)]} {series}")
+    if breadcrumbs:
+        lines.append(
+            f"  1..{len(breadcrumbs)} trajectory: {timeline.label} "
+            f"(time order, {timeline.window_cycles:g}-cycle windows)"
+        )
+        first, final = breadcrumbs[0], breadcrumbs[-1]
+        lines.append(
+            f"      1 @ [{first.t_start:.0f}, {first.t_end:.0f}) cyc   "
+            f"{len(breadcrumbs)} @ [{final.t_start:.0f}, "
+            f"{final.t_end:.0f}) cyc"
+        )
     return "\n".join(lines) + "\n"

@@ -20,7 +20,22 @@ _COLORS = [
     "#d68910", "#16a085", "#7f8c8d", "#2c3e50",
 ]
 
+#: time-gradient stops for the timeline trajectory: execution start is
+#: green, midpoint gold, end red
+_TRAJ_STOPS = ((0x1E, 0x84, 0x49), (0xD6, 0x89, 0x10), (0xC0, 0x39, 0x2B))
+
 _MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 230, 40, 55
+
+
+def _traj_color(t: float) -> str:
+    """Colour at normalised time ``t`` in [0, 1] along the gradient."""
+    t = min(max(t, 0.0), 1.0)
+    if t <= 0.5:
+        a, b, local = _TRAJ_STOPS[0], _TRAJ_STOPS[1], t * 2.0
+    else:
+        a, b, local = _TRAJ_STOPS[1], _TRAJ_STOPS[2], (t - 0.5) * 2.0
+    rgb = (round(a[k] + (b[k] - a[k]) * local) for k in range(3))
+    return "#" + "".join(f"{c:02x}" for c in rgb)
 
 
 def _fmt_tick(value: float) -> str:
@@ -38,11 +53,22 @@ def svg_plot(model: RooflineModel,
              width: int = 860, height: int = 520,
              title: Optional[str] = None,
              x_range: Optional[Tuple[float, float]] = None,
-             y_range: Optional[Tuple[float, float]] = None) -> str:
-    """Render a roofline chart; returns the SVG document as a string."""
+             y_range: Optional[Tuple[float, float]] = None,
+             timeline=None) -> str:
+    """Render a roofline chart; returns the SVG document as a string.
+
+    ``timeline`` takes a :class:`~repro.trace.RooflineTrajectory` (the
+    windowed (I, P) path of a single run) and overlays it as a
+    time-gradient polyline — green at execution start, red at the end —
+    with explicit start/end markers.
+    """
     trajectories = list(trajectories or [])
     loose_points = list(points or [])
     pts = _collect_points(loose_points, trajectories)
+    if timeline is not None:
+        # windowed (I, P) points participate in autoscaling like any
+        # other point (duck-typed: they carry intensity/performance)
+        pts = pts + list(timeline.points)
     xmin, xmax, ymin, ymax = _ranges(model, pts, x_range, y_range)
     plot_w = width - _MARGIN_L - _MARGIN_R
     plot_h = height - _MARGIN_T - _MARGIN_B
@@ -170,6 +196,41 @@ def svg_plot(model: RooflineModel,
         out.append(
             f'<circle cx="{px(point.intensity):.1f}" '
             f'cy="{py(point.performance):.1f}" r="4" fill="{color}"/>'
+        )
+
+    # timeline trajectory: time-gradient polyline with start/end markers
+    if timeline is not None and len(timeline.points) > 0:
+        tcoords = [
+            (px(p.intensity), py(p.performance)) for p in timeline.points
+        ]
+        last = len(tcoords) - 1
+        for i in range(last):
+            (x0, y0), (x1, y1) = tcoords[i], tcoords[i + 1]
+            color = _traj_color(i / max(last - 1, 1))
+            out.append(
+                f'<line x1="{x0:.1f}" y1="{y0:.1f}" x2="{x1:.1f}" '
+                f'y2="{y1:.1f}" stroke="{color}" stroke-width="1.8" '
+                f'opacity="0.9"/>'
+            )
+        for i, (cx, cy) in enumerate(tcoords):
+            color = _traj_color(i / max(last, 1))
+            out.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="2.2" '
+                f'fill="{color}"/>'
+            )
+        sx, sy = tcoords[0]
+        ex, ey = tcoords[-1]
+        out.append(
+            f'<circle cx="{sx:.1f}" cy="{sy:.1f}" r="5" '
+            f'fill="{_traj_color(0.0)}" stroke="white" stroke-width="1.5"/>'
+        )
+        out.append(
+            f'<rect x="{ex - 4:.1f}" y="{ey - 4:.1f}" width="8" height="8" '
+            f'fill="{_traj_color(1.0)}" stroke="white" stroke-width="1.5"/>'
+        )
+        legend_entries.append(
+            (_traj_color(0.5), "",
+             f"trajectory: {timeline.label} (green=start, red=end)")
         )
 
     # legend

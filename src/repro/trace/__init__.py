@@ -7,6 +7,9 @@ The layer has three parts:
   :class:`TraceEvent` objects into;
 * a collector (:class:`TraceCollector`) that folds the stream into
   per-phase records and per-kernel summaries with derived metrics;
+* a windowed sampler (:class:`TimelineSampler`) that bins execution
+  into fixed cycle windows and derives per-window series plus the
+  roofline trajectory (:class:`RooflineTrajectory`);
 * exporters for Chrome trace-event JSON (Perfetto), Prometheus text
   metrics, and JSON lines.
 
@@ -31,6 +34,16 @@ from .export import (
     to_jsonl,
     to_prometheus,
 )
+from .timeline import (
+    COUNTER_KEYS,
+    DERIVED_KEYS,
+    Timeline,
+    TimelineConfig,
+    TimelineSampler,
+    TimelineWindow,
+    timeline_from_events,
+)
+from .trajectory import RooflineTrajectory, TrajectoryPoint
 
 __all__ = [
     "TraceBus",
@@ -51,4 +64,13 @@ __all__ = [
     "to_jsonl",
     "to_prometheus",
     "measurement_to_dict",
+    "Timeline",
+    "TimelineConfig",
+    "TimelineSampler",
+    "TimelineWindow",
+    "timeline_from_events",
+    "COUNTER_KEYS",
+    "DERIVED_KEYS",
+    "RooflineTrajectory",
+    "TrajectoryPoint",
 ]

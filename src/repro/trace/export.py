@@ -35,19 +35,97 @@ _CACHE_SERIES = ("l1_hits", "l2_hits", "l3_hits", "dram_reads",
                  "l1_evictions", "l2_evictions", "l3_evictions",
                  "tlb_misses")
 
+#: synthetic track ids for events not owned by a core: machine-scope
+#: events (``core < 0``: sweep phases, PMU snapshots, marks) and the
+#: per-window timeline counter tracks.  Large so they sort after the
+#: real cores in viewers that fall back to tid order.
+_MACHINE_TID = 10_000
+_TIMELINE_TID = 10_001
+
+#: per-window timeline counter tracks: Perfetto track name -> list of
+#: (series label in the track, derived key on the window)
+_TIMELINE_TRACKS = (
+    ("timeline.dram_bw_bpc", (("read", "dram_read_bpc"),
+                              ("write", "dram_write_bpc"))),
+    ("timeline.hit_rate", (("l1", "l1_hit_rate"),
+                           ("l2", "l2_hit_rate"),
+                           ("l3", "l3_hit_rate"))),
+    ("timeline.ipc", (("ipc", "ipc"),)),
+    ("timeline.flops_per_cycle", (("flops", "flops_per_cycle"),)),
+    ("timeline.prefetch", (("accuracy", "prefetch_accuracy"),
+                           ("coverage", "prefetch_coverage"))),
+)
+
 
 def _cycles_to_us(cycles: float, frequency_hz: float) -> float:
     return cycles / frequency_hz * 1e6
 
 
+def _thread_meta(tid: int, name: str) -> List[dict]:
+    """thread_name + thread_sort_index metadata pair for one track."""
+    return [
+        {"ph": "M", "name": "thread_name", "pid": 0, "tid": tid,
+         "args": {"name": name}},
+        {"ph": "M", "name": "thread_sort_index", "pid": 0, "tid": tid,
+         "args": {"sort_index": tid}},
+    ]
+
+
+def _timeline_counter_events(timeline, frequency_hz: float) -> List[dict]:
+    """Per-window counter ("C") samples for each timeline track.
+
+    One sample at each window start plus a closing sample at ``t_end``
+    holding the last window's value, so Perfetto's area rendering spans
+    the final (possibly partial) window instead of dropping to zero at
+    its left edge.  ``None`` series values (undefined rates) are
+    skipped per-sample.
+    """
+    out: List[dict] = []
+    if not timeline.windows:
+        return out
+    for track, series in _TIMELINE_TRACKS:
+        samples = []
+        for window in timeline.windows:
+            args = {}
+            for label, key in series:
+                value = window.derived.get(key)
+                if isinstance(value, (int, float)) and math.isfinite(value):
+                    args[label] = value
+            if args:
+                samples.append((window.start, args))
+        if not samples:
+            continue
+        for ts, args in samples:
+            out.append({
+                "ph": "C", "name": track, "cat": "timeline",
+                "pid": 0, "tid": _TIMELINE_TID,
+                "ts": _cycles_to_us(ts, frequency_hz), "args": args,
+            })
+        out.append({
+            "ph": "C", "name": track, "cat": "timeline",
+            "pid": 0, "tid": _TIMELINE_TID,
+            "ts": _cycles_to_us(timeline.t_end, frequency_hz),
+            "args": dict(samples[-1][1]),
+        })
+    return out
+
+
 def to_chrome_trace(events: Iterable[TraceEvent],
                     frequency_hz: float = 1e9,
-                    machine_name: str = "repro") -> dict:
+                    machine_name: str = "repro",
+                    timeline=None) -> dict:
     """Trace Event Format document (load in Perfetto / chrome://tracing).
 
     Timestamps are converted from cycles to microseconds at
     ``frequency_hz``.  Batch-level events are folded into cumulative
     counter tracks; PMU snapshots and marks become instant events.
+    Machine-scope events (no owning core) land on a dedicated
+    "machine" track rather than masquerading as core 0.
+
+    Pass a :class:`~repro.trace.timeline.Timeline` as ``timeline`` to
+    add per-window counter tracks (DRAM bandwidth, hit rates, IPC,
+    flops/cycle, prefetch quality) that render as area charts under the
+    phase spans.
     """
     out: List[dict] = [{
         "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
@@ -55,15 +133,19 @@ def to_chrome_trace(events: Iterable[TraceEvent],
     }]
     counters: Dict[str, Dict[str, float]] = {}
     seen_cores = set()
+    saw_machine_scope = False
     for event in events:
         ts = _cycles_to_us(event.ts, frequency_hz)
-        tid = max(event.core, 0)
-        if event.core >= 0 and event.core not in seen_cores:
-            seen_cores.add(event.core)
-            out.append({
-                "ph": "M", "name": "thread_name", "pid": 0,
-                "tid": event.core, "args": {"name": f"core {event.core}"},
-            })
+        if event.core >= 0:
+            tid = event.core
+            if event.core not in seen_cores:
+                seen_cores.add(event.core)
+                out.extend(_thread_meta(event.core, f"core {event.core}"))
+        else:
+            tid = _MACHINE_TID
+            if not saw_machine_scope:
+                saw_machine_scope = True
+                out.extend(_thread_meta(_MACHINE_TID, "machine"))
         if event.kind in (PHASE, SWEEP):
             out.append({
                 "ph": "X", "name": event.name, "cat": event.kind,
@@ -89,6 +171,9 @@ def to_chrome_trace(events: Iterable[TraceEvent],
                 "pid": 0, "tid": tid, "ts": ts, "s": "g",
                 "args": event.args,
             })
+    if timeline is not None:
+        out.extend(_thread_meta(_TIMELINE_TID, "timeline"))
+        out.extend(_timeline_counter_events(timeline, frequency_hz))
     return {"displayTimeUnit": "ms", "traceEvents": out}
 
 

@@ -1,0 +1,104 @@
+"""CLI surface of ``repro timeline`` and the measure_kernel config path."""
+
+import json
+import os
+
+from repro.cli import build_parser, main
+from repro.machine.presets import tiny_test_machine
+from repro.kernels.registry import make_kernel
+from repro.measure.runner import measure_kernel
+from repro.trace import TimelineConfig, TimelineSampler, measurement_to_dict
+
+
+class TestParser:
+    def test_timeline_subcommand_defaults(self):
+        args = build_parser().parse_args(["timeline"])
+        assert args.command == "timeline"
+        assert args.window == 10_000.0
+        assert args.out_dir == os.path.join("artifacts", "timeline")
+
+    def test_kernel_aliases_accepted(self):
+        args = build_parser().parse_args(["timeline", "--kernel", "dgemm"])
+        assert args.kernel == "dgemm"
+
+
+class TestTimelineCommand:
+    ARGS = ["timeline", "--kernel", "daxpy", "--machine", "tiny",
+            "--scale", "1", "--n", "4096", "--window", "2000"]
+
+    def test_writes_all_artifacts_by_default(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--out-dir", str(tmp_path)])
+        assert code == 0
+        stems = sorted(p.name for p in tmp_path.iterdir())
+        assert any(s.endswith(".svg") for s in stems)
+        assert any(s.endswith(".csv") for s in stems)
+        assert any(s.endswith(".trace.json") for s in stems)
+        assert any(s.endswith(".trajectory.csv") for s in stems)
+        out = capsys.readouterr().out
+        assert "window" in out
+        assert "trajectory" in out  # ascii breadcrumb legend
+
+    def test_artifact_selection_flags(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--out-dir", str(tmp_path), "--csv"])
+        assert code == 0
+        names = [p.name for p in tmp_path.iterdir()]
+        assert all(not n.endswith(".svg") for n in names)
+        assert any(n.endswith(".csv") for n in names)
+
+    def test_svg_contains_trajectory_overlay(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--out-dir", str(tmp_path), "--svg"])
+        assert code == 0
+        svg_file = next(p for p in tmp_path.iterdir()
+                        if p.name.endswith(".svg"))
+        svg = svg_file.read_text()
+        assert "trajectory:" in svg
+        assert 'stroke-width="1.8"' in svg
+
+    def test_chrome_trace_has_timeline_tracks(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--out-dir", str(tmp_path), "--chrome"])
+        assert code == 0
+        trace_file = next(p for p in tmp_path.iterdir()
+                          if p.name.endswith(".trace.json"))
+        doc = json.loads(trace_file.read_text())
+        tracks = {e["name"] for e in doc["traceEvents"]
+                  if e["ph"] == "C"}
+        assert any(t.startswith("timeline.") for t in tracks)
+
+    def test_json_output(self, tmp_path, capsys):
+        code = main(self.ARGS + ["--out-dir", str(tmp_path), "--csv",
+                                 "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["measurement"]["kernel"] == "daxpy"
+        assert doc["timeline"]["window_cycles"] == 2000.0
+        assert doc["trajectory"]["points"]
+        assert doc["artifacts"]["csv"]
+
+    def test_dgemm_alias_resolves_to_tiled(self, tmp_path, capsys):
+        code = main(["timeline", "--kernel", "dgemm", "--machine", "tiny",
+                     "--scale", "1", "--n", "32", "--window", "500",
+                     "--out-dir", str(tmp_path), "--csv"])
+        assert code == 0
+        names = [p.name for p in tmp_path.iterdir()]
+        assert any(n.startswith("dgemm-tiled_") for n in names)
+
+
+class TestMeasureKernelTimelineConfig:
+    def test_config_builds_a_sampler(self):
+        machine = tiny_test_machine()
+        m = measure_kernel(machine, make_kernel("daxpy"), 2048,
+                           protocol="cold", reps=1,
+                           trace=TimelineConfig(1000.0))
+        assert isinstance(m.trace, TimelineSampler)
+        timeline = m.trace.timeline()
+        assert len(timeline) > 1
+        assert timeline.totals()["flops"] == m.true_flops
+
+    def test_measurement_json_embeds_timeline_summary(self):
+        machine = tiny_test_machine()
+        m = measure_kernel(machine, make_kernel("daxpy"), 2048,
+                           protocol="cold", reps=1,
+                           trace=TimelineConfig(1000.0))
+        doc = measurement_to_dict(m)
+        assert doc["trace"]["kind"] == "timeline"
+        assert doc["trace"]["window_count"] == len(m.trace.timeline())

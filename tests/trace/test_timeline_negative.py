@@ -1,0 +1,74 @@
+"""Timeline misuse must fail with clear ReproErrors, not tracebacks."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError, TimelineError
+from repro.trace import PHASE, TimelineConfig, TimelineSampler, TraceEvent
+
+
+def _phase(ts, dur):
+    return TraceEvent(PHASE, "loop:x", ts, core=0, dur=dur, args={
+        "trips": 1, "dominant": "fp_issue", "bounds": {}, "batch": {},
+        "dram_bpc": 0.0, "mlp": 1.0, "reissue_slots": 0,
+        "reissue_flops": 0, "instructions": 1, "flops": 0,
+    })
+
+
+class TestSamplerErrors:
+    def test_empty_trace_raises(self):
+        sampler = TimelineSampler(config=TimelineConfig(100))
+        with pytest.raises(TimelineError, match="no phase events"):
+            sampler.timeline()
+
+    def test_window_wider_than_span_raises(self):
+        sampler = TimelineSampler(config=TimelineConfig(1e9))
+        sampler.emit(_phase(0, 100))
+        with pytest.raises(TimelineError, match="exceeds the measured"):
+            sampler.timeline()
+
+    def test_zero_span_raises(self):
+        sampler = TimelineSampler(config=TimelineConfig(10))
+        sampler.emit(_phase(50, 0))
+        with pytest.raises(TimelineError, match="span is zero"):
+            sampler.timeline()
+
+    def test_unknown_series_raises(self):
+        sampler = TimelineSampler(config=TimelineConfig(50))
+        sampler.emit(_phase(0, 100))
+        with pytest.raises(TimelineError, match="unknown timeline series"):
+            sampler.timeline().series("nope")
+
+    def test_timeline_error_is_repro_error(self):
+        assert issubclass(TimelineError, ReproError)
+
+
+class TestCliErrors:
+    def test_zero_window_exits_2_without_traceback(self, capsys):
+        code = main(["timeline", "--kernel", "daxpy", "--machine", "tiny",
+                     "--scale", "1", "--window", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_negative_window_exits_2(self, capsys):
+        code = main(["timeline", "--kernel", "daxpy", "--machine", "tiny",
+                     "--scale", "1", "--window", "-5"])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_window_larger_than_run_exits_2(self, capsys, tmp_path):
+        code = main(["timeline", "--kernel", "daxpy", "--machine", "tiny",
+                     "--scale", "1", "--n", "512", "--window", "1e12",
+                     "--out-dir", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "exceeds the measured" in err
+        assert "Traceback" not in err
+        # failed validation must not leave partial artifacts behind
+        assert list(tmp_path.iterdir()) == []
+
+    def test_unknown_kernel_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["timeline", "--kernel", "not-a-kernel"])

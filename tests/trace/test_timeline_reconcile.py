@@ -1,0 +1,111 @@
+"""Window sums must reconcile exactly with aggregate counters.
+
+The whole point of the timeline is that it re-buckets — never invents
+or drops — the counters the PMU/IMC methodology already validates:
+
+* for arbitrary random programs, the per-window sums equal the
+  interpreter's :class:`ExecutionResult` aggregates (instructions,
+  flops, every functional cache/DRAM/prefetch counter) for any window
+  width;
+* for every registry kernel on the noise-free oracle machine, the
+  windowed totals equal the *measured* A-B counter deltas: counted
+  flops match W and windowed DRAM lines match Q byte-for-byte.
+"""
+
+import random
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+from repro.kernels import kernel_names, make_kernel
+from repro.machine.presets import tiny_test_machine
+from repro.measure.runner import measure_kernel
+from repro.oracle.analytic import oracle_machine, oracle_n
+from repro.oracle.fuzz import random_program
+from repro.trace import TimelineConfig, TimelineSampler
+
+#: the BatchStats keys that must reconcile against ExecutionResult.batch
+_BATCH_KEYS = (
+    "accesses", "l1_hits", "l2_hits", "l3_hits", "dram_reads",
+    "writebacks", "nt_lines", "l1_evictions", "l2_evictions",
+    "l3_evictions", "sw_prefetches", "hw_prefetch_issued",
+    "hw_prefetch_dram_reads", "prefetch_useful", "remote_dram_lines",
+    "flushes", "tlb_misses", "tlb_walk_cycles",
+)
+
+
+def _sampled_run(seed: int):
+    """Run one random program with a sampler attached; return both."""
+    machine = tiny_test_machine()
+    program = random_program(random.Random(seed))
+    loaded = machine.load(program)
+    sampler = TimelineSampler(machine, TimelineConfig(1e18))
+    machine.trace.attach(sampler)
+    try:
+        run = machine.run_parallel([(loaded, 0)])
+    finally:
+        machine.trace.detach()
+    return sampler, run.per_core[0]
+
+
+def _assert_reconciles(sampler, result, width: float) -> None:
+    timeline = sampler.timeline(TimelineConfig(width))
+    totals = timeline.totals()
+    assert totals["instructions"] == result.instructions
+    assert totals["flops"] == result.true_flops
+    expected = result.batch.as_dict()
+    for key in _BATCH_KEYS:
+        assert totals[key] == expected.get(key, 0), key
+    # busy cycles re-bucket the same phase durations
+    busy = sum(w.busy_cycles for w in timeline.windows)
+    dur_total = sum(e.dur for e in sampler.entries)
+    assert busy == pytest.approx(dur_total, rel=1e-9)
+
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           divisor=st.sampled_from([1.0, 2.0, 3.7, 11.0, 47.0, 301.0]))
+    def test_random_programs_reconcile_at_any_width(seed, divisor):
+        sampler, result = _sampled_run(seed)
+        t0, t_end = sampler.phase_span()
+        span = t_end - t0
+        if span <= 0:
+            return  # nothing to window; the error path has its own test
+        _assert_reconciles(sampler, result, span / divisor)
+
+
+def test_fixed_program_reconciles_across_widths():
+    sampler, result = _sampled_run(1234)
+    t0, t_end = sampler.phase_span()
+    span = t_end - t0
+    for divisor in (1.0, 5.0, 13.3, 101.0):
+        _assert_reconciles(sampler, result, span / divisor)
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_registry_kernel_windows_reconcile_with_measured_counters(name):
+    """Acceptance: per-window sums equal the aggregate A-B counter
+    deltas for every registry kernel (noise-free oracle machine)."""
+    machine = oracle_machine()
+    kernel = make_kernel(name)
+    n = oracle_n(name)
+    sampler = TimelineSampler(machine, TimelineConfig(1e18))
+    m = measure_kernel(machine, kernel, n, protocol="cold", reps=1,
+                       trace=sampler)
+    t0, t_end = sampler.phase_span()
+    timeline = sampler.timeline(TimelineConfig((t_end - t0) / 7.0))
+    totals = timeline.totals()
+    # W: the FP counters saw true flops plus the reissue overcount
+    assert totals["counted_flops"] == m.work_flops
+    assert totals["flops"] == m.true_flops
+    # Q: windowed DRAM lines equal the measured IMC CAS deltas
+    read_lines = totals["dram_reads"] + totals["hw_prefetch_dram_reads"]
+    write_lines = totals["writebacks"] + totals["nt_lines"]
+    assert 64.0 * (read_lines + write_lines) == m.traffic_bytes
