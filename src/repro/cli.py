@@ -88,7 +88,8 @@ def _cmd_roofline(args) -> int:
 
 
 def _cmd_measure(args) -> int:
-    machine = make_machine(args.machine, scale=args.scale)
+    machine = make_machine(args.machine, scale=args.scale,
+                           engine=args.engine)
     kernel = make_kernel(args.kernel)
     cores = machine.topology.first_cores(args.threads)
     m = measure_kernel(machine, kernel, args.n, protocol=args.protocol,
@@ -117,7 +118,8 @@ def _cmd_measure(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    machine = make_machine(args.machine, scale=args.scale)
+    machine = make_machine(args.machine, scale=args.scale,
+                           engine=args.engine)
     kernel = make_kernel(args.kernel)
     cores = machine.topology.first_cores(args.threads)
     collector = TraceCollector(machine)
@@ -193,7 +195,8 @@ def _cmd_timeline(args) -> int:
     # validate the window before paying for a measurement
     config = TimelineConfig(args.window)
     kernel_name = _KERNEL_ALIASES.get(args.kernel, args.kernel)
-    machine = make_machine(args.machine, scale=args.scale)
+    machine = make_machine(args.machine, scale=args.scale,
+                           engine=args.engine)
     kernel = make_kernel(kernel_name)
     n = args.n if args.n is not None else _default_timeline_n(kernel_name)
     cores = machine.topology.first_cores(args.threads)
@@ -276,15 +279,16 @@ def _cmd_explain(args) -> int:
     return 0
 
 
-def _sweep_machine_ref(machine: str, scale: float) -> MachineRef:
+def _sweep_machine_ref(machine: str, scale: float,
+                       engine: str = "fast") -> MachineRef:
     """CLI machine selection as a picklable ref (tiny takes no scale)."""
     if machine == "tiny":
-        return MachineRef.of("tiny")
-    return MachineRef.of(machine, scale=scale)
+        return MachineRef.of("tiny", engine=engine)
+    return MachineRef.of(machine, scale=scale, engine=engine)
 
 
 def _cmd_sweep(args) -> int:
-    ref = _sweep_machine_ref(args.machine, args.scale)
+    ref = _sweep_machine_ref(args.machine, args.scale, args.engine)
     if args.grid:
         plan = make_grid(args.grid, ref, quick=args.quick, reps=args.reps)
     else:
@@ -371,9 +375,19 @@ def _cmd_conformance(args) -> int:
         minimize_program,
         random_program,
         render_program,
+        run_cross_engine,
         run_differential,
     )
     from .oracle.analytic import check_kernel, oracle_n
+
+    # which differential checks to run per fuzz program: the fast
+    # machine vs the textbook reference model ("oracle"), the fast
+    # engine vs the per-line reference engine ("engine"), or both
+    checks = []
+    if args.diff in ("oracle", "both"):
+        checks.append(("differential", run_differential))
+    if args.diff in ("engine", "both"):
+        checks.append(("cross_engine", run_cross_engine))
 
     report_path = args.report or os.path.join(
         "artifacts", "conformance", "report.jsonl"
@@ -385,17 +399,20 @@ def _cmd_conformance(args) -> int:
         rng = random.Random(args.seed * 1_000_003 + i)
         program = random_program(rng)
         mask = rng.randint(0, 15)
-        outcome = run_differential(program, prefetch_mask=mask)
-        if not outcome.ok:
-            divergent += 1
+        program_diverged = False
+        for kind, run_diff in checks:
+            outcome = run_diff(program, prefetch_mask=mask)
+            if outcome.ok:
+                continue
+            program_diverged = True
 
-            def still_diverges(p, _mask=mask):
-                return not run_differential(p, prefetch_mask=_mask).ok
+            def still_diverges(p, _mask=mask, _run=run_diff):
+                return not _run(p, prefetch_mask=_mask).ok
 
             minimized = minimize_program(program, still_diverges)
-            min_outcome = run_differential(minimized, prefetch_mask=mask)
+            min_outcome = run_diff(minimized, prefetch_mask=mask)
             records.append({
-                "kind": "differential",
+                "kind": kind,
                 "seed": args.seed,
                 "index": i,
                 "prefetch_mask": mask,
@@ -406,8 +423,9 @@ def _cmd_conformance(args) -> int:
                 "minimized_program": render_program(minimized),
                 "program": render_program(program),
             })
-            print(f"DIVERGENCE at index {i} (mask {mask}): "
+            print(f"DIVERGENCE ({kind}) at index {i} (mask {mask}): "
                   f"{outcome.divergences[0]}")
+        divergent += program_diverged
         if (i + 1) % 500 == 0:
             print(f"  {i + 1}/{args.n} programs, {divergent} divergent")
 
@@ -434,6 +452,7 @@ def _cmd_conformance(args) -> int:
         "kind": "summary",
         "programs": args.n,
         "seed": args.seed,
+        "diff": args.diff,
         "divergent_programs": divergent,
         "analytic_mismatches": kernel_problems,
     }
@@ -500,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default="cold")
     p_meas.add_argument("--reps", type=int, default=2)
     p_meas.add_argument("--plot", action="store_true")
+    p_meas.add_argument("--engine", choices=("fast", "reference"),
+                     default="fast",
+                     help="execution engine: batched two-tier (fast, default) or per-line dispatch (reference); equivalence-gated")
     p_meas.add_argument("--json", action="store_true",
                         help="emit the measurement as JSON")
 
@@ -515,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--protocol", choices=("cold", "warm"),
                         default="cold")
     p_prof.add_argument("--reps", type=int, default=1)
+    p_prof.add_argument("--engine", choices=("fast", "reference"),
+                     default="fast",
+                     help="execution engine: batched two-tier (fast, default) or per-line dispatch (reference); equivalence-gated")
     p_prof.add_argument("--trace-out",
                         help="write Chrome trace-event JSON here "
                              "(open in Perfetto / chrome://tracing)")
@@ -542,6 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--protocol", choices=("cold", "warm"),
                       default="cold")
     p_tl.add_argument("--reps", type=int, default=1)
+    p_tl.add_argument("--engine", choices=("fast", "reference"),
+                   default="fast",
+                   help="execution engine: batched two-tier (fast, default) or per-line dispatch (reference); equivalence-gated")
     p_tl.add_argument("--window", type=float, default=10_000.0,
                       help="window width in cycles (default 10000)")
     p_tl.add_argument("--out-dir", default=os.path.join(
@@ -587,6 +615,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "(cold, warm)")
     p_sweep.add_argument("--reps", type=int, default=2)
     p_sweep.add_argument("--threads", type=int, default=1)
+    p_sweep.add_argument("--engine", choices=("fast", "reference"),
+                      default="fast",
+                      help="execution engine: batched two-tier (fast, default) or per-line dispatch (reference); equivalence-gated")
     p_sweep.add_argument("--quick", action="store_true",
                          help="trim grid sizes (named grids only)")
     p_sweep.add_argument("--json", action="store_true",
@@ -610,6 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_conf.add_argument("--kernels", default="all",
                         help="comma-separated kernels for the analytic "
                              "W/Q oracle, 'all', or 'none'")
+    p_conf.add_argument("--diff", choices=("oracle", "engine", "both"),
+                        default="both",
+                        help="which differential checks to fuzz: machine "
+                             "vs reference model (oracle), fast vs "
+                             "reference engine (engine), or both")
     p_conf.add_argument("--report",
                         help="JSONL divergence report path (default "
                              "artifacts/conformance/report.jsonl)")

@@ -35,6 +35,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..engine import AccessPlan, BatchDatapath, PlanCache, validate_engine
+from ..engine.plan import OP_DEMAND_READ, OP_DEMAND_WRITE, PlanSegment
 from ..errors import ExecutionError
 from ..isa.instructions import (
     Flush,
@@ -96,6 +98,19 @@ class _LoopInfo:
     store_widths: Dict[int, int]
     body_instructions: int
     flops_per_trip: int = 0
+    # phase skeleton: whole-phase costs precomputed at analysis time
+    # (trip counts are static), so executions skip the scaling work
+    fp_ops_total: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    load_widths_total: Dict[int, int] = field(default_factory=dict)
+    store_widths_total: Dict[int, int] = field(default_factory=dict)
+    chain_cycles_total: float = 0.0
+    fp_events_total: List[Tuple[Tuple[int, str, bool], int]] = field(
+        default_factory=list
+    )
+    #: (event key, per-iter instrs, flops re-counted per reissue slot)
+    dep_fp_terms: List[Tuple[Tuple[int, str, bool], int, int]] = field(
+        default_factory=list
+    )
 
 
 class Core:
@@ -103,19 +118,29 @@ class Core:
 
     def __init__(self, core_id: int, ports: PortModel,
                  hierarchy_config: HierarchyConfig, port: CorePort,
-                 pmu: CorePmu, timing: TimingParams) -> None:
+                 pmu: CorePmu, timing: TimingParams,
+                 engine: str = "fast") -> None:
         self.core_id = core_id
         self.ports = ports
         self.config = hierarchy_config
         self.port = port
         self.pmu = pmu
         self.timing = timing
+        self.engine = validate_engine(engine)
         # trace bus shared with the port's hierarchy (and the machine)
         self.bus: TraceBus = port.bus
         self._line_shift = hierarchy_config.line_bytes.bit_length() - 1
         self._loop_info: Dict[int, Tuple[Loop, _LoopInfo]] = {}
         self._tables: Dict[str, object] = {}
         self._next_site_id = core_id << 20  # site ids unique per core
+        #: compile-tier state (used only by the fast engine)
+        self.plan_cache = PlanCache()
+        self._datapath = BatchDatapath(port)
+
+    @property
+    def plan_stats(self):
+        """Compile-tier telemetry (hits/misses/built lines)."""
+        return self.plan_cache.stats
 
     # ------------------------------------------------------------------
     # entry point
@@ -175,31 +200,32 @@ class Core:
         info = self._analyze(loop)
         trips = loop.trips
 
-        # true FP event increments
-        for (width, prec, is_fma), instrs in info.fp_events.items():
-            self.pmu.add_fp(width, prec, instrs * trips, is_fma)
+        # true FP event increments (whole-phase counts precomputed)
+        for (width, prec, is_fma), total in info.fp_events_total:
+            self.pmu.add_fp(width, prec, total, is_fma)
 
-        # functional memory traffic: a single site can stream its whole
-        # trip range in one batch; multi-site bodies must interleave so
-        # that cross-site locality within an iteration (load then store
-        # of the same line) is preserved.
-        if len(info.mem_sites) <= 1:
-            batch = BatchStats()
-            for site in info.mem_sites:
-                line_list, node = self._site_lines(
-                    site, loop.loop_id, trips, ivs, buffers
-                )
-                batch.merge(self._dispatch_site(site, line_list, node))
+        # functional memory traffic.  The fast engine replays a cached
+        # access plan through the batched datapath; the reference engine
+        # dispatches the identical emission stream one port call at a
+        # time (single-site bodies stream their whole trip range in one
+        # emission; multi-site bodies interleave in iteration order so
+        # cross-site locality within an iteration is preserved).
+        if info.mem_sites and self.engine == "fast":
+            batch = self._datapath.execute_plan(
+                self._plan_for(info, loop, ivs, buffers)
+            )
         else:
-            batch = self._exec_interleaved(info, loop, ivs, buffers)
+            batch = BatchStats()
+            for site, lines, node in self._iter_emissions(
+                info, loop, ivs, buffers
+            ):
+                batch.merge(self._dispatch_site(site, lines, node))
 
         # cycle cost of the phase
-        fp_ops = {key: count * trips for key, count in info.fp_ops.items()}
-        load_widths = {w: c * trips for w, c in info.load_widths.items()}
-        store_widths = {w: c * trips for w, c in info.store_widths.items()}
         cost = phase_cycles(
-            self.ports, self.config, fp_ops, load_widths, store_widths,
-            chain_cycles=float(info.chain_latency * trips),
+            self.ports, self.config, info.fp_ops_total,
+            info.load_widths_total, info.store_widths_total,
+            chain_cycles=info.chain_cycles_total,
             batch=batch, params=self.timing,
             dram_bytes_per_cycle=dram_bpc,
         )
@@ -208,13 +234,12 @@ class Core:
         # load-dependent FP instructions once
         slots = 0
         reissue_flops = 0
-        if info.dep_fp_events:
+        if info.dep_fp_terms:
             slots = reissue_slots(self.config, batch, self.timing)
             if slots:
-                for (width, prec, is_fma), instrs in info.dep_fp_events.items():
+                for (width, prec, is_fma), instrs, term in info.dep_fp_terms:
                     self.pmu.add_fp(width, prec, instrs * slots, is_fma)
-                    lanes = width // (64 if prec == "f64" else 32)
-                    reissue_flops += instrs * slots * lanes * (2 if is_fma else 1)
+                    reissue_flops += term * slots
 
         result.cycles += cost.total
         result.instructions += info.body_instructions * trips
@@ -269,8 +294,102 @@ class Core:
                 base += ivs[lid] * s
         return base, stride, alloc.node
 
-    def _exec_interleaved(self, info: _LoopInfo, loop: Loop, ivs,
-                          buffers) -> BatchStats:
+    def _iter_emissions(self, info: _LoopInfo, loop: Loop, ivs, buffers):
+        """Yield one flat-loop execution's ``(site, lines, node)`` stream.
+
+        This is the canonical emission order both engines share: the
+        reference engine dispatches each emission as one port call; the
+        fast engine captures the stream into an
+        :class:`~repro.engine.plan.AccessPlan` (see ``docs/ENGINE.md``).
+        A single site streams its whole trip range as one emission;
+        multi-site bodies interleave per :meth:`_iter_interleaved`.
+        """
+        sites = info.mem_sites
+        if not sites:
+            return
+        if len(sites) == 1:
+            site = sites[0]
+            lines, node = self._site_lines(
+                site, loop.loop_id, loop.trips, ivs, buffers
+            )
+            yield site, lines, node
+        else:
+            yield from self._iter_interleaved(info, loop, ivs, buffers)
+
+    def _plan_for(self, info: _LoopInfo, loop: Loop, ivs,
+                  buffers) -> AccessPlan:
+        """Cached access plan for this loop in this address context.
+
+        The key pins everything the emission stream depends on: the
+        loop body (by identity, strongly referenced), the outer
+        induction-variable values each site's address reads, every
+        referenced buffer's base/home, and gather index tables (by
+        identity, strongly referenced and assumed immutable).
+        """
+        loop_id = loop.loop_id
+        key: list = [id(loop)]
+        pinned: list = []
+        for site in info.mem_sites:
+            instr = site.instr
+            if site.kind == "gather":
+                alloc = buffers[instr.buffer]
+                table = self._tables[instr.index_addr.buffer]
+                pinned.append(table)
+                key.append((alloc.base, alloc.node, id(table)))
+                strides = instr.index_addr.strides
+            else:
+                addr = instr.addr
+                alloc = buffers[addr.buffer]
+                key.append((alloc.base, alloc.node))
+                strides = addr.strides
+            for lid, _stride in strides:
+                if lid != loop_id:
+                    key.append(ivs[lid])
+        key_t = tuple(key)
+        plan = self.plan_cache.get(key_t)
+        if plan is None:
+            plan = self._build_plan(info, loop, ivs, buffers)
+            self.plan_cache.put(key_t, loop, tuple(pinned), plan)
+        return plan
+
+    def _build_plan(self, info: _LoopInfo, loop: Loop, ivs,
+                    buffers) -> AccessPlan:
+        """Lower one flat loop to an :class:`AccessPlan`.
+
+        All-affine multi-site bodies (the interleaved-walker case,
+        where per-burst Python cost dominates compile time) lower
+        through the vectorized :meth:`AccessPlan.from_affine_sites`
+        when the inlined datapath will execute the plan; gathers,
+        single-site bodies, negative strides, and non-inline machines
+        capture the walker's emission stream directly.
+        """
+        sites = info.mem_sites
+        if len(sites) >= 2 and loop.trips > 0 and self._datapath._inline:
+            descs = []
+            for site in sites:
+                if site.kind == "gather":
+                    descs = None
+                    break
+                base, stride, node = self._site_base_stride(
+                    site, loop.loop_id, ivs, buffers
+                )
+                if stride < 0:
+                    descs = None
+                    break
+                descs.append((site.kind, site.site_id, base, stride,
+                              site.width_bits // 8, node))
+            if descs is not None:
+                return AccessPlan.from_affine_sites(
+                    descs, loop.trips, self._line_shift,
+                    self.port._page_shift, self.port.node,
+                )
+        return AccessPlan.from_emissions(
+            self._iter_emissions(info, loop, ivs, buffers),
+            page_shift=self.port._page_shift,
+            own_node=self.port.node,
+        )
+
+    def _iter_interleaved(self, info: _LoopInfo, loop: Loop, ivs, buffers):
         """Walk a multi-site loop in iteration order at line granularity.
 
         Each affine site emits under the monotone frontier rule and each
@@ -304,7 +423,6 @@ class Core:
                 )
             width = site.width_bits // 8
             sites.append([site, base, stride, node, width, -1])
-        batch = BatchStats()
         t = 0
         while t < trips:
             for record in sites:
@@ -323,7 +441,7 @@ class Core:
                     if not lines:
                         continue
                     record[5] = lines[-1]
-                    batch.merge(self._dispatch_site(site, lines, node))
+                    yield site, lines, node
                     continue
                 pos = base + t * stride
                 first = pos >> shift
@@ -336,7 +454,7 @@ class Core:
                 else:
                     lines = list(range(lo, end + 1))
                 record[5] = end
-                batch.merge(self._dispatch_site(site, lines, node))
+                yield site, lines, node
             if has_gather:
                 # gather streams are data-dependent: visit every trip
                 t += 1
@@ -354,7 +472,6 @@ class Core:
                 if t_cross < nxt:
                     nxt = t_cross
             t = max(nxt, t + 1)
-        return batch
 
     def _gather_positions(self, site: _MemSite, loop_id: str, trips: int,
                           ivs, buffers):
@@ -443,6 +560,34 @@ class Core:
                 floor_line = lo
         return lines, node
 
+    def _single_line_stats(self, line: int, is_write: bool, home):
+        """One-line cached plan for straight-line accesses (fast engine).
+
+        The L1-hit fast path (``BatchDatapath.execute_single``) defers
+        any single that misses L1 or would trigger prefetch fills; those
+        land here and replay a cached one-segment plan through the same
+        inlined datapath the flat loops use, instead of the per-line
+        reference dispatch.  Keys share the loop plan cache (and its
+        memory budget); the leading tag cannot collide with loop keys,
+        which start with ``id(loop)``.
+        """
+        port = self.port
+        rhome = port.node if home is None else home
+        key = ("single", line, is_write, rhome)
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            pg = line >> port._page_shift
+            seg = PlanSegment(
+                "store" if is_write else "load", [line], home, 0,
+                op=OP_DEMAND_WRITE if is_write else OP_DEMAND_READ,
+                rhome=rhome, remote=rhome != port.node,
+                first_page=pg, last_page=pg,
+            )
+            plan = AccessPlan(segments=[seg], total_lines=1, runs=[seg],
+                              home0=rhome, remote0=seg.remote)
+            self.plan_cache.put(key, None, (), plan)
+        return self._datapath.execute_plan(plan)
+
     # ------------------------------------------------------------------
     # slow path: straight-line instruction
     # ------------------------------------------------------------------
@@ -484,9 +629,19 @@ class Core:
             shift = self._line_shift
             first = base >> shift
             last = (base + node.bytes - 1) >> shift
-            stats = self.port.access_lines(
-                list(range(first, last + 1)), is_write=False, node=alloc.node
-            )
+            stats = None
+            if first == last and self.engine == "fast" \
+                    and self._datapath._inline:
+                stats = self._datapath.execute_single(first, False,
+                                                      alloc.node)
+                if stats is None:
+                    stats = self._single_line_stats(first, False,
+                                                    alloc.node)
+            if stats is None:
+                stats = self.port.access_lines(
+                    list(range(first, last + 1)), is_write=False,
+                    node=alloc.node
+                )
             cost = phase_cycles(
                 self.ports, self.config, {}, {node.width_bits: 1}, {},
                 chain_cycles=0.0, batch=stats, params=self.timing,
@@ -511,11 +666,22 @@ class Core:
             stats = self.port.software_prefetch(lines, node=alloc.node)
         elif isinstance(node, Flush):
             stats = self.port.flush_lines(lines, node=alloc.node)
-        elif isinstance(node, Load):
-            stats = self.port.access_lines(lines, is_write=False,
-                                           node=alloc.node)
+        elif isinstance(node, Load) or (
+                isinstance(node, Store) and not node.nt):
+            is_write = isinstance(node, Store)
+            stats = None
+            if first == last and self.engine == "fast" \
+                    and self._datapath._inline:
+                stats = self._datapath.execute_single(first, is_write,
+                                                      alloc.node)
+                if stats is None:
+                    stats = self._single_line_stats(first, is_write,
+                                                    alloc.node)
+            if stats is None:
+                stats = self.port.access_lines(lines, is_write=is_write,
+                                               node=alloc.node)
         elif isinstance(node, Store):
-            stats = self.port.access_lines(lines, is_write=True, nt=node.nt,
+            stats = self.port.access_lines(lines, is_write=True, nt=True,
                                            node=alloc.node)
         else:
             raise ExecutionError(f"cannot execute node {node!r}")
@@ -617,16 +783,36 @@ class Core:
             else:
                 raise ExecutionError(f"unexpected node in flat loop: {instr!r}")
 
+        # phase skeleton: trip counts are static per loop object, so the
+        # whole-phase scaling (seed code redid this every execution) is
+        # folded into the analysis cache
+        trips = loop.trips
+        chain_latency = max(chains.values(), default=0)
+        dep_fp_terms = []
+        for (width, prec, is_fma), instrs in dep_fp_events.items():
+            lanes = width // (64 if prec == "f64" else 32)
+            dep_fp_terms.append((
+                (width, prec, is_fma), instrs,
+                instrs * lanes * (2 if is_fma else 1),
+            ))
         info = _LoopInfo(
             fp_ops=fp_ops,
             fp_events=fp_events,
             dep_fp_events=dep_fp_events,
-            chain_latency=max(chains.values(), default=0),
+            chain_latency=chain_latency,
             mem_sites=mem_sites,
             load_widths=load_widths,
             store_widths=store_widths,
             body_instructions=len(loop.body),
             flops_per_trip=flops_per_trip,
+            fp_ops_total={k: c * trips for k, c in fp_ops.items()},
+            load_widths_total={w: c * trips for w, c in load_widths.items()},
+            store_widths_total={w: c * trips for w, c in store_widths.items()},
+            chain_cycles_total=float(chain_latency * trips),
+            fp_events_total=[
+                (key, instrs * trips) for key, instrs in fp_events.items()
+            ],
+            dep_fp_terms=dep_fp_terms,
         )
         self._loop_info[id(loop)] = (loop, info)
         return info

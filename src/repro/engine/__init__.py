@@ -1,0 +1,40 @@
+"""Two-tier execution engine: compiled access plans + batched datapath.
+
+* the **compile tier** (:mod:`repro.engine.plan`) lowers a flat loop's
+  memory sites into a reusable, cached :class:`AccessPlan`;
+* the **execute tier** (:mod:`repro.engine.datapath`) streams a plan
+  through the memory hierarchy with the per-line work inlined and
+  counters flushed in bulk.
+
+``engine="fast"`` (the default everywhere) uses both tiers;
+``engine="reference"`` keeps the original per-line dispatch path.  The
+two are counter-for-counter identical — see ``docs/ENGINE.md`` for the
+equivalence argument and the conformance gates that enforce it.
+"""
+
+from ..errors import ConfigurationError
+from .datapath import BatchDatapath
+from .plan import AccessPlan, PlanCache, PlanCacheStats, PlanSegment
+
+#: valid engine selectors, in CLI/choice order
+ENGINES = ("fast", "reference")
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` or raise for an unknown selector."""
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown execution engine {engine!r}; choose from {list(ENGINES)}"
+        )
+    return engine
+
+
+__all__ = [
+    "ENGINES",
+    "AccessPlan",
+    "BatchDatapath",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanSegment",
+    "validate_engine",
+]

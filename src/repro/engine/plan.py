@@ -1,0 +1,390 @@
+"""Compile tier: flat loops lowered to reusable access plans.
+
+An :class:`AccessPlan` is the fully evaluated memory side of one flat
+(innermost) loop execution: the exact cache-line touch stream every
+site emits, in canonical emission order, pre-concatenated into
+:class:`PlanSegment` runs that the execute tier
+(:mod:`repro.engine.datapath`) streams through the hierarchy without
+re-deriving anything.
+
+Plans are *captured from the interpreter's own emission generator*, so
+by construction a plan contains the same lines, in the same order, that
+the per-line reference engine would dispatch — the foundation of the
+fast/reference equivalence guarantee (see ``docs/ENGINE.md``).
+
+Plans are cached per :class:`~repro.cpu.core.Core` under a key that
+pins every input the emission stream depends on:
+
+* the loop body object (by ``id``; the cache holds a strong reference
+  so ids cannot be recycled),
+* the values of all *outer* induction variables any site's address
+  references,
+* each referenced buffer's allocation base and NUMA home node,
+* for gather sites, the index table object (by ``id``, strong ref;
+  tables are treated as immutable program constants).
+
+The measurement protocols re-execute identical (program, buffer_map)
+pairs constantly — the A and B windows of a measurement, every ``rep``,
+every warm-protocol rerun, and the cold protocol's buster sweep — and
+all of those are plan-cache hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: flush the whole per-core plan cache once it holds this many line
+#: entries (a coarse memory bound; sweeps over many distinct programs
+#: on one long-lived machine otherwise grow without limit)
+PLAN_CACHE_MAX_LINES = 8_000_000
+
+#: segment opcodes (``PlanSegment.op``), dispatched on by the datapath
+OP_DEMAND_READ = 0   # 'load' / 'gather'
+OP_DEMAND_WRITE = 1  # 'store'
+OP_NTSTORE = 2
+OP_PREFETCH = 3
+OP_FLUSH = 4
+
+_KIND_TO_OP = {
+    "load": OP_DEMAND_READ,
+    "gather": OP_DEMAND_READ,
+    "store": OP_DEMAND_WRITE,
+    "ntstore": OP_NTSTORE,
+    "prefetch": OP_PREFETCH,
+    "flush": OP_FLUSH,
+}
+
+
+@dataclass
+class PlanSegment:
+    """A maximal run of consecutive emissions from one memory site.
+
+    Beyond the captured emission (``kind``/``lines``/``home``/
+    ``stream_id``), the compile tier precomputes everything about the
+    segment the execute tier would otherwise re-derive per line:
+
+    * ``op`` — integer opcode (see ``OP_*``) for branch dispatch,
+    * ``rhome``/``remote`` — the NUMA home resolved against the owning
+      core's node (plans are cached per core, so this is static),
+    * ``first_page``/``walk_pages``/``last_page`` — the page-transition
+      structure of the line stream.  Only the first line's page depends
+      on runtime TLB cursor state; every *internal* transition is a
+      guaranteed page change, so the per-line ``page != last_page``
+      check collapses to one conditional plus a precomputed walk list.
+    """
+
+    kind: str        # 'load' | 'store' | 'ntstore' | 'gather' | 'prefetch' | 'flush'
+    lines: List[int]
+    home: int        # NUMA home node of the data
+    stream_id: int   # site id, the stride prefetcher's PC analogue
+    op: int = OP_DEMAND_READ
+    rhome: int = 0
+    remote: bool = False
+    first_page: int = -1
+    walk_pages: Tuple[int, ...] = ()
+    last_page: int = -1
+    #: merged-run form only (see ``AccessPlan.runs``): when a run fuses
+    #: segments from several sites, ``sids[i]`` is the stream id of
+    #: ``lines[i]``; ``None`` means the whole run shares ``stream_id``
+    sids: Optional[List[int]] = None
+
+
+@dataclass
+class AccessPlan:
+    """The lowered memory traffic of one flat-loop execution context."""
+
+    segments: List[PlanSegment]
+    total_lines: int = 0
+    #: every segment resolves to one home node (the overwhelmingly
+    #: common case): the datapath then skips per-segment DRAM-home
+    #: accounting and attributes plan totals in one step
+    single_home: bool = True
+    home0: int = 0
+    remote0: bool = False
+    #: execution form: consecutive ``segments`` with the same opcode and
+    #: resolved home fused into flat runs.  Interleaved multi-site
+    #: bodies (a dgemm inner loop alternating two load sites) otherwise
+    #: average ~1 line per segment, so the datapath's per-segment
+    #: preamble would be paid per *line*; fused runs restore long
+    #: streams, carrying per-line stream ids in ``sids`` when sites mix
+    runs: List[PlanSegment] = field(default_factory=list)
+
+    @classmethod
+    def from_emissions(cls, emissions: Iterable, page_shift: int,
+                       own_node: int) -> "AccessPlan":
+        """Capture ``(site, lines, node)`` emissions into segments.
+
+        Consecutive emissions from the same site are concatenated (the
+        interleaved walker emits one short burst per crossing
+        iteration); emissions from different sites are kept as separate
+        segments so per-line execution order is preserved exactly.
+        After capture the execute metadata is precomputed once — same-op
+        segments fused into runs, homes resolved, page-transition
+        structure extracted — this is the "lowering" the plan cache
+        amortises across reps, A/B windows, and protocol reruns.
+        """
+        segments: List[PlanSegment] = []
+        total = 0
+        last_site_id = None
+        current: List[int] = []
+        for site, lines, node in emissions:
+            total += len(lines)
+            if site.site_id == last_site_id:
+                current.extend(lines)
+                continue
+            current = list(lines)
+            segments.append(
+                PlanSegment(site.kind, current, node, site.site_id)
+            )
+            last_site_id = site.site_id
+
+        homes = set()
+        for seg in segments:
+            op = _KIND_TO_OP[seg.kind]
+            seg.op = op
+            rhome = seg.home if seg.home is not None else own_node
+            seg.rhome = rhome
+            seg.remote = rhome != own_node
+            homes.add(rhome)
+
+        # fuse consecutive same-(op, home) segments into execution runs;
+        # per-line order is the concatenation order, so the line stream
+        # the datapath replays is unchanged — only the loop bookkeeping
+        # moves from per-segment to per-run
+        runs: List[PlanSegment] = []
+        owned = False  # runs[-1] is a private copy (safe to extend)
+        for seg in segments:
+            prev = runs[-1] if runs else None
+            if prev is not None and seg.op == prev.op \
+                    and seg.rhome == prev.rhome:
+                if not owned:
+                    prev = PlanSegment(
+                        prev.kind, list(prev.lines), prev.home,
+                        prev.stream_id, op=prev.op, rhome=prev.rhome,
+                        remote=prev.remote,
+                    )
+                    runs[-1] = prev
+                    owned = True
+                if seg.op <= OP_DEMAND_WRITE:
+                    # only demand traffic trains the stride prefetcher,
+                    # so only demand runs need per-line stream ids
+                    if prev.sids is not None:
+                        prev.sids.extend(
+                            [seg.stream_id] * len(seg.lines))
+                    elif seg.stream_id != prev.stream_id:
+                        prev.sids = [prev.stream_id] * len(prev.lines)
+                        prev.sids.extend(
+                            [seg.stream_id] * len(seg.lines))
+                prev.lines.extend(seg.lines)
+                continue
+            runs.append(seg)
+            owned = False
+        for run in runs:
+            if run.op <= OP_NTSTORE and run.lines:
+                _precompute_pages(run, page_shift)
+
+        plan = cls(segments=segments, total_lines=total, runs=runs)
+        if len(homes) <= 1:
+            plan.home0 = homes.pop() if homes else own_node
+            plan.remote0 = plan.home0 != own_node
+        else:
+            plan.single_home = False
+        return plan
+
+    @classmethod
+    def from_affine_sites(cls, sites, trips: int, line_shift: int,
+                          page_shift: int, own_node: int) -> "AccessPlan":
+        """Vectorized lowering of a multi-site affine flat loop.
+
+        ``sites`` is a list of ``(kind, site_id, base, stride,
+        width_bytes, node)`` records in body order with non-negative
+        strides.  Produces exactly the runs :meth:`from_emissions`
+        builds from the interpreter's interleaved walker — per-site
+        monotone-frontier crossings, the iteration-order merge, and the
+        range expansion are computed in numpy instead of per-burst
+        Python (the walker averages ~1 line per burst on interleaved
+        bodies, so per-burst work dominates compile time otherwise).
+
+        The returned plan carries ``segments=()``: callers use this
+        form only when the inlined datapath is active, which never
+        takes the segment-granular fallback.
+        """
+        nsites = len(sites)
+        trange = np.arange(trips, dtype=np.int64)
+        t_keys = []
+        lo_parts = []
+        hi_parts = []
+        idx_parts = []
+        for i, (kind, sid, base, stride, width, node) in enumerate(sites):
+            pos = base + trange * stride
+            end = (pos + (width - 1)) >> line_shift
+            # crossing trips: first trip reaching each new window end
+            # (ends are monotone for stride >= 0, so these are exactly
+            # the walker's frontier-advancing visits)
+            mask = np.empty(trips, dtype=bool)
+            mask[0] = True
+            np.greater(end[1:], end[:-1], out=mask[1:])
+            crossings = np.flatnonzero(mask)
+            hi = end[crossings]
+            start = pos[crossings] >> line_shift
+            lo = np.empty_like(hi)
+            lo[0] = start[0]
+            np.maximum(start[1:], hi[:-1] + 1, out=lo[1:])
+            t_keys.append(crossings * nsites + i)
+            lo_parts.append(lo)
+            hi_parts.append(hi)
+            idx_parts.append(np.full(crossings.size, i, dtype=np.int64))
+
+        # merge bursts into iteration order (site order within a trip)
+        order = np.argsort(np.concatenate(t_keys))
+        lo_b = np.concatenate(lo_parts)[order]
+        hi_b = np.concatenate(hi_parts)[order]
+        si_b = np.concatenate(idx_parts)[order]
+        ops = np.array([_KIND_TO_OP[s[0]] for s in sites], dtype=np.int64)
+        rhomes = np.array(
+            [own_node if s[5] is None else s[5] for s in sites],
+            dtype=np.int64,
+        )
+        sid_by_site = np.array([s[1] for s in sites], dtype=np.int64)
+        op_b = ops[si_b]
+        rh_b = rhomes[si_b]
+
+        # expand [lo..hi] burst windows into the flat line stream
+        counts = hi_b - lo_b + 1
+        cum = np.cumsum(counts)
+        total = int(cum[-1])
+        offs = np.arange(total, dtype=np.int64) \
+            - np.repeat(cum - counts, counts)
+        lines_flat = np.repeat(lo_b, counts) + offs
+        sid_flat = np.repeat(sid_by_site[si_b], counts)
+        line_cum = np.concatenate(([0], cum))
+
+        # split at burst boundaries where the opcode or home changes
+        brk = np.flatnonzero(
+            (op_b[1:] != op_b[:-1]) | (rh_b[1:] != rh_b[:-1])) + 1
+        bounds = np.concatenate(([0], brk, [counts.size]))
+
+        runs: List[PlanSegment] = []
+        homes = set()
+        for k in range(bounds.size - 1):
+            b0 = int(bounds[k])
+            b1 = int(bounds[k + 1])
+            l0 = int(line_cum[b0])
+            l1 = int(line_cum[b1])
+            chunk = lines_flat[l0:l1]
+            op = int(op_b[b0])
+            rhome = int(rh_b[b0])
+            homes.add(rhome)
+            schunk = sid_flat[l0:l1]
+            seg = PlanSegment(
+                sites[int(si_b[b0])][0], chunk.tolist(), rhome,
+                int(schunk[0]), op=op, rhome=rhome,
+                remote=rhome != own_node,
+            )
+            if op <= OP_DEMAND_WRITE \
+                    and int(schunk.min()) != int(schunk.max()):
+                seg.sids = schunk.tolist()
+            if op <= OP_NTSTORE:
+                pages = chunk >> page_shift
+                seg.first_page = int(pages[0])
+                seg.last_page = int(pages[-1])
+                idx = np.flatnonzero(pages[1:] != pages[:-1])
+                seg.walk_pages = tuple(int(p) for p in pages[idx + 1])
+            runs.append(seg)
+
+        plan = cls(segments=[], total_lines=total, runs=runs)
+        if len(homes) <= 1:
+            plan.home0 = homes.pop() if homes else own_node
+            plan.remote0 = plan.home0 != own_node
+        else:
+            plan.single_home = False
+        return plan
+
+
+def _precompute_pages(seg: PlanSegment, page_shift: int) -> None:
+    """Fill a demand/NT segment's page-transition fields."""
+    lines = seg.lines
+    if len(lines) > 64:
+        pages = np.asarray(lines, dtype=np.int64) >> page_shift
+        seg.first_page = int(pages[0])
+        seg.last_page = int(pages[-1])
+        idx = np.flatnonzero(pages[1:] != pages[:-1])
+        seg.walk_pages = tuple(int(p) for p in pages[idx + 1])
+        return
+    first = last = lines[0] >> page_shift
+    walks: List[int] = []
+    for line in lines[1:]:
+        page = line >> page_shift
+        if page != last:
+            walks.append(page)
+            last = page
+    seg.first_page = first
+    seg.last_page = last
+    seg.walk_pages = tuple(walks)
+
+
+@dataclass
+class PlanCacheStats:
+    """Compile-tier telemetry (hit rate drives the amortization story)."""
+
+    hits: int = 0
+    misses: int = 0
+    built_segments: int = 0
+    built_lines: int = 0
+    flushes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "built_segments": self.built_segments,
+            "built_lines": self.built_lines,
+            "flushes": self.flushes,
+        }
+
+
+class PlanCache:
+    """Per-core plan store, keyed as described in the module docstring.
+
+    Entries hold strong references to the loop object and any gather
+    tables so the ``id()`` components of the key stay valid.
+    """
+
+    def __init__(self, max_lines: int = PLAN_CACHE_MAX_LINES) -> None:
+        self.stats = PlanCacheStats()
+        self.max_lines = max_lines
+        self._entries: Dict[tuple, Tuple[object, tuple, AccessPlan]] = {}
+        self._cached_lines = 0
+
+    def get(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry[2]
+
+    def put(self, key: tuple, loop, pinned: tuple, plan: AccessPlan) -> None:
+        if self._cached_lines + plan.total_lines > self.max_lines:
+            self._entries.clear()
+            self._cached_lines = 0
+            self.stats.flushes += 1
+        self._entries[key] = (loop, pinned, plan)
+        self._cached_lines += plan.total_lines
+        self.stats.built_segments += len(plan.segments) or len(plan.runs)
+        self.stats.built_lines += plan.total_lines
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -21,6 +21,7 @@ from ..cpu.core import Core, ExecutionResult
 from ..cpu.frequency import FrequencyGovernor
 from ..cpu.port_model import PortModel
 from ..cpu.timing import TimingParams
+from ..engine import validate_engine
 from ..errors import ConfigurationError, ExecutionError
 from ..isa.program import Program
 from ..memory.allocator import Allocation, BumpAllocator
@@ -83,8 +84,12 @@ class RunResult:
 class Machine:
     """One simulated platform instance."""
 
-    def __init__(self, spec: MachineSpec) -> None:
+    def __init__(self, spec: MachineSpec, engine: str = "fast") -> None:
         self.spec = spec
+        #: execution engine for every core this machine creates; may be
+        #: reassigned before the first :meth:`core` call (machine refs
+        #: do this when rebuilding from a spec)
+        self.engine = validate_engine(engine)
         self.topology = spec.topology
         self.ports = spec.ports
         self.governor = FrequencyGovernor(
@@ -139,6 +144,7 @@ class Machine:
                 self.hierarchy.port(core_id),
                 self.core_pmu(core_id),
                 self.spec.timing,
+                engine=self.engine,
             )
         return self._cores[core_id]
 

@@ -48,7 +48,8 @@ def _hierarchy(l3_size: int, l3_assoc: int, dram: DramConfig,
     return HierarchyConfig(l1=l1, l2=l2, l3=l3, dram=dram, numa=NumaConfig())
 
 
-def sandy_bridge_ep(scale: float = 1.0, sockets: int = 1) -> Machine:
+def sandy_bridge_ep(scale: float = 1.0, sockets: int = 1,
+                    engine: str = "fast") -> Machine:
     """Xeon E5-2680-class Sandy Bridge-EP: 8 cores/socket @ 2.7 GHz,
     AVX without FMA, 4 DDR3-1600 channels (51.2 GB/s) per socket."""
     base_hz = 2.7e9
@@ -67,15 +68,15 @@ def sandy_bridge_ep(scale: float = 1.0, sockets: int = 1) -> Machine:
         base_hz=base_hz,
         turbo_steps=(3.5e9, 3.4e9, 3.3e9, 3.2e9, 3.1e9, 3.0e9, 2.9e9, 2.8e9),
     )
-    return Machine(spec)
+    return Machine(spec, engine=engine)
 
 
-def dual_socket_ep(scale: float = 1.0) -> Machine:
+def dual_socket_ep(scale: float = 1.0, engine: str = "fast") -> Machine:
     """Two-socket Sandy Bridge-EP (the NUMA platform)."""
-    return sandy_bridge_ep(scale=scale, sockets=2)
+    return sandy_bridge_ep(scale=scale, sockets=2, engine=engine)
 
 
-def ivy_bridge_desktop(scale: float = 1.0) -> Machine:
+def ivy_bridge_desktop(scale: float = 1.0, engine: str = "fast") -> Machine:
     """Core i5-3570-class Ivy Bridge: 4 cores @ 3.4 GHz, 2 channels."""
     base_hz = 3.4e9
     dram = DramConfig(
@@ -92,10 +93,10 @@ def ivy_bridge_desktop(scale: float = 1.0) -> Machine:
         base_hz=base_hz,
         turbo_steps=(3.8e9, 3.7e9, 3.6e9, 3.6e9),
     )
-    return Machine(spec)
+    return Machine(spec, engine=engine)
 
 
-def haswell_node(scale: float = 1.0) -> Machine:
+def haswell_node(scale: float = 1.0, engine: str = "fast") -> Machine:
     """Xeon E5 v3-class Haswell: 8 cores @ 2.6 GHz with dual FMA ports
     (the 'what changes with FMA' contrast machine)."""
     base_hz = 2.6e9
@@ -113,10 +114,10 @@ def haswell_node(scale: float = 1.0) -> Machine:
         base_hz=base_hz,
         turbo_steps=(3.3e9, 3.3e9, 3.2e9, 3.1e9, 3.0e9, 2.9e9, 2.8e9, 2.7e9),
     )
-    return Machine(spec)
+    return Machine(spec, engine=engine)
 
 
-def tiny_test_machine() -> Machine:
+def tiny_test_machine(engine: str = "fast") -> Machine:
     """A deliberately small 2-core machine for fast unit tests: every
     cache regime is reachable with kilobyte-sized working sets."""
     dram = DramConfig(
@@ -144,7 +145,7 @@ def tiny_test_machine() -> Machine:
         turbo_steps=(1.5e9, 1.2e9),
         noise_lines_per_megacycle=0.0,
     )
-    return Machine(spec)
+    return Machine(spec, engine=engine)
 
 
 #: preset registry used by the CLI and experiments
@@ -154,11 +155,12 @@ PRESETS = {
     "snb-ep-x2": dual_socket_ep,
     "ivb-desktop": ivy_bridge_desktop,
     "hsw-ep": haswell_node,
-    "tiny": lambda scale=1.0: tiny_test_machine(),
+    "tiny": lambda scale=1.0, engine="fast": tiny_test_machine(engine=engine),
 }
 
 
-def make_machine(name: str, scale: float = 1.0) -> Machine:
+def make_machine(name: str, scale: float = 1.0,
+                 engine: str = "fast") -> Machine:
     """Instantiate a preset by registry name."""
     try:
         factory = PRESETS[name]
@@ -166,10 +168,12 @@ def make_machine(name: str, scale: float = 1.0) -> Machine:
         raise ConfigurationError(
             f"unknown machine preset {name!r}; known: {sorted(PRESETS)}"
         ) from exc
-    return factory(scale=scale) if name != "tiny" else factory()
+    if name == "tiny":
+        return factory(engine=engine)
+    return factory(scale=scale, engine=engine)
 
 
-def paper_machine(scale: float = 0.125) -> Machine:
+def paper_machine(scale: float = 0.125, engine: str = "fast") -> Machine:
     """The default experiment platform: a 1/8-scale Sandy Bridge-EP.
 
     Cache capacities are scaled down so the DRAM-resident regime starts
@@ -177,4 +181,4 @@ def paper_machine(scale: float = 0.125) -> Machine:
     table/figure sweeps fast; bandwidths, latencies and port structure
     are unscaled, so every measured *shape* matches the full machine.
     """
-    return sandy_bridge_ep(scale=scale)
+    return sandy_bridge_ep(scale=scale, engine=engine)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from ..cpu.timing import TimingParams
+from ..engine import validate_engine
 from ..errors import ConfigurationError
 from .machine import Machine, MachineSpec
 
@@ -67,11 +68,14 @@ class MachineRef:
     timing: KwargItems = ()
     #: ``False`` disables every prefetch engine after construction
     prefetch_enabled: bool = True
+    #: execution engine ("fast" or "reference"; equivalence-gated, so
+    #: both produce identical measurements — see docs/ENGINE.md)
+    engine: str = "fast"
 
     @classmethod
     def of(cls, preset: str, *, l3_policy: Optional[str] = None,
            timing: Optional[dict] = None, prefetch_enabled: bool = True,
-           **options) -> "MachineRef":
+           engine: str = "fast", **options) -> "MachineRef":
         """Ergonomic constructor taking plain keyword arguments."""
         from .presets import PRESETS  # cycle: presets imports Machine too
 
@@ -79,9 +83,10 @@ class MachineRef:
             raise ConfigurationError(
                 f"unknown machine preset {preset!r}; known: {sorted(PRESETS)}"
             )
+        validate_engine(engine)
         return cls(preset=preset, options=_items(options),
                    l3_policy=l3_policy, timing=_items(timing),
-                   prefetch_enabled=prefetch_enabled)
+                   prefetch_enabled=prefetch_enabled, engine=engine)
 
     def with_overrides(self, *, l3_policy: Optional[str] = None,
                        timing: Optional[dict] = None,
@@ -117,13 +122,15 @@ class MachineRef:
                 f"preset {self.preset!r} rejected options "
                 f"{dict(self.options)}: {exc}"
             ) from exc
+        # safe before the first core() call — cores inherit at creation
+        machine.engine = validate_engine(self.engine)
         spec = machine.spec
         if self.l3_policy is not None:
             spec = apply_l3_policy(spec, self.l3_policy)
         if self.timing:
             spec = replace(spec, timing=TimingParams(**dict(self.timing)))
         if spec is not machine.spec:
-            machine = Machine(spec)
+            machine = Machine(spec, engine=self.engine)
         if not self.prefetch_enabled:
             machine.prefetch_control.disable_all()
         return machine
@@ -133,13 +140,19 @@ class MachineRef:
     # ------------------------------------------------------------------
     def key_doc(self) -> dict:
         """Canonical JSON-able identity (feeds the sweep cache key)."""
-        return {
+        doc = {
             "preset": self.preset,
             "options": [[k, v] for k, v in self.options],
             "l3_policy": self.l3_policy,
             "timing": [[k, v] for k, v in self.timing],
             "prefetch_enabled": self.prefetch_enabled,
         }
+        # the default engine is omitted so pre-existing cached sweep
+        # results keep their keys (the engines are equivalence-gated,
+        # so "fast" results are by definition unchanged)
+        if self.engine != "fast":
+            doc["engine"] = self.engine
+        return doc
 
     def describe(self) -> str:
         parts = [self.preset]
@@ -151,4 +164,6 @@ class MachineRef:
                                               for k, v in self.timing))
         if not self.prefetch_enabled:
             parts.append("prefetch=off")
+        if self.engine != "fast":
+            parts.append(f"engine={self.engine}")
         return " ".join(parts)

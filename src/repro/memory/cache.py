@@ -4,22 +4,30 @@ The cache is *functional*: it tracks which lines are resident and dirty,
 and produces exact hit/miss/eviction streams.  Timing is attributed by
 the core's cycle model (:mod:`repro.cpu.core`), not here.
 
-Two internal representations are used:
+Three internal representations are used:
 
-* an ordered-dict fast path for LRU (the common case on every preset —
-  Python dicts preserve insertion order, giving O(1) recency updates),
-* a generic ways-array representation driven by a
+* ``dict`` — an ordered-dict fast path for LRU (the common case on
+  every preset — Python dicts preserve insertion order, giving O(1)
+  recency updates).  The batched datapath
+  (:mod:`repro.engine.datapath`) inlines against this representation.
+* ``ways`` — a generic ways-list representation driven by a
   :class:`~repro.memory.replacement.ReplacementPolicy` for the
   replacement-policy ablation.
+* ``array`` — numpy-backed tag/dirty/recency arrays with the policy
+  state flattened into per-set stamp or tree-bit rows; behaviourally
+  identical to ``ways`` for every policy (hypothesis-verified in
+  ``tests/memory/test_cache_array.py``).
 
-Both expose identical behaviour for LRU, which the property-based tests
-verify against each other.
+All representations expose identical behaviour, which the
+property-based tests verify against each other.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Tuple
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..units import is_power_of_two, log2_int
@@ -112,23 +120,74 @@ class Cache:
     """One cache level; see module docstring for design notes."""
 
     def __init__(self, config: CacheConfig,
-                 policy: Optional[ReplacementPolicy] = None) -> None:
+                 policy: Optional[ReplacementPolicy] = None,
+                 backend: Optional[str] = None) -> None:
         self.config = config
         self.stats = CacheStats()
         self._set_mask = config.nsets - 1
         self._assoc = config.assoc
-        use_fast_lru = policy is None and config.policy == "lru"
-        self._fast = use_fast_lru
-        if use_fast_lru:
+        self._resident = 0
+        if backend is None:
+            backend = (
+                "dict" if policy is None and config.policy == "lru"
+                else "ways"
+            )
+        if backend not in ("dict", "ways", "array"):
+            raise ConfigurationError(
+                f"{config.name}: unknown cache backend {backend!r}; "
+                "choose from ['dict', 'ways', 'array']"
+            )
+        self._backend = backend
+        self._fast = backend == "dict"
+        if backend == "dict":
+            if policy is not None or config.policy != "lru":
+                raise ConfigurationError(
+                    f"{config.name}: the dict backend supports only LRU"
+                )
             # per-set dict: line -> dirty flag; iteration order is recency
             # (first inserted == least recent after move-to-end updates).
             self._sets = [dict() for _ in range(config.nsets)]
-        else:
+        elif backend == "ways":
             self._policy = policy or make_policy(config.policy)
             self._lines = [[None] * self._assoc for _ in range(config.nsets)]
             self._dirty = [[False] * self._assoc for _ in range(config.nsets)]
             self._pstate = [self._policy.new_state(self._assoc)
                             for _ in range(config.nsets)]
+        else:
+            self._policy = policy or make_policy(config.policy)
+            self._init_array_state()
+
+    def _init_array_state(self) -> None:
+        """Numpy-backed tag/dirty/policy state (the ``array`` backend).
+
+        Per-set policy metadata is flattened into array rows:
+
+        * LRU/FIFO — a monotone global tick stamped into
+          ``_stamp[set, way]`` on recency updates; the victim is the
+          valid way with the smallest stamp, which matches the
+          recency-list order of the ``ways`` backend exactly.
+        * tree-PLRU — the assoc-1 tree bits as a row of ``_plru``.
+        * random — no per-set state; victims come from the shared
+          policy instance's deterministic xorshift stream.
+        """
+        nsets, assoc = self.config.nsets, self._assoc
+        kind = self._policy.name
+        if kind == "plru" and assoc & (assoc - 1):
+            raise ConfigurationError(
+                "tree-PLRU requires power-of-two associativity"
+            )
+        self._akind = kind
+        self._tags = np.full((nsets, assoc), -1, dtype=np.int64)
+        self._adirty = np.zeros((nsets, assoc), dtype=bool)
+        if kind in ("lru", "fifo"):
+            self._stamp = np.zeros((nsets, assoc), dtype=np.int64)
+            self._tick = 0
+        elif kind == "plru":
+            self._plru = np.zeros((nsets, max(assoc - 1, 1)), dtype=np.uint8)
+        elif kind != "random":
+            raise ConfigurationError(
+                f"array backend does not support policy {kind!r}"
+            )
 
     # ------------------------------------------------------------------
     # shared state-transition accounting
@@ -169,8 +228,10 @@ class Cache:
             hit = line in s
             if hit:
                 s[line] = s.pop(line) or mark_dirty
-        else:
+        elif self._backend == "ways":
             hit = self._generic_lookup(line, mark_dirty)
+        else:
+            hit = self._array_lookup(line, mark_dirty)
         return self._record_lookup(hit)
 
     def _generic_lookup(self, line: int, mark_dirty: bool) -> bool:
@@ -196,13 +257,17 @@ class Cache:
                 s[line] = s.pop(line) or dirty
                 evicted = None
             else:
-                evicted = None
                 if len(s) >= self._assoc:
                     victim = next(iter(s))
                     evicted = (victim, s.pop(victim))
+                else:
+                    evicted = None
+                    self._resident += 1
                 s[line] = dirty
-        else:
+        elif self._backend == "ways":
             evicted = self._generic_fill(line, dirty)
+        else:
+            evicted = self._array_fill(line, dirty)
         return self._record_eviction(evicted)
 
     def _generic_fill(self, line: int, dirty: bool) -> Optional[Tuple[int, bool]]:
@@ -219,6 +284,7 @@ class Cache:
                 lines[way] = line
                 self._dirty[set_idx][way] = dirty
                 self._policy.on_fill(state, way)
+                self._resident += 1
                 return None
         way = self._policy.victim(state, self._assoc)
         evicted = (lines[way], self._dirty[set_idx][way])
@@ -238,6 +304,12 @@ class Cache:
                 return True
             return False
         set_idx = line & self._set_mask
+        if self._backend == "array":
+            ways = np.nonzero(self._tags[set_idx] == line)[0]
+            if ways.size:
+                self._adirty[set_idx, ways[0]] = True
+                return True
+            return False
         lines = self._lines[set_idx]
         for way in range(self._assoc):
             if lines[way] == line:
@@ -250,8 +322,12 @@ class Cache:
         if self._fast:
             s = self._sets[line & self._set_mask]
             dirty = s.pop(line) if line in s else None
-        else:
+        elif self._backend == "ways":
             dirty = self._generic_invalidate(line)
+        else:
+            dirty = self._array_invalidate(line)
+        if dirty is not None:
+            self._resident -= 1
         return self._record_invalidation(dirty)
 
     def _generic_invalidate(self, line: int) -> Optional[bool]:
@@ -266,12 +342,104 @@ class Cache:
         return None
 
     # ------------------------------------------------------------------
+    # array backend: same transitions as the ``ways`` backend, with the
+    # policy state flattened into numpy rows (see _init_array_state)
+    # ------------------------------------------------------------------
+    def _array_touch(self, set_idx: int, way: int, fill: bool) -> None:
+        kind = self._akind
+        if kind == "lru" or (kind == "fifo" and fill):
+            self._tick += 1
+            self._stamp[set_idx, way] = self._tick
+        elif kind == "plru":
+            # identical walk to TreePlruPolicy._touch, on the bit row
+            bits = self._plru[set_idx]
+            node = 0
+            span = self._assoc
+            offset = 0
+            while span > 1:
+                half = span // 2
+                go_right = way >= offset + half
+                bits[node] = 0 if go_right else 1
+                node = 2 * node + (2 if go_right else 1)
+                if go_right:
+                    offset += half
+                span = half
+
+    def _array_victim(self, set_idx: int) -> int:
+        kind = self._akind
+        if kind in ("lru", "fifo"):
+            # victim() is only reached with every way valid, so the
+            # smallest stamp is exactly the ways-backend recency tail
+            return int(np.argmin(self._stamp[set_idx]))
+        if kind == "plru":
+            bits = self._plru[set_idx]
+            node = 0
+            span = self._assoc
+            offset = 0
+            while span > 1:
+                half = span // 2
+                go_right = bits[node] == 1
+                node = 2 * node + (2 if go_right else 1)
+                if go_right:
+                    offset += half
+                span = half
+            return offset
+        return self._policy.victim(None, self._assoc)
+
+    def _array_lookup(self, line: int, mark_dirty: bool) -> bool:
+        set_idx = line & self._set_mask
+        ways = np.nonzero(self._tags[set_idx] == line)[0]
+        if not ways.size:
+            return False
+        way = int(ways[0])
+        self._array_touch(set_idx, way, fill=False)
+        if mark_dirty:
+            self._adirty[set_idx, way] = True
+        return True
+
+    def _array_fill(self, line: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        set_idx = line & self._set_mask
+        tags = self._tags[set_idx]
+        ways = np.nonzero(tags == line)[0]
+        if ways.size:
+            way = int(ways[0])
+            self._array_touch(set_idx, way, fill=True)
+            if dirty:
+                self._adirty[set_idx, way] = True
+            return None
+        empty = np.nonzero(tags == -1)[0]
+        if empty.size:
+            way = int(empty[0])
+            evicted = None
+            self._resident += 1
+        else:
+            way = self._array_victim(set_idx)
+            evicted = (int(tags[way]), bool(self._adirty[set_idx, way]))
+        tags[way] = line
+        self._adirty[set_idx, way] = dirty
+        self._array_touch(set_idx, way, fill=True)
+        return evicted
+
+    def _array_invalidate(self, line: int) -> Optional[bool]:
+        set_idx = line & self._set_mask
+        ways = np.nonzero(self._tags[set_idx] == line)[0]
+        if not ways.size:
+            return None
+        way = int(ways[0])
+        self._tags[set_idx, way] = -1
+        dirty = bool(self._adirty[set_idx, way])
+        self._adirty[set_idx, way] = False
+        return dirty
+
+    # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def contains(self, line: int) -> bool:
         """Non-mutating residency test (no recency update)."""
         if self._fast:
             return line in self._sets[line & self._set_mask]
+        if self._backend == "array":
+            return bool((self._tags[line & self._set_mask] == line).any())
         return line in self._lines[line & self._set_mask]
 
     def resident_lines(self) -> Iterator[int]:
@@ -279,6 +447,10 @@ class Cache:
         if self._fast:
             for s in self._sets:
                 yield from s
+        elif self._backend == "array":
+            for tag in self._tags.ravel():
+                if tag != -1:
+                    yield int(tag)
         else:
             for lines in self._lines:
                 for line in lines:
@@ -292,6 +464,12 @@ class Cache:
                 for line, dirty in s.items():
                     if dirty:
                         yield line
+        elif self._backend == "array":
+            flat_tags = self._tags.ravel()
+            flat_dirty = self._adirty.ravel()
+            for idx in np.nonzero(flat_dirty)[0]:
+                if flat_tags[idx] != -1:
+                    yield int(flat_tags[idx])
         else:
             for set_idx, lines in enumerate(self._lines):
                 for way, line in enumerate(lines):
@@ -299,14 +477,17 @@ class Cache:
                         yield line
 
     def occupancy(self) -> int:
-        """Number of resident lines."""
-        return sum(1 for _ in self.resident_lines())
+        """Number of resident lines (O(1): maintained as a counter)."""
+        return self._resident
 
     def clear(self) -> None:
         """Drop all contents (dirty data is discarded, not written back)."""
+        self._resident = 0
         if self._fast:
             for s in self._sets:
                 s.clear()
+        elif self._backend == "array":
+            self._init_array_state()
         else:
             for set_idx in range(self.config.nsets):
                 self._lines[set_idx] = [None] * self._assoc

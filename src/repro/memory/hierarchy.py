@@ -302,6 +302,56 @@ class CorePort:
                 "engines": engines,
             }))
 
+    def emit_plan_batch(self, stats: BatchStats,
+                        homes: Dict[int, List[int]]) -> None:
+        """Publish one executed plan's counters on the trace bus.
+
+        The fast engine's analogue of :meth:`_emit_batch`: one CACHE
+        event for the whole plan, one DRAM event per home node touched
+        (``homes`` maps node -> [demand_reads, prefetch_reads, writes,
+        remote_lines]), and one PREFETCH snapshot.  Coarser granularity
+        than the reference engine's per-port-call events, but identical
+        aggregate args — consumers (TraceCollector, timeline windows)
+        only sum batch-event args and read the last PREFETCH snapshot.
+        """
+        bus = self.bus
+        ts = bus.cursor
+        core = self.core_id
+        bus.emit(TraceEvent(CACHE, f"core{core}", ts, core=core, args={
+            "accesses": stats.accesses,
+            "l1_hits": stats.l1_hits,
+            "l2_hits": stats.l2_hits,
+            "l3_hits": stats.l3_hits,
+            "l1_evictions": stats.l1_evictions,
+            "l2_evictions": stats.l2_evictions,
+            "l3_evictions": stats.l3_evictions,
+            "tlb_misses": stats.tlb_misses,
+            "flushes": stats.flushes,
+        }))
+        for home, rec in homes.items():
+            demand_reads, prefetch_reads, writes, remote = rec
+            reads = demand_reads + prefetch_reads
+            if reads or writes:
+                bus.emit(TraceEvent(DRAM, f"node{home}", ts, core=core, args={
+                    "reads": reads,
+                    "writes": writes,
+                    "demand_reads": demand_reads,
+                    "prefetch_reads": prefetch_reads,
+                    "remote_lines": remote,
+                }))
+        if stats.hw_prefetch_issued or stats.sw_prefetches or stats.prefetch_useful:
+            engines = {
+                engine.kind: engine.stats.as_dict()
+                for engine in self.hierarchy.prefetchers_of(core)
+            }
+            bus.emit(TraceEvent(PREFETCH, f"core{core}", ts, core=core, args={
+                "hw_issued": stats.hw_prefetch_issued,
+                "hw_dram_reads": stats.hw_prefetch_dram_reads,
+                "sw_prefetches": stats.sw_prefetches,
+                "useful": stats.prefetch_useful,
+                "engines": engines,
+            }))
+
     def _demand_lines(self, lines, is_write: bool, home: int,
                       stream_id: int, stats: BatchStats) -> None:
         l1 = self.l1

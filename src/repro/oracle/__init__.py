@@ -21,6 +21,7 @@ from .differential import (
     Divergence,
     minimize_program,
     render_program,
+    run_cross_engine,
     run_differential,
 )
 from .fuzz import ProgramGenerator, random_program
@@ -38,5 +39,6 @@ __all__ = [
     "minimize_program",
     "random_program",
     "render_program",
+    "run_cross_engine",
     "run_differential",
 ]

@@ -183,6 +183,114 @@ def run_differential(program: Program, prefetch_mask: int = 0,
                                ref_cycles=ref.cycles)
 
 
+def run_cross_engine(program: Program, prefetch_mask: int = 0,
+                     core_id: int = 0,
+                     machine_factory: Callable = tiny_test_machine,
+                     ) -> DifferentialOutcome:
+    """Execute ``program`` under both *execution engines* and diff.
+
+    Unlike :func:`run_differential` (optimised machine vs the textbook
+    reference model), both sides here are full machines — one with the
+    batched two-tier engine (``engine="fast"``), one with the per-line
+    dispatch path (``engine="reference"``).  The contract is stricter:
+    every observable, including floating-point cycle totals, must be
+    *bit-identical*, because the fast engine executes the same emission
+    stream against the same functional state and the cycle model is a
+    pure function of the batch counters.
+    """
+    sides = []
+    for engine in ("fast", "reference"):
+        machine = machine_factory()
+        machine.engine = engine  # before the first core() call
+        machine.prefetch_control.write_msr(prefetch_mask)
+        loaded = machine.load(program)
+        run = machine.run(loaded, core_id=core_id)
+        sides.append((machine, run.result))
+    (fast_m, fast_r), (ref_m, ref_r) = sides
+
+    divs: List[Divergence] = []
+    for name in ("cycles", "instructions", "true_flops"):
+        a, b = getattr(fast_r, name), getattr(ref_r, name)
+        if a != b:
+            divs.append(Divergence(name, a, b))
+
+    if len(fast_r.phases) != len(ref_r.phases):
+        divs.append(Divergence("phase_count", len(fast_r.phases),
+                               len(ref_r.phases)))
+    else:
+        for idx, (pa, pb) in enumerate(zip(fast_r.phases, ref_r.phases)):
+            if pa.total != pb.total:
+                divs.append(Divergence(f"phase[{idx}].cycles",
+                                       pa.total, pb.total))
+                break
+
+    fast_batch = fast_r.batch.as_dict()
+    ref_batch = ref_r.batch.as_dict()
+    for key, value in fast_batch.items():
+        if value != ref_batch.get(key):
+            divs.append(Divergence(f"batch.{key}", value,
+                                   ref_batch.get(key)))
+
+    fast_pmu = fast_m.core_pmu(core_id).snapshot()
+    ref_pmu = ref_m.core_pmu(core_id).snapshot()
+    for key in sorted(set(fast_pmu) | set(ref_pmu)):
+        a, b = fast_pmu.get(key, 0), ref_pmu.get(key, 0)
+        if a != b:
+            divs.append(Divergence(f"pmu.{key}", a, b))
+
+    node = fast_m.hierarchy.topology.node_of_core(core_id)
+    levels = (
+        ("l1", fast_m.hierarchy.l1[core_id], ref_m.hierarchy.l1[core_id]),
+        ("l2", fast_m.hierarchy.l2[core_id], ref_m.hierarchy.l2[core_id]),
+        ("l3", fast_m.hierarchy.l3[node], ref_m.hierarchy.l3[node]),
+    )
+    for name, fast_cache, ref_cache in levels:
+        for stat in _CACHE_STAT_FIELDS:
+            a = getattr(fast_cache.stats, stat)
+            b = getattr(ref_cache.stats, stat)
+            if a != b:
+                divs.append(Divergence(f"{name}.{stat}", a, b))
+        if fast_cache.occupancy() != ref_cache.occupancy():
+            divs.append(Divergence(f"{name}.occupancy",
+                                   fast_cache.occupancy(),
+                                   ref_cache.occupancy()))
+        fast_resident = frozenset(fast_cache.resident_lines())
+        ref_resident = frozenset(ref_cache.resident_lines())
+        if fast_resident != ref_resident:
+            divs.append(Divergence(
+                f"{name}.resident",
+                sorted(fast_resident ^ ref_resident),
+                "symmetric difference (fast^ref) shown under fast",
+            ))
+        fast_dirty = frozenset(fast_cache.dirty_lines())
+        ref_dirty = frozenset(ref_cache.dirty_lines())
+        if fast_dirty != ref_dirty:
+            divs.append(Divergence(
+                f"{name}.dirty",
+                sorted(fast_dirty ^ ref_dirty),
+                "symmetric difference (fast^ref) shown under fast",
+            ))
+
+    for n, dram in enumerate(fast_m.hierarchy.dram):
+        ref_dram = ref_m.hierarchy.dram[n]
+        if dram.counters.cas_reads != ref_dram.counters.cas_reads:
+            divs.append(Divergence(f"dram[{n}].cas_reads",
+                                   dram.counters.cas_reads,
+                                   ref_dram.counters.cas_reads))
+        if dram.counters.cas_writes != ref_dram.counters.cas_writes:
+            divs.append(Divergence(f"dram[{n}].cas_writes",
+                                   dram.counters.cas_writes,
+                                   ref_dram.counters.cas_writes))
+
+    fast_tlb = fast_m.hierarchy.port(core_id).tlb.page_sets()
+    ref_tlb = ref_m.hierarchy.port(core_id).tlb.page_sets()
+    if fast_tlb != ref_tlb:
+        divs.append(Divergence("tlb.resident_pages", fast_tlb, ref_tlb))
+
+    return DifferentialOutcome(divergences=divs, fast_cycles=fast_r.cycles,
+                               ref_cycles=ref_r.cycles)
+
+
 # ----------------------------------------------------------------------
 # greedy repro minimisation
 # ----------------------------------------------------------------------

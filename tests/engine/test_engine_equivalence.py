@@ -1,0 +1,166 @@
+"""Two-tier engine equivalence: fast vs reference, counter for counter.
+
+The fast engine replays compiled access plans through the batched
+datapath; the reference engine dispatches the identical emission stream
+one port call at a time.  These tests pin the equivalence contract at
+three granularities: fuzzed programs (every observable via
+``run_cross_engine``), full kernel measurements (byte-identical W/Q/T
+JSON), and the compile tier's own telemetry (plan caching actually
+happens, and only on the fast engine).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ENGINES, AccessPlan, PlanCache, validate_engine
+from repro.errors import ConfigurationError
+from repro.kernels import kernel_names, make_kernel
+from repro.machine.presets import tiny_test_machine
+from repro.machine.ref import MachineRef
+from repro.measure import measure_kernel
+from repro.oracle import render_program, run_cross_engine
+from repro.trace import measurement_to_dict
+
+
+# ----------------------------------------------------------------------
+# engine selection plumbing
+# ----------------------------------------------------------------------
+def test_validate_engine_accepts_known_and_rejects_unknown():
+    for engine in ENGINES:
+        assert validate_engine(engine) == engine
+    with pytest.raises(ConfigurationError):
+        validate_engine("turbo")
+
+
+def test_machine_and_cores_carry_the_engine():
+    machine = tiny_test_machine(engine="reference")
+    assert machine.engine == "reference"
+    assert machine.core(0).engine == "reference"
+    assert tiny_test_machine().core(0).engine == "fast"
+
+
+def test_machine_ref_engine_roundtrip_and_key_doc():
+    ref = MachineRef.of("tiny", engine="reference")
+    assert ref.build().engine == "reference"
+    assert ref.key_doc()["engine"] == "reference"
+    assert "engine=reference" in ref.describe()
+    # the default engine stays out of the cache key so pre-existing
+    # content-addressed sweep results keep their identities
+    default = MachineRef.of("tiny")
+    assert "engine" not in default.key_doc()
+    assert default.build().engine == "fast"
+
+
+def test_machine_ref_rejects_unknown_engine():
+    with pytest.raises(ConfigurationError):
+        MachineRef.of("tiny", engine="warp")
+
+
+# ----------------------------------------------------------------------
+# cross-engine differential fuzz (hypothesis-shrunk)
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.oracle import random_program  # noqa: E402
+
+
+class HypoRng:
+    """random.Random-shaped adapter over a hypothesis data draw."""
+
+    def __init__(self, data) -> None:
+        self.data = data
+
+    def randint(self, a: int, b: int) -> int:
+        return self.data.draw(st.integers(min_value=a, max_value=b))
+
+    def choice(self, seq):
+        return self.data.draw(st.sampled_from(list(seq)))
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_fast_engine_matches_reference_engine(data):
+    rng = HypoRng(data)
+    program = random_program(rng)
+    mask = rng.randint(0, 15)
+    outcome = run_cross_engine(program, prefetch_mask=mask)
+    assert outcome.ok, "\n".join(
+        [f"prefetch mask {mask}"]
+        + [str(d) for d in outcome.divergences]
+        + ["program:", render_program(program)]
+    )
+
+
+# ----------------------------------------------------------------------
+# full-methodology byte identity on every registry kernel
+# ----------------------------------------------------------------------
+def _measure_doc(engine: str, name: str, n: int) -> str:
+    machine = tiny_test_machine(engine=engine)
+    measurement = measure_kernel(machine, make_kernel(name), n, reps=2)
+    return json.dumps(measurement_to_dict(measurement), sort_keys=True)
+
+
+@pytest.mark.parametrize("name", kernel_names())
+def test_measure_kernel_byte_identical_across_engines(name):
+    n = 32 if name.startswith(("dgemm", "fft")) else 64
+    assert _measure_doc("fast", name, n) == _measure_doc("reference", name, n)
+
+
+def test_warm_protocol_byte_identical_across_engines():
+    docs = []
+    for engine in ENGINES:
+        machine = tiny_test_machine(engine=engine)
+        m = measure_kernel(machine, make_kernel("daxpy"), 256,
+                           protocol="warm", reps=2)
+        docs.append(json.dumps(measurement_to_dict(m), sort_keys=True))
+    assert docs[0] == docs[1]
+
+
+# ----------------------------------------------------------------------
+# compile tier: plan caching behaviour
+# ----------------------------------------------------------------------
+def test_fast_engine_hits_the_plan_cache_across_reps():
+    machine = tiny_test_machine()
+    measure_kernel(machine, make_kernel("daxpy"), 256, reps=3)
+    stats = machine.core(0).plan_stats
+    assert stats.misses > 0
+    assert stats.hits > stats.misses  # A/B windows + reps reuse plans
+    assert 0.0 < stats.hit_rate < 1.0
+
+
+def test_reference_engine_never_compiles_plans():
+    machine = tiny_test_machine(engine="reference")
+    measure_kernel(machine, make_kernel("daxpy"), 256, reps=2)
+    core = machine.core(0)
+    assert len(core.plan_cache) == 0
+    assert core.plan_stats.lookups == 0
+
+
+def test_plan_cache_flushes_at_the_line_cap():
+    cache = PlanCache(max_lines=10)
+    loop_a, loop_b = object(), object()
+    plan_a = AccessPlan(segments=[], total_lines=6)
+    plan_b = AccessPlan(segments=[], total_lines=6)
+    cache.put(("a",), loop_a, (), plan_a)
+    assert len(cache) == 1
+    # 6 + 6 > 10: the second put flushes everything, then stores b
+    cache.put(("b",), loop_b, (), plan_b)
+    assert len(cache) == 1
+    assert cache.stats.flushes == 1
+    assert cache.get(("a",)) is None
+    assert cache.get(("b",)) is plan_b
+
+
+def test_plan_key_distinguishes_buffer_placement():
+    # same program measured at two sizes -> different buffer bases ->
+    # different plan keys (no false sharing between distinct contexts)
+    machine = tiny_test_machine()
+    measure_kernel(machine, make_kernel("daxpy"), 64, reps=1)
+    first = len(machine.core(0).plan_cache)
+    measure_kernel(machine, make_kernel("daxpy"), 128, reps=1)
+    assert len(machine.core(0).plan_cache) > first

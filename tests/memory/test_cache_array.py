@@ -1,0 +1,126 @@
+"""Array backend vs ways backend: behavioural equivalence, all policies.
+
+The ``array`` backend flattens per-set replacement state into numpy
+rows (stamps for LRU/FIFO, tree bits for PLRU, the shared xorshift
+stream for random).  Hypothesis drives both backends through identical
+lookup/fill/invalidate/mark_dirty sequences and requires every return
+value, statistic, and piece of final state to match the ``ways``
+backend's :class:`~repro.memory.replacement.ReplacementPolicy` path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.replacement import policy_names
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def _config(policy: str) -> CacheConfig:
+    # 4 sets x 4 ways: small enough that fuzzed streams conflict often
+    return CacheConfig("test", 1024, line_bytes=64, assoc=4, policy=policy)
+
+
+def _pair(policy: str):
+    return (Cache(_config(policy), backend="ways"),
+            Cache(_config(policy), backend="array"))
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "lookup_w", "fill", "fill_d",
+                         "invalidate", "mark_dirty", "contains"]),
+        st.integers(min_value=0, max_value=23),
+    ),
+    max_size=120,
+)
+
+
+def _apply(cache: Cache, op: str, line: int):
+    if op == "lookup":
+        return cache.lookup_update(line)
+    if op == "lookup_w":
+        return cache.lookup_update(line, mark_dirty=True)
+    if op == "fill":
+        return cache.fill(line)
+    if op == "fill_d":
+        return cache.fill(line, dirty=True)
+    if op == "invalidate":
+        return cache.invalidate(line)
+    if op == "mark_dirty":
+        return cache.mark_dirty(line)
+    return cache.contains(line)
+
+
+def _state(cache: Cache):
+    return (
+        sorted(cache.resident_lines()),
+        sorted(cache.dirty_lines()),
+        cache.occupancy(),
+        vars(cache.stats).copy(),
+    )
+
+
+@pytest.mark.parametrize("policy", policy_names())
+@given(ops=_OPS)
+@settings(max_examples=120, deadline=None)
+def test_array_backend_matches_ways_backend(policy, ops):
+    ways, array = _pair(policy)
+    for step, (op, line) in enumerate(ops):
+        expected = _apply(ways, op, line)
+        got = _apply(array, op, line)
+        assert got == expected, (
+            f"step {step}: {op}({line}) -> {got!r}, ways gave {expected!r}"
+        )
+    assert _state(array) == _state(ways)
+
+
+@pytest.mark.parametrize("policy", policy_names())
+@given(ops=_OPS)
+@settings(max_examples=60, deadline=None)
+def test_occupancy_counter_matches_recount(policy, ops):
+    cache = Cache(_config(policy), backend="array")
+    for op, line in ops:
+        _apply(cache, op, line)
+        assert cache.occupancy() == sum(1 for _ in cache.resident_lines())
+
+
+@given(ops=_OPS)
+@settings(max_examples=60, deadline=None)
+def test_dict_backend_occupancy_counter_matches_recount(ops):
+    cache = Cache(_config("lru"))  # default: dict fast path
+    assert cache._fast
+    for op, line in ops:
+        _apply(cache, op, line)
+        assert cache.occupancy() == sum(1 for _ in cache.resident_lines())
+
+
+@pytest.mark.parametrize("policy", policy_names())
+def test_clear_resets_array_state(policy):
+    cache = Cache(_config(policy), backend="array")
+    for line in range(12):
+        cache.fill(line, dirty=(line % 2 == 0))
+    assert cache.occupancy() > 0
+    cache.clear()
+    assert cache.occupancy() == 0
+    assert list(cache.resident_lines()) == []
+    assert list(cache.dirty_lines()) == []
+    # and it is immediately usable again
+    cache.fill(5)
+    assert cache.contains(5)
+    assert cache.occupancy() == 1
+
+
+def test_dict_backend_requires_lru():
+    with pytest.raises(ConfigurationError):
+        Cache(_config("fifo"), backend="dict")
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigurationError):
+        Cache(_config("lru"), backend="hash")
