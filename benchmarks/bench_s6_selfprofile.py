@@ -1,0 +1,176 @@
+"""Bench S6: span-profiler overhead, disabled and enabled.
+
+Not a paper figure — this bounds the cost of the host-side span
+profiler (:mod:`repro.obs.spans`) that PR 6 threaded through the hot
+layers.  The acceptance bar is the *disabled* path: every normal run
+goes through the instrumentation sites with ``SPANS.enabled`` false, so
+that path must stay under 5% of the dgemm sweep benchmark's wall time.
+
+Two measurement strategies, deliberately machine-portable:
+
+* **disabled overhead** is *estimated*, not subtracted: a tight
+  microbenchmark pins the per-call cost of a disabled span site (one
+  attribute load, a call, the shared null context manager), an enabled
+  run of the same sweep counts how many times the sites actually fire
+  (span count is deterministic for a fixed workload), and the estimate
+  is ``activations x per_call_cost / sweep_seconds``.  An A/B
+  subtraction of two ~±2% noisy wall times cannot resolve a ~0.1%
+  effect; the product of an exactly-counted quantity and a tightly
+  pinned per-call cost can.
+* **enabled overhead** is a direct ratio of the same sweep with the
+  profiler on vs off — coarse, but it only needs to show profiling
+  stays usable (single-digit factor), not pin a small number.
+
+Run directly (``python benchmarks/bench_s6_selfprofile.py --out
+BENCH_selfprofile.json``) to regenerate the committed baseline;
+``repro benchgate`` holds ``disabled.overhead_fraction`` under the
+absolute 0.05 ceiling and watches ``enabled.overhead_factor`` against
+the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.kernels.registry import make_kernel
+from repro.machine.presets import tiny_test_machine
+from repro.measure import measure_kernel
+from repro.obs.spans import SPANS
+
+# the same dgemm sweep bench_s5 gates the engine on — the overhead
+# denominator is "the benchmark sweep", not a toy loop
+DGEMM_SIZES = (64, 96, 128, 160)
+REPS = 3
+
+#: disabled-span microbenchmark iterations
+_CALIBRATION_CALLS = 200_000
+
+
+def _sweep() -> None:
+    machine = tiny_test_machine()
+    for n in DGEMM_SIZES:
+        measure_kernel(machine, make_kernel("dgemm-tiled"), n, reps=REPS)
+
+
+def _time(fn, repeats: int) -> float:
+    """Minimum seconds of ``fn()`` over ``repeats`` calls (same
+    least-contamination reasoning as bench_s5)."""
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+def disabled_span_call_ns(calls: int = _CALIBRATION_CALLS,
+                          repeats: int = 5) -> float:
+    """Per-call cost of a disabled instrumentation site, in ns.
+
+    Measures exactly what a site costs: the ``SPANS("name")`` call plus
+    entering and exiting the shared null context manager.  The loop
+    overhead itself is measured by an empty loop and subtracted.
+    """
+    assert not SPANS.enabled
+    r = range(calls)
+
+    def with_site():
+        for _ in r:
+            with SPANS("calibration"):
+                pass
+
+    def empty():
+        for _ in r:
+            pass
+
+    site = _time(with_site, repeats)
+    base = _time(empty, repeats)
+    return max(site - base, 0.0) * 1e9 / calls
+
+
+def count_activations() -> int:
+    """How many span sites fire during one dgemm sweep.
+
+    Counted from an enabled run's aggregates (plus any records dropped
+    past the retention cap); the count is a property of the workload,
+    not of the host, so it transfers to the disabled-cost estimate.
+    """
+    SPANS.reset()
+    SPANS.enable()
+    try:
+        _sweep()
+    finally:
+        SPANS.disable()
+    total = sum(row["count"] for row in SPANS.hotspots(None))
+    total += SPANS.dropped
+    SPANS.reset()
+    return total
+
+
+def collect_baseline(repeats: int = 3) -> dict:
+    _sweep()  # warm the process (bytecode caches, numpy init)
+    per_call_ns = disabled_span_call_ns()
+    activations = count_activations()
+    disabled_seconds = _time(_sweep, repeats)
+
+    def enabled_sweep():
+        SPANS.reset()
+        SPANS.enable()
+        try:
+            _sweep()
+        finally:
+            SPANS.disable()
+
+    enabled_seconds = _time(enabled_sweep, repeats)
+    SPANS.reset()
+    overhead_fraction = (activations * per_call_ns * 1e-9
+                         / disabled_seconds)
+    return {
+        "bench": "s6_selfprofile",
+        "machine": "tiny",
+        "repeats": repeats,
+        "workload": {
+            "kernel": "dgemm-tiled",
+            "sizes": list(DGEMM_SIZES),
+            "reps": REPS,
+        },
+        "disabled": {
+            "span_call_ns": per_call_ns,
+            "activations": activations,
+            "overhead_fraction": overhead_fraction,
+        },
+        "enabled": {
+            "overhead_factor": enabled_seconds / disabled_seconds,
+        },
+        "run_seconds": {
+            "disabled": disabled_seconds,
+            "enabled": enabled_seconds,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the span-profiler overhead baseline")
+    parser.add_argument("--out", default="BENCH_selfprofile.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    doc = collect_baseline(repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    d, e = doc["disabled"], doc["enabled"]
+    print(f"disabled: {d['span_call_ns']:.0f} ns/site x "
+          f"{d['activations']} activations = "
+          f"{100 * d['overhead_fraction']:.3f}% of the "
+          f"{doc['run_seconds']['disabled']:.2f}s sweep")
+    print(f"enabled : x{e['overhead_factor']:.3f} sweep slowdown; "
+          f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -322,12 +322,14 @@ def _cmd_sweep(args) -> int:
         print(f"trace written to {args.trace_out}", file=sys.stderr)
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(to_prometheus({"sweep": run.stats.to_dict()}))
+            handle.write(to_prometheus({"sweep": run.stats.to_dict(),
+                                        "plan_cache": run.plan_cache}))
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     if args.json:
         print(json.dumps({
             "machine": ref.key_doc(),
             "stats": run.stats.to_dict(),
+            "plan_cache": run.plan_cache,
             "keys": run.keys,
             "measurements": [measurement_to_payload(m)
                              for m in run.measurements],
@@ -341,6 +343,11 @@ def _cmd_sweep(args) -> int:
               f"{m.intensity:>9.4f} {m.performance / 1e9:>12.3f}")
     print()
     print(f"cache: {run.stats.describe()}")
+    pc = run.plan_cache
+    if pc.get("hits", 0) or pc.get("misses", 0):
+        print(f"plans: {pc['hits']} hit / {pc['misses']} built "
+              f"({pc['hit_rate']:.0%} reuse, "
+              f"{pc['built_lines']} lines lowered)")
     return 0
 
 
@@ -467,6 +474,118 @@ def _cmd_conformance(args) -> int:
           f"kernel oracles: {kernel_problems} mismatch(es); "
           f"report: {report_path}")
     return 1 if failed else 0
+
+
+def _cmd_selfprofile(args) -> int:
+    """Run one kernel sweep under the host-side span profiler."""
+    from .obs import REGISTRY, SPANS
+
+    kernel_name = _KERNEL_ALIASES.get(args.kernel, args.kernel)
+    ref = _sweep_machine_ref(args.machine, args.scale, args.engine)
+    cores = tuple(ref.build().topology.first_cores(args.threads))
+    sizes = ([int(s) for s in args.sizes.split(",") if s]
+             if args.sizes else [args.n])
+    plan = SweepPlan()
+    plan.add_sweep(ref, kernel_name, sizes, protocol=args.protocol,
+                   reps=args.reps, cores=cores)
+    # caching is off by default: a cache hit would replay stored bytes
+    # and the profile would show sweep.cache.probe and nothing else
+    cache = SweepCache(args.cache_dir) if args.cache else None
+
+    SPANS.reset()
+    REGISTRY.reset()
+    SPANS.enable()
+    try:
+        # serial on purpose — pool workers inherit fresh, disabled
+        # profilers, so a parallel run would profile only the submit loop
+        run = run_plan(plan, jobs=1, cache=cache)
+    finally:
+        SPANS.disable()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    stem = os.path.join(
+        args.out_dir,
+        f"{kernel_name}_n{'-'.join(str(s) for s in sizes)}_{args.machine}",
+    )
+    flame_path = stem + ".trace.json"
+    with open(flame_path, "w", encoding="utf-8") as handle:
+        json.dump(SPANS.to_chrome_trace(
+            process_name=f"repro selfprofile {kernel_name}"
+        ), handle)
+    metrics_path = stem + ".metrics.prom"
+    with open(metrics_path, "w", encoding="utf-8") as handle:
+        handle.write(REGISTRY.to_prometheus())
+
+    if args.json:
+        print(json.dumps({
+            "kernel": kernel_name,
+            "sizes": sizes,
+            "machine": ref.key_doc(),
+            "stats": run.stats.to_dict(),
+            "plan_cache": run.plan_cache,
+            "profile": SPANS.to_json_doc(),
+            "metrics": REGISTRY.to_json_doc(),
+            "artifacts": {"flame": flame_path, "metrics": metrics_path},
+        }, indent=2))
+    else:
+        print(f"kernel    : {kernel_name} "
+              f"n={','.join(str(s) for s in sizes)} ({args.protocol})")
+        print(f"machine   : {ref.describe()}, {args.threads} thread(s), "
+              f"engine={args.engine}")
+        print(f"host time : {run.stats.elapsed_seconds:.3f} s over "
+              f"{run.stats.points} point(s)")
+        pc = run.plan_cache
+        if pc.get("hits", 0) or pc.get("misses", 0):
+            print(f"plans     : {pc['hits']} hit / {pc['misses']} built "
+                  f"({pc['hit_rate']:.0%} reuse)")
+        print()
+        print(SPANS.hotspot_table(args.top))
+    print(f"flame trace written to {flame_path}", file=sys.stderr)
+    print(f"metrics written to {metrics_path}", file=sys.stderr)
+    SPANS.reset()
+    return 0
+
+
+def _cmd_benchgate(args) -> int:
+    """Diff fresh bench numbers against committed baselines."""
+    from .obs.benchgate import BenchGateError, run_gate
+
+    baselines = args.baseline or [
+        path for path in ("BENCH_engine.json", "BENCH_timeline.json",
+                          "BENCH_selfprofile.json")
+        if os.path.exists(path)
+    ]
+    if not baselines:
+        print("error: no --baseline given and no BENCH_*.json found "
+              "in the current directory", file=sys.stderr)
+        return 2
+    if args.current and len(baselines) != 1:
+        print("error: --current compares against exactly one --baseline",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for baseline_path in baselines:
+        print(f"== {baseline_path}")
+        try:
+            results = run_gate(
+                baseline_path,
+                current_path=args.current,
+                tolerance_scale=args.tolerance,
+                slowdown=args.inject_slowdown,
+                repeats=args.repeats,
+            )
+        except BenchGateError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for result in results:
+            print(f"  {result.describe()}")
+        failures += sum(1 for r in results if not r.ok)
+    if failures:
+        print(f"benchgate: {failures} regression(s)", file=sys.stderr)
+        return 1
+    print("benchgate: all gates passed")
+    return 0
 
 
 def _add_sweep_flags(parser: argparse.ArgumentParser,
@@ -650,6 +769,71 @@ def build_parser() -> argparse.ArgumentParser:
                         help="JSONL divergence report path (default "
                              "artifacts/conformance/report.jsonl)")
 
+    p_self = sub.add_parser(
+        "selfprofile",
+        help="profile the simulator itself: run a kernel sweep under "
+             "the host-side span profiler and export a flame trace, "
+             "hotspot table, and metrics snapshot",
+    )
+    p_self.add_argument("kernel",
+                        choices=kernel_names() + sorted(_KERNEL_ALIASES),
+                        help="kernel to run (dgemm/dgemv resolve to the "
+                             "paper's tiled/row variants)")
+    p_self.add_argument("--n", type=int, default=512,
+                        help="problem size (default 512)")
+    p_self.add_argument("--sizes",
+                        help="comma-separated sizes (overrides --n; "
+                             "profiles a multi-point sweep)")
+    p_self.add_argument("--machine", default="tiny",
+                        choices=sorted(PRESETS),
+                        help="machine preset (default tiny, so the "
+                             "profile turns around quickly)")
+    p_self.add_argument("--scale", type=float, default=0.125)
+    p_self.add_argument("--threads", type=int, default=1)
+    p_self.add_argument("--protocol", choices=("cold", "warm"),
+                        default="cold")
+    p_self.add_argument("--reps", type=int, default=1)
+    p_self.add_argument("--engine", choices=("fast", "reference"),
+                        default="fast",
+                        help="execution engine to profile (the reference "
+                             "engine additionally exercises the per-batch "
+                             "mem.* demand spans)")
+    p_self.add_argument("--top", type=int, default=10,
+                        help="hotspot-table rows (default 10)")
+    p_self.add_argument("--cache", action="store_true",
+                        help="use the sweep result cache (off by default "
+                             "so the engine actually runs under the "
+                             "profiler)")
+    p_self.add_argument("--cache-dir", default=None,
+                        help="sweep cache directory (with --cache)")
+    p_self.add_argument("--out-dir",
+                        default=os.path.join("artifacts", "selfprofile"),
+                        help="artifact directory "
+                             "(default artifacts/selfprofile)")
+    p_self.add_argument("--json", action="store_true",
+                        help="emit profile + metrics + stats as JSON")
+
+    p_gate = sub.add_parser(
+        "benchgate",
+        help="compare bench numbers against committed BENCH_*.json "
+             "baselines; exits nonzero on regression",
+    )
+    p_gate.add_argument("--baseline", action="append",
+                        help="baseline doc(s) to gate (default: every "
+                             "committed BENCH_*.json in the cwd)")
+    p_gate.add_argument("--current",
+                        help="pre-measured current doc (as written by the "
+                             "matching benchmarks/bench_*.py); default is "
+                             "to re-measure in-process")
+    p_gate.add_argument("--tolerance", type=float, default=1.0,
+                        help="scale factor on all relative tolerances "
+                             "(default 1.0)")
+    p_gate.add_argument("--inject-slowdown", type=float, default=None,
+                        help="synthetically slow the current doc by this "
+                             "factor (gate self-test; 2.0 must fail)")
+    p_gate.add_argument("--repeats", type=int, default=None,
+                        help="repeats for in-process re-measurement")
+
     p_exp = sub.add_parser("experiment", help="run paper experiments")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
     p_exp.add_argument("--scale", type=float, default=0.125)
@@ -674,6 +858,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "conformance": _cmd_conformance,
+        "selfprofile": _cmd_selfprofile,
+        "benchgate": _cmd_benchgate,
     }
     try:
         return handlers[args.command](args)

@@ -50,6 +50,7 @@ from ..isa.instructions import (
 from ..isa.program import Program
 from ..memory.allocator import Allocation
 from ..memory.hierarchy import BatchStats, CorePort, HierarchyConfig
+from ..obs.spans import SPANS
 from ..pmu.core_pmu import CorePmu
 from ..trace.bus import TraceBus
 from ..trace.events import PHASE, TraceEvent
@@ -348,7 +349,8 @@ class Core:
         key_t = tuple(key)
         plan = self.plan_cache.get(key_t)
         if plan is None:
-            plan = self._build_plan(info, loop, ivs, buffers)
+            with SPANS("engine.compile"):
+                plan = self._build_plan(info, loop, ivs, buffers)
             self.plan_cache.put(key_t, loop, tuple(pinned), plan)
         return plan
 

@@ -57,6 +57,7 @@ from itertools import repeat
 from typing import TYPE_CHECKING
 
 from ..memory.hierarchy import BatchStats
+from ..obs.spans import SPANS
 from ..prefetch.nextline import NextLinePrefetcher
 from ..prefetch.stream import StreamPrefetcher, _PageTracker
 from ..prefetch.stride import StridePrefetcher, _SiteState
@@ -566,9 +567,12 @@ class BatchDatapath:
     # inlined dict-LRU datapath
     # ------------------------------------------------------------------
     def execute_plan(self, plan: "AccessPlan") -> BatchStats:
-        if not self._inline:
-            return self._execute_segments(plan)
+        with SPANS("engine.execute"):
+            if not self._inline:
+                return self._execute_segments(plan)
+            return self._execute_inline(plan)
 
+    def _execute_inline(self, plan: "AccessPlan") -> BatchStats:
         port = self.port
         hier = port.hierarchy
         l1, l2, l3 = port.l1, port.l2, port.l3

@@ -22,6 +22,7 @@ from ..errors import MeasurementError
 from ..isa.builder import ProgramBuilder
 from ..kernels.base import CodegenCaps, Kernel
 from ..machine.machine import LoadedProgram, Machine
+from ..obs.spans import SPANS
 from ..pmu.perf import PerfSession
 from ..trace.collector import TraceCollector
 from ..trace.events import MARK, TraceEvent
@@ -205,42 +206,48 @@ def measure_kernel(machine: Machine, kernel: Kernel, n: int,
     traffic_reps: List[float] = []
     llc_reps: List[float] = []
     runtime_reps: List[float] = []
-    for rep in range(reps):
-        # each session starts from fresh-process cache state so the
-        # A/B windows are symmetric: without this, dirty lines left by
-        # A's measured kernel would be written back during B's window
-        # and the subtraction could go negative
-        tracing = collector is not None and rep == reps - 1
-        machine.bust_caches()
-        if tracing:
-            machine.trace.attach(collector)
-        try:
-            with PerfSession(machine, core_events=core_events,
-                             uncore_events=TRAFFIC_EVENTS, cores=cores) as a:
+    with SPANS("measure.kernel", kernel=kernel.name, n=n):
+        for rep in range(reps):
+            # each session starts from fresh-process cache state so the
+            # A/B windows are symmetric: without this, dirty lines left
+            # by A's measured kernel would be written back during B's
+            # window and the subtraction could go negative
+            tracing = collector is not None and rep == reps - 1
+            machine.bust_caches()
+            if tracing:
+                machine.trace.attach(collector)
+            try:
+                with SPANS("measure.rep"), \
+                        PerfSession(machine, core_events=core_events,
+                                    uncore_events=TRAFFIC_EVENTS,
+                                    cores=cores) as a:
+                    run_inits()
+                    proto.prepare(machine, run_kernel)
+                    if tracing:
+                        machine.trace.emit(TraceEvent(
+                            MARK, "measured:begin", machine.tsc
+                        ))
+                    run_result = run_kernel()
+                    if tracing:
+                        machine.trace.emit(TraceEvent(
+                            MARK, "measured:end", machine.tsc
+                        ))
+            finally:
+                if tracing:
+                    machine.trace.detach()
+            machine.bust_caches()
+            with SPANS("measure.baseline"), \
+                    PerfSession(machine, core_events=core_events,
+                                uncore_events=TRAFFIC_EVENTS,
+                                cores=cores) as b:
                 run_inits()
                 proto.prepare(machine, run_kernel)
-                if tracing:
-                    machine.trace.emit(TraceEvent(
-                        MARK, "measured:begin", machine.tsc
-                    ))
-                run_result = run_kernel()
-                if tracing:
-                    machine.trace.emit(TraceEvent(
-                        MARK, "measured:end", machine.tsc
-                    ))
-        finally:
-            if tracing:
-                machine.trace.detach()
-        machine.bust_caches()
-        with PerfSession(machine, core_events=core_events,
-                         uncore_events=TRAFFIC_EVENTS, cores=cores) as b:
-            run_inits()
-            proto.prepare(machine, run_kernel)
-        work_reps.append(flops_from_session(a) - flops_from_session(b))
-        traffic_reps.append(bytes_from_session(a) - bytes_from_session(b))
-        llc_reps.append(64.0 * (a.core_delta("llc_misses")
-                                - b.core_delta("llc_misses")))
-        runtime_reps.append(run_result.seconds)
+            work_reps.append(flops_from_session(a) - flops_from_session(b))
+            traffic_reps.append(bytes_from_session(a)
+                                - bytes_from_session(b))
+            llc_reps.append(64.0 * (a.core_delta("llc_misses")
+                                    - b.core_delta("llc_misses")))
+            runtime_reps.append(run_result.seconds)
 
     work = summarize(work_reps)
     traffic = summarize(traffic_reps)

@@ -30,6 +30,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.spans import SPANS
 from ..units import is_power_of_two, log2_int
 from .replacement import ReplacementPolicy, make_policy
 
@@ -482,17 +483,18 @@ class Cache:
 
     def clear(self) -> None:
         """Drop all contents (dirty data is discarded, not written back)."""
-        self._resident = 0
-        if self._fast:
-            for s in self._sets:
-                s.clear()
-        elif self._backend == "array":
-            self._init_array_state()
-        else:
-            for set_idx in range(self.config.nsets):
-                self._lines[set_idx] = [None] * self._assoc
-                self._dirty[set_idx] = [False] * self._assoc
-                self._pstate[set_idx] = self._policy.new_state(self._assoc)
+        with SPANS("cache.clear", level=self.config.name):
+            self._resident = 0
+            if self._fast:
+                for s in self._sets:
+                    s.clear()
+            elif self._backend == "array":
+                self._init_array_state()
+            else:
+                for set_idx in range(self.config.nsets):
+                    self._lines[set_idx] = [None] * self._assoc
+                    self._dirty[set_idx] = [False] * self._assoc
+                    self._pstate[set_idx] = self._policy.new_state(self._assoc)
 
     def __repr__(self) -> str:
         c = self.config

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
+from ..obs.spans import SPANS
 from ..trace.bus import TraceBus
 from ..trace.events import CACHE, DRAM, PREFETCH, TraceEvent
 from ..prefetch import (
@@ -181,32 +182,35 @@ class MemoryHierarchy:
         """Drop every cache and all prefetcher training (cheap cold-state
         reset; the measurement protocols additionally support a genuine
         buffer-sweep bust through the ISA)."""
-        for cache in self.l1 + self.l2 + self.l3:
-            cache.clear()
-        for engines in self._prefetchers:
-            for engine in engines:
-                engine.reset()
-        for port in self._ports.values():
-            port.clear_prefetched()
-            port.tlb.reset()
-            port._last_page = -1
+        with SPANS("cache.bust"):
+            for cache in self.l1 + self.l2 + self.l3:
+                cache.clear()
+            with SPANS("prefetch.reset"):
+                for engines in self._prefetchers:
+                    for engine in engines:
+                        engine.reset()
+            for port in self._ports.values():
+                port.clear_prefetched()
+                port.tlb.reset()
+                port._last_page = -1
 
     def writeback_all(self) -> int:
         """Write every dirty line back to its home DRAM node and clean
         the caches (a wbinvd analogue); returns lines written."""
-        written = 0
-        seen = set()
-        for cache in self.l1 + self.l2 + self.l3:
-            for line in list(cache.dirty_lines()):
-                if line not in seen:
-                    seen.add(line)
-                    written += 1
-            cache.clear()
-        if written:
-            # home-node attribution is approximated to node 0 for the
-            # bulk flush; experiments never measure across this call.
-            self.dram[0].write_lines(written)
-        return written
+        with SPANS("cache.writeback"):
+            written = 0
+            seen = set()
+            for cache in self.l1 + self.l2 + self.l3:
+                for line in list(cache.dirty_lines()):
+                    if line not in seen:
+                        seen.add(line)
+                        written += 1
+                cache.clear()
+            if written:
+                # home-node attribution is approximated to node 0 for the
+                # bulk flush; experiments never measure across this call.
+                self.dram[0].write_lines(written)
+            return written
 
     def total_cache_bytes(self) -> int:
         """Aggregate capacity of every cache in the machine."""
@@ -249,10 +253,11 @@ class CorePort:
         """
         stats = BatchStats()
         home = self.node if node is None else node
-        if nt:
-            self._nt_store_lines(lines, home, stats)
-        else:
-            self._demand_lines(lines, is_write, home, stream_id, stats)
+        with SPANS("mem.demand"):
+            if nt:
+                self._nt_store_lines(lines, home, stats)
+            else:
+                self._demand_lines(lines, is_write, home, stream_id, stats)
         self.totals.merge(stats)
         if self.bus.enabled:
             self._emit_batch(stats, home)
@@ -483,6 +488,10 @@ class CorePort:
     def _hw_prefetch(self, lines, home: int, stats: BatchStats) -> None:
         """Bring prefetch candidates into L2+L3 (never L1)."""
         dram = self.hierarchy.dram[home]
+        with SPANS("mem.prefetch.hw"):
+            self._hw_prefetch_lines(lines, dram, stats)
+
+    def _hw_prefetch_lines(self, lines, dram, stats: BatchStats) -> None:
         for line in lines:
             if self.l2.contains(line) or self.l1.contains(line):
                 continue
@@ -499,18 +508,19 @@ class CorePort:
         stats = BatchStats()
         home = self.node if node is None else node
         dram = self.hierarchy.dram[home]
-        for line in lines:
-            stats.sw_prefetches += 1
-            if self.l1.contains(line):
-                continue
-            if not self.l2.contains(line):
-                if not self.l3.lookup_update(line):
-                    dram.read_line()
-                    stats.hw_prefetch_dram_reads += 1
-                    self._fill_l3(line, stats, dram)
-                self._fill_l2(line, stats, dram)
-            self._fill_l1(line, False, stats, dram)
-            self._prefetched.add(line)
+        with SPANS("mem.prefetch.sw"):
+            for line in lines:
+                stats.sw_prefetches += 1
+                if self.l1.contains(line):
+                    continue
+                if not self.l2.contains(line):
+                    if not self.l3.lookup_update(line):
+                        dram.read_line()
+                        stats.hw_prefetch_dram_reads += 1
+                        self._fill_l3(line, stats, dram)
+                    self._fill_l2(line, stats, dram)
+                self._fill_l1(line, False, stats, dram)
+                self._prefetched.add(line)
         self.totals.merge(stats)
         if self.bus.enabled:
             self._emit_batch(stats, home)
@@ -521,15 +531,16 @@ class CorePort:
         stats = BatchStats()
         home = self.node if node is None else node
         dram = self.hierarchy.dram[home]
-        for line in lines:
-            stats.flushes += 1
-            dirty = False
-            for cache in (self.l1, self.l2, self.l3):
-                flag = cache.invalidate(line)
-                dirty = dirty or bool(flag)
-            if dirty:
-                dram.write_line()
-                stats.writebacks += 1
+        with SPANS("mem.flush"):
+            for line in lines:
+                stats.flushes += 1
+                dirty = False
+                for cache in (self.l1, self.l2, self.l3):
+                    flag = cache.invalidate(line)
+                    dirty = dirty or bool(flag)
+                if dirty:
+                    dram.write_line()
+                    stats.writebacks += 1
         self.totals.merge(stats)
         if self.bus.enabled:
             self._emit_batch(stats, home)

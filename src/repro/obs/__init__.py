@@ -1,0 +1,66 @@
+"""Host-side observability: the simulator watching itself.
+
+Every other observability layer in this repository (the trace bus, the
+windowed timeline profiler) watches the *simulated* machine — cycles,
+cache lines, DRAM CAS counts on the machine model's TSC timeline.  This
+package watches the *simulator*: where host wall-time goes (compile
+tier vs. execute tier vs. cache model vs. sweep executor), what the
+long-lived process's counters and latency distributions look like, and
+whether the committed performance baselines still hold.
+
+Three pieces:
+
+* :mod:`repro.obs.spans` — a hierarchical span profiler
+  (``with SPANS("engine.compile"):``) instrumented through the hot
+  layers, near-zero cost when disabled, exporting Chrome-trace flame
+  views of host wall-time and a top-N hotspot table;
+* :mod:`repro.obs.metrics` — a unified registry of counters, gauges
+  and histograms behind one Prometheus/JSON export path (shared
+  text-format helpers with :mod:`repro.trace.export`);
+* :mod:`repro.obs.benchgate` — the perf-regression gate diffing
+  freshly measured numbers against the committed ``BENCH_*.json``
+  baselines.
+
+See ``docs/OBSERVABILITY.md`` for the two-plane model (machine-time
+trace bus vs. host-time span profiler) and the metrics catalog.
+"""
+
+from .spans import SPANS, SpanProfiler, SpanRecord
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_help,
+    escape_label_value,
+    format_labels,
+    format_value,
+)
+from .benchgate import (
+    GateResult,
+    compare_docs,
+    gate_checks_for,
+    inject_slowdown,
+    run_gate,
+)
+
+__all__ = [
+    "SPANS",
+    "SpanProfiler",
+    "SpanRecord",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_help",
+    "escape_label_value",
+    "format_labels",
+    "format_value",
+    "GateResult",
+    "compare_docs",
+    "gate_checks_for",
+    "inject_slowdown",
+    "run_gate",
+]

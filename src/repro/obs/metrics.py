@@ -1,0 +1,404 @@
+"""Unified metrics registry: counters, gauges, histograms, one export.
+
+Telemetry used to be scattered — :class:`~repro.engine.plan.
+PlanCacheStats` lived on each core, sweep-cache hit counts on
+:class:`~repro.sweep.executor.SweepStats`, and each CLI glued its own
+export together.  The :class:`MetricsRegistry` absorbs them behind one
+Prometheus/JSON export path, shared (via the ``escape_*`` /
+``format_*`` helpers below) with :func:`repro.trace.export.
+to_prometheus`, so every exposition in the repository renders the same
+conformant text format.
+
+Format conformance (pinned by ``tests/obs/test_prometheus_format.py``):
+
+* label values escape backslash, double-quote and newline; HELP text
+  escapes backslash and newline (the Prometheus text-exposition rules);
+* every metric family is preceded by exactly one ``# HELP`` and one
+  ``# TYPE`` line;
+* histograms emit cumulative ``_bucket`` samples in ascending ``le``
+  order ending at ``+Inf``, plus ``_sum`` and ``_count``, and are valid
+  (all zeros, no NaN) with zero observations;
+* non-finite values render as Prometheus' ``+Inf``/``-Inf``/``NaN``
+  spellings, never as Python's ``inf``/``nan``.
+
+The registry is deliberately small and dependency-free — it is not a
+Prometheus client library, just enough structure that the sweep
+executor, the engine plan cache, and the ``selfprofile`` CLI speak one
+metrics language.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "escape_help",
+    "escape_label_value",
+    "format_labels",
+    "format_value",
+]
+
+#: default latency buckets (seconds): micro-benchmark floor through
+#: multi-minute sweep points
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   30.0, 60.0, 300.0)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format helpers (shared with repro.trace.export)
+# ----------------------------------------------------------------------
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the text exposition format."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline only; quotes are
+    legal in HELP text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_labels(labels: Optional[Dict[str, object]]) -> str:
+    """``{k="v",...}`` with escaped values; empty string for no labels."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def format_value(value: float) -> str:
+    """Render a sample value; non-finite floats use Prometheus
+    spellings (``+Inf`` / ``-Inf`` / ``NaN``)."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return f"{value:g}"
+
+
+def _bucket_le(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else f"{bound:g}"
+
+
+# ----------------------------------------------------------------------
+# metric kinds
+# ----------------------------------------------------------------------
+class _Metric:
+    """Base: a named family of samples keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._samples: Dict[Tuple[str, ...], float] = {}
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    # shared by counter/gauge; histogram overrides
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        if not self.labelnames and not self._samples:
+            # an unlabelled metric always exposes its (zero) sample so
+            # absence-of-traffic is visible rather than missing
+            return [({}, 0.0)]
+        return [
+            (self._label_dict(key), value)
+            for key, value in sorted(self._samples.items())
+        ]
+
+    def to_prometheus(self) -> List[str]:
+        lines = [f"# HELP {self.name} {escape_help(self.help)}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for labels, value in self.samples():
+            lines.append(
+                f"{self.name}{format_labels(labels)} {format_value(value)}"
+            )
+        return lines
+
+    def to_json_doc(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "samples": [
+                {"labels": labels, "value": value}
+                for labels, value in self.samples()
+            ],
+        }
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up "
+                             f"(got {amount})")
+        key = self._key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._samples.get(self._key(labels), 0.0)
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, hit rate)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._samples[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._samples.get(self._key(labels), 0.0)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS,
+                 labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"{name}: need at least one bucket bound")
+        if bounds != [b for b in bounds if not math.isinf(b)]:
+            bounds = [b for b in bounds if not math.isinf(b)]
+        #: upper bounds, ascending, with the implicit +Inf appended
+        self.bounds: Tuple[float, ...] = tuple(bounds) + (math.inf,)
+        #: label key -> [per-bucket non-cumulative counts, sum, count]
+        self._series: Dict[Tuple[str, ...], list] = {}
+
+    def _series_for(self, key: Tuple[str, ...]) -> list:
+        series = self._series.get(key)
+        if series is None:
+            series = [[0] * len(self.bounds), 0.0, 0]
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels) -> None:
+        series = self._series_for(self._key(labels))
+        counts, _total, _n = series
+        # first bound >= value (linear scan; bucket lists are short)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[i] += 1
+                break
+        series[1] += value
+        series[2] += 1
+
+    def count(self, **labels) -> int:
+        series = self._series.get(self._key(labels))
+        return series[2] if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(self._key(labels))
+        return series[1] if series else 0.0
+
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        # JSON view: one (labels, count) pair per series
+        keys = self._series or ({(): None} if not self.labelnames else {})
+        return [
+            (self._label_dict(key), float(self._series[key][2])
+             if key in self._series else 0.0)
+            for key in sorted(keys)
+        ]
+
+    def to_prometheus(self) -> List[str]:
+        lines = [f"# HELP {self.name} {escape_help(self.help)}",
+                 f"# TYPE {self.name} {self.kind}"]
+        keys = sorted(self._series) if self._series else (
+            [()] if not self.labelnames else []
+        )
+        for key in keys:
+            counts, total, n = self._series.get(
+                key, [[0] * len(self.bounds), 0.0, 0]
+            )
+            labels = self._label_dict(key)
+            cumulative = 0
+            for bound, count in zip(self.bounds, counts):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _bucket_le(bound)
+                lines.append(
+                    f"{self.name}_bucket{format_labels(bucket_labels)} "
+                    f"{cumulative}"
+                )
+            lines.append(f"{self.name}_sum{format_labels(labels)} "
+                         f"{format_value(total)}")
+            lines.append(f"{self.name}_count{format_labels(labels)} {n}")
+        return lines
+
+    def to_json_doc(self) -> dict:
+        keys = sorted(self._series) if self._series else (
+            [()] if not self.labelnames else []
+        )
+        series_docs = []
+        for key in keys:
+            counts, total, n = self._series.get(
+                key, [[0] * len(self.bounds), 0.0, 0]
+            )
+            series_docs.append({
+                "labels": self._label_dict(key),
+                "count": n,
+                "sum": total,
+                "mean": (total / n) if n else None,
+                "buckets": [
+                    {"le": _bucket_le(bound), "count": count}
+                    for bound, count in zip(self.bounds, counts)
+                ],
+            })
+        return {"kind": self.kind, "help": self.help, "series": series_docs}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families with one export path."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, cls, name: str, help_text: str, labelnames,
+                  **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help_text, labelnames=labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str,
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str,
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS,
+                  labelnames: Sequence[str] = ()) -> Histogram:
+        return self._register(Histogram, name, help_text, labelnames,
+                              buckets=buckets)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    # ------------------------------------------------------------------
+    # absorbing the scattered telemetry
+    # ------------------------------------------------------------------
+    def absorb_plan_cache(self, stats_doc: dict,
+                          prefix: str = "repro") -> None:
+        """Fold a :class:`PlanCacheStats` ``as_dict()`` into the
+        registry (counters for the totals, a gauge for the hit rate)."""
+        lookups = self.counter(
+            f"{prefix}_plan_cache_lookups_total",
+            "Compile-tier plan-cache lookups by outcome",
+            labelnames=("outcome",),
+        )
+        lookups.inc(stats_doc.get("hits", 0), outcome="hit")
+        lookups.inc(stats_doc.get("misses", 0), outcome="miss")
+        built = self.counter(
+            f"{prefix}_plan_cache_built_total",
+            "Plan-cache compile work by unit (segments, lines)",
+            labelnames=("unit",),
+        )
+        built.inc(stats_doc.get("built_segments", 0), unit="segments")
+        built.inc(stats_doc.get("built_lines", 0), unit="lines")
+        self.counter(
+            f"{prefix}_plan_cache_flushes_total",
+            "Whole-cache flushes forced by the line-count bound",
+        ).inc(stats_doc.get("flushes", 0))
+        self.gauge(
+            f"{prefix}_plan_cache_hit_rate",
+            "Fraction of plan lookups served from the compile-tier cache",
+        ).set(stats_doc.get("hit_rate", 0.0))
+
+    def absorb_sweep_stats(self, stats_doc: dict,
+                           prefix: str = "repro") -> None:
+        """Fold a :class:`SweepStats` ``to_dict()`` into the registry."""
+        points = self.counter(
+            f"{prefix}_sweep_points_total",
+            "Sweep-plan points by outcome (hit=cache replay, "
+            "miss=simulated, corrupt=bad entry re-simulated)",
+            labelnames=("outcome",),
+        )
+        points.inc(stats_doc.get("hits", 0), outcome="hit")
+        points.inc(stats_doc.get("misses", 0), outcome="miss")
+        points.inc(stats_doc.get("corrupt", 0), outcome="corrupt")
+        self.gauge(
+            f"{prefix}_sweep_cache_hit_rate",
+            "Fraction of sweep points served from the result cache",
+        ).set(stats_doc.get("hit_rate", 0.0))
+        self.gauge(
+            f"{prefix}_sweep_elapsed_seconds",
+            "Wall time the sweep executor spent on the plan",
+        ).set(stats_doc.get("elapsed_seconds", 0.0))
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Full text exposition of every registered family."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].to_prometheus())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json_doc(self) -> dict:
+        return {
+            name: metric.to_json_doc()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+#: the process-wide registry (sweep executor and CLIs record here)
+REGISTRY = MetricsRegistry()

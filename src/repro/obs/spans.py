@@ -1,0 +1,277 @@
+"""Hierarchical host-time span profiler.
+
+The machine-side trace bus stamps events in simulated cycles; this
+profiler stamps them in **host nanoseconds** (``time.perf_counter_ns``),
+answering the question the trace bus cannot: where does the *simulator
+process* spend its wall-time?
+
+Instrumentation sites use the module singleton :data:`SPANS` as a
+callable context-manager factory::
+
+    from repro.obs.spans import SPANS
+
+    with SPANS("engine.compile"):
+        plan = build_plan(...)
+
+When the profiler is disabled (the default, and the state every normal
+run is in) the call returns a shared no-op context manager: the whole
+site costs one attribute load, one branch, and an empty ``with`` —
+no span object is ever constructed.  ``benchmarks/
+bench_s6_selfprofile.py`` pins this cost per call and bounds the
+aggregate disabled overhead on the dgemm sweep benchmark; the committed
+``BENCH_selfprofile.json`` keeps it gated below 5%.
+
+When enabled, spans nest through an explicit stack, so every record
+carries its depth and parent — enough to render a flame view.  Two
+retention tiers keep memory bounded:
+
+* every span folds into per-name **aggregates** (count, total time,
+  child time — hence self time), unbounded only in distinct names;
+* the first :attr:`SpanProfiler.max_records` spans are kept as
+  individual :class:`SpanRecord` rows for the Chrome-trace flame
+  export; beyond the cap only aggregates continue (``dropped`` counts
+  the overflow, and the exports say so).
+
+The profiler is deliberately single-threaded (the simulator is); sweep
+worker processes inherit a fresh, disabled profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["SPANS", "SpanProfiler", "SpanRecord"]
+
+
+class SpanRecord:
+    """One finished span: name, host-time interval, tree position."""
+
+    __slots__ = ("name", "start_ns", "dur_ns", "depth", "parent", "attrs")
+
+    def __init__(self, name: str, start_ns: int, depth: int,
+                 parent: int, attrs: Optional[dict]) -> None:
+        self.name = name
+        self.start_ns = start_ns
+        self.dur_ns = 0
+        self.depth = depth
+        self.parent = parent  # index into the record list, -1 for roots
+        self.attrs = attrs
+
+    def as_dict(self) -> dict:
+        doc = {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+
+class _NullSpan:
+    """The shared disabled-path context manager (never records)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _Span:
+    """Enabled-path context manager; one per entered span."""
+
+    __slots__ = ("_profiler", "_record", "_index")
+
+    def __init__(self, profiler: "SpanProfiler", name: str,
+                 attrs: Optional[dict]) -> None:
+        self._profiler = profiler
+        self._record = name if attrs is None else (name, attrs)
+        self._index = -1
+
+    def __enter__(self) -> "_Span":
+        profiler = self._profiler
+        rec = self._record
+        name, attrs = (rec, None) if isinstance(rec, str) else rec
+        self._index = profiler._open(name, attrs)
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self._profiler._close(self._index)
+        return False
+
+
+class SpanProfiler:
+    """Collects hierarchical host-time spans; disabled by default."""
+
+    def __init__(self, max_records: int = 1_000_000,
+                 clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.enabled = False
+        self.max_records = max_records
+        self._clock = clock
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # site API
+    # ------------------------------------------------------------------
+    def __call__(self, name: str, **attrs) -> object:
+        """The instrumentation-site entry point (see module docstring)."""
+        if not self.enabled:
+            return _NULL
+        return _Span(self, name, attrs or None)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected spans and aggregates (keeps enabled state)."""
+        self.records: List[SpanRecord] = []
+        self.dropped = 0
+        #: name -> [count, total_ns, child_ns]
+        self._agg: Dict[str, List[int]] = {}
+        #: stack of (record_index, name, start_ns); record_index is -1
+        #: for spans past the retention cap (aggregates still accrue)
+        self._stack: List[tuple] = []
+        #: child-time accumulator parallel to the stack (for self time)
+        self._child_ns: List[int] = []
+
+    # ------------------------------------------------------------------
+    # span bookkeeping (called by _Span)
+    # ------------------------------------------------------------------
+    def _open(self, name: str, attrs: Optional[dict]) -> int:
+        start = self._clock()
+        index = -1
+        if len(self.records) < self.max_records:
+            parent = self._stack[-1][0] if self._stack else -1
+            record = SpanRecord(name, start, len(self._stack), parent, attrs)
+            index = len(self.records)
+            self.records.append(record)
+        else:
+            self.dropped += 1
+        self._stack.append((index, name, start))
+        self._child_ns.append(0)
+        return index
+
+    def _close(self, index: int) -> None:
+        end = self._clock()
+        _idx, name, start = self._stack.pop()
+        child_ns = self._child_ns.pop()
+        dur = end - start
+        if index >= 0:
+            self.records[index].dur_ns = dur
+        agg = self._agg.get(name)
+        if agg is None:
+            self._agg[name] = [1, dur, child_ns]
+        else:
+            agg[0] += 1
+            agg[1] += dur
+            agg[2] += child_ns
+        if self._child_ns:
+            self._child_ns[-1] += dur
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _root_ns(self) -> int:
+        """Root-span wall time (retained spans with no parent)."""
+        return sum(r.dur_ns for r in self.records if r.parent == -1)
+
+    def hotspots(self, top: Optional[int] = None) -> List[dict]:
+        """Per-name aggregates sorted by *self* time, descending.
+
+        Self time is total time minus time spent in child spans — the
+        flame-graph notion of where the wall-clock actually burned.
+        """
+        rows = []
+        for name, (count, total_ns, child_ns) in self._agg.items():
+            self_ns = total_ns - child_ns
+            rows.append({
+                "name": name,
+                "count": count,
+                "total_s": total_ns / 1e9,
+                "self_s": self_ns / 1e9,
+                "mean_us": (total_ns / count) / 1e3 if count else 0.0,
+            })
+        rows.sort(key=lambda r: r["self_s"], reverse=True)
+        if top is not None:
+            rows = rows[:top]
+        return rows
+
+    def hotspot_table(self, top: int = 10) -> str:
+        """Text table of the top-N hotspots (CLI output)."""
+        rows = self.hotspots(top)
+        header = (f"{'span':<28} {'count':>8} {'total [s]':>10} "
+                  f"{'self [s]':>10} {'self %':>7} {'mean [us]':>10}")
+        lines = [header, "-" * len(header)]
+        wall = sum(r["self_s"] for r in self.hotspots(None)) or 1.0
+        for r in rows:
+            lines.append(
+                f"{r['name']:<28} {r['count']:>8} {r['total_s']:>10.4f} "
+                f"{r['self_s']:>10.4f} {100.0 * r['self_s'] / wall:>6.1f}% "
+                f"{r['mean_us']:>10.2f}"
+            )
+        if self.dropped:
+            lines.append(f"({self.dropped} span(s) past the retention cap "
+                         f"are aggregated only)")
+        return "\n".join(lines)
+
+    def to_chrome_trace(self, process_name: str = "repro host") -> dict:
+        """Chrome trace-event flame view of host wall-time.
+
+        Every retained span becomes a complete (``X``) event on one
+        host-time track; timestamps are microseconds relative to the
+        first span, so the flame starts at t=0 in Perfetto.
+        """
+        events: List[dict] = [
+            {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+             "args": {"name": process_name}},
+            {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
+             "args": {"name": "host wall-time"}},
+        ]
+        t0 = self.records[0].start_ns if self.records else 0
+        for record in self.records:
+            event = {
+                "ph": "X",
+                "name": record.name,
+                "cat": "host",
+                "pid": 0,
+                "tid": 0,
+                "ts": (record.start_ns - t0) / 1e3,
+                "dur": record.dur_ns / 1e3,
+            }
+            if record.attrs:
+                event["args"] = dict(record.attrs)
+            events.append(event)
+        if self.dropped:
+            events.append({
+                "ph": "i", "name": f"retention cap: {self.dropped} "
+                                   f"span(s) dropped",
+                "cat": "host", "pid": 0, "tid": 0, "s": "g",
+                "ts": (self.records[-1].start_ns + self.records[-1].dur_ns
+                       - t0) / 1e3 if self.records else 0.0,
+            })
+        return {"displayTimeUnit": "ms", "traceEvents": events}
+
+    def to_json_doc(self) -> dict:
+        """Machine-readable summary (hotspots + retention counters)."""
+        return {
+            "spans": len(self.records),
+            "dropped": self.dropped,
+            "root_seconds": self._root_ns() / 1e9,
+            "hotspots": self.hotspots(None),
+        }
+
+
+#: the process-wide profiler every instrumentation site reads
+SPANS = SpanProfiler()

@@ -33,6 +33,7 @@ from ..isa.assembler import format_program
 from ..isa.instructions import Loop
 from ..isa.program import Program
 from ..machine.presets import tiny_test_machine
+from ..obs.spans import SPANS
 from .refmem import ReferenceMemory
 from .reference import ReferenceInterpreter
 
@@ -83,7 +84,8 @@ def run_differential(program: Program, prefetch_mask: int = 0,
     machine = machine_factory()
     machine.prefetch_control.write_msr(prefetch_mask)
     loaded = machine.load(program)
-    run = machine.run(loaded, core_id=core_id)
+    with SPANS("oracle.fast"):
+        run = machine.run(loaded, core_id=core_id)
     res = run.result
 
     dram_cfg = machine.spec.hierarchy.dram
@@ -93,7 +95,8 @@ def run_differential(program: Program, prefetch_mask: int = 0,
               dram_cfg.bytes_per_cycle_total)
     memory = ReferenceMemory(machine.spec, prefetch_mask)
     interp = ReferenceInterpreter(machine.spec, memory, core_id=core_id)
-    ref = interp.execute(program, loaded.buffer_map, bpc)
+    with SPANS("oracle.reference"):
+        ref = interp.execute(program, loaded.buffer_map, bpc)
 
     divs: List[Divergence] = []
 
@@ -204,7 +207,8 @@ def run_cross_engine(program: Program, prefetch_mask: int = 0,
         machine.engine = engine  # before the first core() call
         machine.prefetch_control.write_msr(prefetch_mask)
         loaded = machine.load(program)
-        run = machine.run(loaded, core_id=core_id)
+        with SPANS(f"oracle.{engine}"):
+            run = machine.run(loaded, core_id=core_id)
         sides.append((machine, run.result))
     (fast_m, fast_r), (ref_m, ref_r) = sides
 

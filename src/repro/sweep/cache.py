@@ -34,7 +34,7 @@ from .serialize import PAYLOAD_SCHEMA
 #: simulator version salt — part of every cache key.  Bump on any
 #: change that can move a measured W/Q/T value (timing model, cache
 #: simulation, codegen, measurement protocol).
-VERSION_SALT = "roofline-sim-1"
+VERSION_SALT = "roofline-sim-2"
 
 #: default cache location, relative to the working directory unless
 #: overridden by the REPRO_SWEEP_CACHE environment variable

@@ -35,6 +35,8 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import SweepError
 from ..measure.runner import Measurement, measure_kernel
+from ..obs.metrics import REGISTRY
+from ..obs.spans import SPANS
 from ..trace.bus import TraceBus
 from ..trace.events import MARK, SWEEP, TraceEvent
 from .cache import CORRUPT, HIT, SweepCache, point_key
@@ -69,13 +71,49 @@ def simulate_point(point: SweepPoint) -> dict:
 
     Module-level so the process pool can import it by name; the only
     argument and the return value are plain picklable data.
+
+    Besides the measurement fields, the payload carries the machine's
+    compile-tier telemetry under ``"plan_cache"`` (summed over the
+    point's cores).  Because every point gets a *fresh* machine in both
+    the serial and parallel paths, the numbers are deterministic and
+    participate in the payload checksum like everything else.
     """
     machine = point.machine.build()
-    measurement = measure_kernel(
-        machine, point.build_kernel(), point.n, protocol=point.protocol,
-        cores=point.cores, reps=point.reps, width_bits=point.width_bits,
-    )
-    return measurement_to_payload(measurement)
+    with SPANS("sweep.point", kernel=point.kernel, n=point.n):
+        measurement = measure_kernel(
+            machine, point.build_kernel(), point.n, protocol=point.protocol,
+            cores=point.cores, reps=point.reps, width_bits=point.width_bits,
+        )
+    payload = measurement_to_payload(measurement)
+    payload["plan_cache"] = _harvest_plan_cache(machine, point.cores)
+    return payload
+
+
+def _harvest_plan_cache(machine, cores) -> dict:
+    """Sum compile-tier counters over the point's cores."""
+    total = {"hits": 0, "misses": 0, "built_segments": 0,
+             "built_lines": 0, "flushes": 0}
+    for core_id in cores:
+        doc = machine.core(core_id).plan_stats.as_dict()
+        for key in total:
+            total[key] += doc.get(key, 0)
+    lookups = total["hits"] + total["misses"]
+    total["hit_rate"] = total["hits"] / lookups if lookups else 0.0
+    return total
+
+
+def merge_plan_cache(docs) -> dict:
+    """Aggregate per-point ``plan_cache`` docs (missing/None skipped)."""
+    total = {"hits": 0, "misses": 0, "built_segments": 0,
+             "built_lines": 0, "flushes": 0}
+    for doc in docs:
+        if not doc:
+            continue
+        for key in total:
+            total[key] += doc.get(key, 0)
+    lookups = total["hits"] + total["misses"]
+    total["hit_rate"] = total["hits"] / lookups if lookups else 0.0
+    return total
 
 
 @dataclass
@@ -119,11 +157,17 @@ class SweepStats:
 
 @dataclass
 class SweepRun:
-    """Measurements in plan order plus the run's cache statistics."""
+    """Measurements in plan order plus the run's cache statistics.
+
+    ``plan_cache`` aggregates the compile-tier telemetry carried in
+    every payload (cached replays included, since the harvest happened
+    when the point was first simulated).
+    """
 
     measurements: List[Measurement]
     stats: SweepStats
     keys: List[str] = field(default_factory=list)
+    plan_cache: dict = field(default_factory=dict)
 
 
 def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
@@ -148,36 +192,50 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
     payloads: List[Optional[dict]] = [None] * len(points)
     status: List[str] = [""] * len(points)
 
+    point_seconds = REGISTRY.histogram(
+        "repro_sweep_point_seconds",
+        "Wall time to produce one sweep point (cache replays excluded)",
+    )
+
     pending: List[int] = []
-    for idx, key in enumerate(keys):
-        if cache is None:
-            status[idx] = "miss"
-            pending.append(idx)
-            continue
-        payload, outcome = cache.lookup(key)
-        if outcome == HIT:
-            payloads[idx] = payload
-            status[idx] = HIT
-        else:
-            if outcome == CORRUPT:
-                run_stats.corrupt += 1
-            status[idx] = outcome
-            pending.append(idx)
+    with SPANS("sweep.cache.probe"):
+        for idx, key in enumerate(keys):
+            if cache is None:
+                status[idx] = "miss"
+                pending.append(idx)
+                continue
+            payload, outcome = cache.lookup(key)
+            if outcome == HIT:
+                payloads[idx] = payload
+                status[idx] = HIT
+            else:
+                if outcome == CORRUPT:
+                    run_stats.corrupt += 1
+                status[idx] = outcome
+                pending.append(idx)
 
     if pending:
-        if jobs == 1 or len(pending) == 1:
-            for idx in pending:
-                payloads[idx] = simulate_point(points[idx])
-        else:
-            _simulate_parallel(points, pending, payloads, jobs)
+        with SPANS("sweep.run", points=len(pending)):
+            if jobs == 1 or len(pending) == 1:
+                for idx in pending:
+                    t0 = time.perf_counter()
+                    payloads[idx] = simulate_point(points[idx])
+                    point_seconds.observe(time.perf_counter() - t0)
+            else:
+                _simulate_parallel(points, pending, payloads, jobs,
+                                   point_seconds)
         if cache is not None:
-            for idx in pending:
-                cache.store(keys[idx], payloads[idx])
+            with SPANS("sweep.store"):
+                for idx in pending:
+                    cache.store(keys[idx], payloads[idx])
 
     run_stats.points = len(points)
     run_stats.hits = sum(1 for s in status if s == HIT)
     run_stats.misses = len(pending)
     run_stats.elapsed_seconds = time.perf_counter() - started
+    REGISTRY.absorb_sweep_stats(run_stats.to_dict())
+    plan_cache = merge_plan_cache(p.get("plan_cache") for p in payloads if p)
+    REGISTRY.absorb_plan_cache(plan_cache)
 
     measurements: List[Measurement] = []
     done = 0
@@ -201,20 +259,39 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
         ))
     if stats is not None:
         stats.merge(run_stats)
-    return SweepRun(measurements=measurements, stats=run_stats, keys=keys)
+    return SweepRun(measurements=measurements, stats=run_stats, keys=keys,
+                    plan_cache=plan_cache)
 
 
 def _simulate_parallel(points: List[SweepPoint], pending: List[int],
-                       payloads: List[Optional[dict]], jobs: int) -> None:
-    """Fan pending points over a process pool, bounded backlog."""
+                       payloads: List[Optional[dict]], jobs: int,
+                       point_seconds=None) -> None:
+    """Fan pending points over a process pool, bounded backlog.
+
+    ``point_seconds`` (a histogram) observes submit-to-completion
+    latency per point; the queue-depth gauge tracks in-flight futures.
+    """
     workers = min(jobs, len(pending))
     backlog = workers * _BACKLOG_PER_WORKER
+    depth = REGISTRY.gauge(
+        "repro_sweep_executor_queue_depth",
+        "Futures in flight in the sweep process pool",
+    )
+    submitted: Dict[object, float] = {}
+
     with ProcessPoolExecutor(max_workers=workers) as pool:
         queue = iter(pending)
         in_flight: Dict[object, int] = {}
+
+        def submit(idx: int) -> None:
+            future = pool.submit(simulate_point, points[idx])
+            in_flight[future] = idx
+            submitted[future] = time.perf_counter()
+            depth.set(len(in_flight))
+
         try:
             for idx in queue:
-                in_flight[pool.submit(simulate_point, points[idx])] = idx
+                submit(idx)
                 if len(in_flight) >= backlog:
                     break
             while in_flight:
@@ -222,11 +299,18 @@ def _simulate_parallel(points: List[SweepPoint], pending: List[int],
                 for future in finished:
                     idx = in_flight.pop(future)
                     payloads[idx] = future.result()
+                    if point_seconds is not None:
+                        point_seconds.observe(
+                            time.perf_counter() - submitted.pop(future)
+                        )
+                depth.set(len(in_flight))
                 for idx in queue:
-                    in_flight[pool.submit(simulate_point, points[idx])] = idx
+                    submit(idx)
                     if len(in_flight) >= backlog:
                         break
         except BaseException:
             for future in in_flight:
                 future.cancel()
             raise
+        finally:
+            depth.set(0)

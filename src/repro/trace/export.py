@@ -19,6 +19,7 @@ import json
 import math
 from typing import Dict, Iterable, List, Optional
 
+from ..obs.metrics import escape_help, format_labels, format_value
 from .events import (
     CACHE,
     COUNTERS,
@@ -204,25 +205,26 @@ def to_jsonl(events: Iterable[TraceEvent]) -> str:
     )
 
 
-def _prom_labels(labels: Dict[str, object]) -> str:
-    if not labels:
-        return ""
-    body = ",".join(f'{k}="{v}"' for k, v in labels.items())
-    return "{" + body + "}"
-
-
 def to_prometheus(summary: dict, prefix: str = "repro") -> str:
-    """Prometheus text exposition of a collector summary."""
+    """Prometheus text exposition of a collector summary.
+
+    Escaping, label formatting and non-finite value spellings are the
+    shared helpers from :mod:`repro.obs.metrics`, so this exposition
+    and the metrics registry's render identically conformant text.
+    Returns the empty string for an empty summary (a valid exposition),
+    never a bare newline.
+    """
     lines: List[str] = []
 
     def metric(name: str, kind: str, help_text: str,
                samples: List) -> None:
         if not samples:
             return
-        lines.append(f"# HELP {prefix}_{name} {help_text}")
+        lines.append(f"# HELP {prefix}_{name} {escape_help(help_text)}")
         lines.append(f"# TYPE {prefix}_{name} {kind}")
         for labels, value in samples:
-            lines.append(f"{prefix}_{name}{_prom_labels(labels)} {value:g}")
+            lines.append(f"{prefix}_{name}{format_labels(labels)} "
+                         f"{format_value(value)}")
 
     metric("phase_count", "gauge", "Measured phases in the trace",
            [({}, summary.get("phase_count", 0))])
@@ -277,7 +279,24 @@ def to_prometheus(summary: dict, prefix: str = "repro") -> str:
         metric("sweep_elapsed_seconds", "gauge",
                "Wall time the sweep executor spent on the plan",
                [({}, sweep.get("elapsed_seconds", 0.0))])
-    return "\n".join(lines) + "\n"
+    plan_cache = summary.get("plan_cache", {})
+    if plan_cache:
+        metric("plan_cache_lookups_total", "counter",
+               "Compile-tier plan-cache lookups by outcome",
+               [({"outcome": "hit"}, plan_cache.get("hits", 0)),
+                ({"outcome": "miss"}, plan_cache.get("misses", 0))])
+        metric("plan_cache_built_total", "counter",
+               "Plan-cache compile work by unit (segments, lines)",
+               [({"unit": "segments"}, plan_cache.get("built_segments", 0)),
+                ({"unit": "lines"}, plan_cache.get("built_lines", 0))])
+        metric("plan_cache_flushes_total", "counter",
+               "Whole-cache flushes forced by the line-count bound",
+               [({}, plan_cache.get("flushes", 0))])
+        metric("plan_cache_hit_rate", "gauge",
+               "Fraction of plan lookups served from the compile-tier "
+               "cache",
+               [({}, plan_cache.get("hit_rate", 0.0))])
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def _summary_to_dict(summary) -> Optional[dict]:

@@ -1,0 +1,125 @@
+"""MetricsRegistry semantics: kinds, labels, absorption, JSON export."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        c = registry.counter("hits_total", "hits")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3.0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("hits_total", "hits")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labelled_series_are_independent(self, registry):
+        c = registry.counter("lookups_total", "lookups",
+                             labelnames=("outcome",))
+        c.inc(3, outcome="hit")
+        c.inc(1, outcome="miss")
+        assert c.value(outcome="hit") == 3.0
+        assert c.value(outcome="miss") == 1.0
+
+    def test_wrong_label_set_rejected(self, registry):
+        c = registry.counter("lookups_total", "lookups",
+                             labelnames=("outcome",))
+        with pytest.raises(ValueError):
+            c.inc(1, engine="stride")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth", "queue depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4.0
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self, registry):
+        h = registry.histogram("lat_seconds", "latency",
+                               buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(100.0)  # beyond the last bound -> +Inf bucket
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(100.55)
+
+    def test_mean_none_with_no_observations(self, registry):
+        h = registry.histogram("lat_seconds", "latency", buckets=(1.0,))
+        doc = h.to_json_doc()
+        assert doc["series"][0]["count"] == 0
+        assert doc["series"][0]["mean"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self, registry):
+        a = registry.counter("x_total", "x")
+        b = registry.counter("x_total", "different help ignored")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("x_total", "x")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x")
+
+    def test_contains_and_get(self, registry):
+        registry.gauge("g", "g")
+        assert "g" in registry
+        assert registry.get("g").kind == "gauge"
+        assert registry.get("missing") is None
+
+    def test_reset(self, registry):
+        registry.counter("x_total", "x").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestAbsorption:
+    def test_absorb_plan_cache(self, registry):
+        registry.absorb_plan_cache({
+            "hits": 7, "misses": 3, "hit_rate": 0.7,
+            "built_segments": 3, "built_lines": 120, "flushes": 1,
+        })
+        lookups = registry.get("repro_plan_cache_lookups_total")
+        assert lookups.value(outcome="hit") == 7
+        assert lookups.value(outcome="miss") == 3
+        built = registry.get("repro_plan_cache_built_total")
+        assert built.value(unit="lines") == 120
+        assert registry.get("repro_plan_cache_hit_rate").value() == 0.7
+
+    def test_absorb_sweep_stats(self, registry):
+        registry.absorb_sweep_stats({
+            "points": 4, "hits": 1, "misses": 3, "corrupt": 0,
+            "hit_rate": 0.25, "elapsed_seconds": 1.5,
+        })
+        points = registry.get("repro_sweep_points_total")
+        assert points.value(outcome="miss") == 3
+        assert registry.get("repro_sweep_elapsed_seconds").value() == 1.5
+
+    def test_absorption_is_cumulative_across_runs(self, registry):
+        doc = {"hits": 2, "misses": 1, "hit_rate": 2 / 3,
+               "built_segments": 1, "built_lines": 10, "flushes": 0}
+        registry.absorb_plan_cache(doc)
+        registry.absorb_plan_cache(doc)
+        assert registry.get(
+            "repro_plan_cache_lookups_total").value(outcome="hit") == 4
+
+    def test_json_doc_shape(self, registry):
+        registry.counter("c_total", "c").inc()
+        registry.histogram("h_seconds", "h", buckets=(1.0,)).observe(0.5)
+        doc = registry.to_json_doc()
+        assert doc["c_total"]["kind"] == "counter"
+        assert doc["h_seconds"]["series"][0]["count"] == 1

@@ -1,0 +1,157 @@
+"""Span profiler mechanics: disabled path, nesting, aggregates, export."""
+
+import pytest
+
+from repro.obs.spans import SPANS, SpanProfiler
+
+
+class FakeClock:
+    """Deterministic ns clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self) -> int:
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def profiler(clock):
+    p = SpanProfiler(clock=clock)
+    p.enable()
+    return p
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert SpanProfiler().enabled is False
+        assert SPANS.enabled is False
+
+    def test_disabled_call_returns_shared_null(self):
+        p = SpanProfiler()
+        a = p("engine.compile")
+        b = p("engine.execute", n=4)
+        # one shared object — the disabled path allocates nothing
+        assert a is b
+
+    def test_disabled_span_records_nothing(self):
+        p = SpanProfiler()
+        with p("x"):
+            with p("y"):
+                pass
+        assert p.records == []
+        assert p.hotspots() == []
+
+    def test_null_span_propagates_exceptions(self):
+        p = SpanProfiler()
+        with pytest.raises(ValueError):
+            with p("x"):
+                raise ValueError("boom")
+
+
+class TestNesting:
+    def test_depth_and_parent(self, profiler, clock):
+        with profiler("outer"):
+            clock.now += 10
+            with profiler("inner"):
+                clock.now += 5
+        outer, inner = profiler.records
+        assert (outer.name, outer.depth, outer.parent) == ("outer", 0, -1)
+        assert (inner.name, inner.depth, inner.parent) == ("inner", 1, 0)
+        assert outer.dur_ns == 15
+        assert inner.dur_ns == 5
+
+    def test_self_time_excludes_children(self, profiler, clock):
+        with profiler("outer"):
+            clock.now += 10
+            with profiler("inner"):
+                clock.now += 30
+            clock.now += 2
+        rows = {r["name"]: r for r in profiler.hotspots()}
+        assert rows["outer"]["total_s"] == pytest.approx(42e-9)
+        assert rows["outer"]["self_s"] == pytest.approx(12e-9)
+        assert rows["inner"]["self_s"] == pytest.approx(30e-9)
+
+    def test_hotspots_sorted_by_self_time(self, profiler, clock):
+        with profiler("small"):
+            clock.now += 1
+        with profiler("big"):
+            clock.now += 100
+        assert [r["name"] for r in profiler.hotspots()] == ["small", "big"][::-1]
+
+    def test_top_n(self, profiler, clock):
+        for name in ("a", "b", "c"):
+            with profiler(name):
+                clock.now += 1
+        assert len(profiler.hotspots(top=2)) == 2
+
+    def test_exception_still_closes_span(self, profiler, clock):
+        with pytest.raises(RuntimeError):
+            with profiler("x"):
+                clock.now += 7
+                raise RuntimeError
+        assert profiler.records[0].dur_ns == 7
+        assert profiler._stack == []
+
+
+class TestRetentionCap:
+    def test_cap_keeps_aggregates(self, clock):
+        p = SpanProfiler(max_records=2, clock=clock)
+        p.enable()
+        for _ in range(5):
+            with p("x"):
+                clock.now += 1
+        assert len(p.records) == 2
+        assert p.dropped == 3
+        # aggregates keep counting past the cap
+        assert p.hotspots()[0]["count"] == 5
+
+    def test_reset_clears_everything(self, profiler, clock):
+        with profiler("x"):
+            clock.now += 1
+        profiler.reset()
+        assert profiler.records == []
+        assert profiler.dropped == 0
+        assert profiler.hotspots() == []
+        assert profiler.enabled  # reset keeps the enabled state
+
+
+class TestExports:
+    def test_chrome_trace_structure(self, profiler, clock):
+        clock.now = 5_000
+        with profiler("outer", n=64):
+            clock.now += 2_000
+        doc = profiler.to_chrome_trace()
+        assert doc["traceEvents"][0]["ph"] == "M"
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(x) == 1
+        # timestamps are rebased to the first span
+        assert x[0]["ts"] == 0.0
+        assert x[0]["dur"] == pytest.approx(2.0)  # us
+        assert x[0]["args"] == {"n": 64}
+
+    def test_attrs_captured(self, profiler, clock):
+        with profiler("s", kernel="daxpy", n=256):
+            clock.now += 1
+        assert profiler.records[0].attrs == {"kernel": "daxpy", "n": 256}
+
+    def test_json_doc(self, profiler, clock):
+        with profiler("root"):
+            clock.now += 10
+        doc = profiler.to_json_doc()
+        assert doc["spans"] == 1
+        assert doc["dropped"] == 0
+        assert doc["root_seconds"] == pytest.approx(10e-9)
+        assert doc["hotspots"][0]["name"] == "root"
+
+    def test_hotspot_table_renders(self, profiler, clock):
+        with profiler("engine.execute"):
+            clock.now += 1000
+        table = profiler.hotspot_table()
+        assert "engine.execute" in table
+        assert "self [s]" in table
