@@ -1,0 +1,87 @@
+"""Bench S7: ERT ceiling-discovery shape of the simulated hierarchy.
+
+Not a paper figure — this pins the *shape* of what ``repro ert``
+discovers on the tiny machine, as ratios between the measured ceilings.
+Unlike the other bench docs these numbers are simulated quantities
+(bytes per simulated second), so they are bit-deterministic and fully
+machine-portable: any drift means the measurement path itself changed —
+the ERT kernel's codegen, the per-level counter attribution, the cache
+timing model, or the sweep executor — not that the host got slower.
+
+Gated ratios (all dimensionless):
+
+* ``l1_over_dram`` / ``l2_over_dram`` / ``l3_over_dram`` — the
+  bandwidth hierarchy's spread.  A collapse of ``l1_over_dram`` toward
+  1.0 would mean L1-resident probes stopped hitting in L1.
+* ``compute_over_dram_ridge`` — the DRAM ridge point of the discovered
+  roofline (peak flops / DRAM bytes/s), i.e. where the machine stops
+  being memory-bound.
+
+Host wall seconds for the discovery run are carried for humans but
+never gated.  Run directly (``python benchmarks/bench_s7_ert.py --out
+BENCH_ert.json``) to regenerate the committed baseline; ``repro
+benchgate`` compares fresh ratios against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.roofline.ert import discover_ceilings
+
+MACHINE = "tiny"
+
+
+def collect_baseline(repeats: int = 1) -> dict:
+    wall = []
+    ceilings = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        ceilings = discover_ceilings(MACHINE)
+        wall.append(time.perf_counter() - start)
+    bw = {level: c.bytes_per_second
+          for level, c in ceilings.levels.items()}
+    compute = ceilings.compute_flops_per_second
+    return {
+        "bench": "s7_ert",
+        "machine": MACHINE,
+        "repeats": repeats,
+        "ceilings_bytes_per_s": bw,
+        "compute_flops_per_s": compute,
+        "ratios": {
+            "l1_over_dram": bw["L1"] / bw["DRAM"],
+            "l2_over_dram": bw["L2"] / bw["DRAM"],
+            "l3_over_dram": bw["L3"] / bw["DRAM"],
+            "compute_over_dram_ridge": compute / bw["DRAM"],
+        },
+        "run_seconds": {
+            "discovery": min(wall),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="regenerate the ERT ceiling-shape baseline")
+    parser.add_argument("--out", default="BENCH_ert.json")
+    parser.add_argument("--repeats", type=int, default=1)
+    args = parser.parse_args(argv)
+    doc = collect_baseline(repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    r = doc["ratios"]
+    print(f"hierarchy spread: L1/DRAM x{r['l1_over_dram']:.2f}, "
+          f"L2/DRAM x{r['l2_over_dram']:.2f}, "
+          f"L3/DRAM x{r['l3_over_dram']:.2f}")
+    print(f"DRAM ridge {r['compute_over_dram_ridge']:.3f} F/B; "
+          f"discovery took {doc['run_seconds']['discovery']:.2f}s; "
+          f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,15 @@ roofline model/plots themselves.
 
 Quickstart::
 
+    import repro
+
+    # discover the machine's per-level bandwidth ceilings with the
+    # ERT grid and place dgemm on every band of the hierarchy
+    result = repro.analyze("dgemm-tiled", [32, 64, 128], machine="snb")
+    print(result.ascii())
+
+Lower-level building blocks::
+
     from repro import paper_machine
     from repro.roofline import build_roofline
     from repro.measure import measure_kernel
@@ -31,11 +40,14 @@ from .machine import (
     sandy_bridge_ep,
     tiny_test_machine,
 )
+from .roofline.hierarchical import AnalyzeResult, analyze
+from .roofline.ert import discover_ceilings
 from .sweep import SweepCache, SweepPlan, SweepPoint, run_plan
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyzeResult",
     "Machine",
     "MachineRef",
     "MachineSpec",
@@ -44,6 +56,8 @@ __all__ = [
     "SweepPlan",
     "SweepPoint",
     "__version__",
+    "analyze",
+    "discover_ceilings",
     "dual_socket_ep",
     "haswell_node",
     "ivy_bridge_desktop",

@@ -13,6 +13,12 @@ Subcommands:
 * ``sweep``       — run a measurement grid (a named figure grid or an
   explicit kernel x size list) through the parallel sweep engine with
   content-addressed result caching
+* ``ert``         — ERT-style ceiling discovery: sweep the parameterised
+  microbenchmark over per-level working sets and flop chains, print the
+  measured L1/L2/L3/DRAM bandwidth ceilings and compute roof
+* ``analyze``     — the flagship: discover the machine's ceilings, sweep
+  one kernel, and place it on every band of the hierarchical roofline
+  (ASCII plot, per-level intensity table, SVG/JSON artifacts)
 * ``experiment``  — run experiments and write EXPERIMENTS-style output
 * ``conformance`` — differential-fuzz the fast interpreter against the
   reference oracle and check every kernel's measured W/Q against
@@ -44,8 +50,11 @@ from .machine.presets import PRESETS, make_machine
 from .machine.ref import MachineRef
 from .measure import explain_kernel, measure_kernel
 from .roofline import KernelPoint, analyze_point, ascii_plot, build_roofline
+from .roofline.ert import DEFAULT_FLOP_COUNTS, LEVELS, discover_ceilings
 from .roofline.export import to_json as roofline_to_json
-from .roofline.plot_svg import svg_plot
+from .roofline.hierarchical import HierarchicalRoofline
+from .roofline.hierarchical import analyze as hierarchical_analyze
+from .roofline.plot_svg import save_svg, svg_plot
 from .sweep import (
     GRIDS,
     SweepCache,
@@ -546,13 +555,102 @@ def _cmd_selfprofile(args) -> int:
     return 0
 
 
+def _parse_flop_counts(text: str) -> List[int]:
+    counts = [int(s) for s in text.split(",") if s]
+    return counts or list(DEFAULT_FLOP_COUNTS)
+
+
+def _print_ceiling_table(ceilings) -> None:
+    print(f"machine : {ceilings.machine.describe()}")
+    print(f"compute : {ceilings.compute_label()}")
+    print()
+    print(f"{'level':<5} {'bandwidth':>14} {'n':>9} {'flops/elem':>10} "
+          f"{'working set':>12}")
+    for c in ceilings.ordered():
+        print(f"{c.level:<5} {format_bandwidth(c.bytes_per_second):>14} "
+              f"{c.n:>9} {c.flops_per_elem:>10} "
+              f"{format_bytes(c.working_set_bytes):>12}")
+
+
+def _cmd_ert(args) -> int:
+    ref = _sweep_machine_ref(args.machine, args.scale, args.engine)
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    ceilings = discover_ceilings(
+        ref, flop_counts=_parse_flop_counts(args.flops),
+        sweeps=args.sweeps, reps=args.reps,
+        jobs=args.jobs, cache=cache,
+    )
+    roofline = HierarchicalRoofline.from_ceilings(ceilings)
+    if args.json:
+        print(json.dumps({
+            "machine": ceilings.machine.key_doc(),
+            "hierarchical": roofline.to_dict(),
+            "grid_points": len(ceilings.measurements),
+            "stats": (ceilings.sweep_stats.to_dict()
+                      if ceilings.sweep_stats is not None else None),
+        }, indent=2))
+        return 0
+    _print_ceiling_table(ceilings)
+    if args.plot:
+        print()
+        print(ascii_plot(roofline.to_model()))
+    if args.svg:
+        save_svg(svg_plot(roofline.to_model(),
+                          title=f"ERT ceilings: {roofline.name}"),
+                 args.svg)
+        print(f"\nsvg written to {args.svg}", file=sys.stderr)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    kernel_name = _KERNEL_ALIASES.get(args.kernel, args.kernel)
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    if not sizes:
+        print("error: analyze needs --sizes N,N,..", file=sys.stderr)
+        return 2
+    ref = _sweep_machine_ref(args.machine, args.scale, args.engine)
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    result = hierarchical_analyze(
+        kernel_name, sizes, machine=ref, protocol=args.protocol,
+        reps=args.reps, flop_counts=_parse_flop_counts(args.flops),
+        jobs=args.jobs, cache=cache,
+    )
+    if args.json:
+        print(json.dumps(result.to_json_doc(), indent=2))
+        return 0
+    _print_ceiling_table(result.ceilings)
+    print()
+    print(result.ascii())
+    print()
+    intensities = result.intensities()
+    print(f"{'n':>9} {'P [Gflop/s]':>12} "
+          + " ".join(f"{'I@' + level + ' [F/B]':>12}" for level in LEVELS))
+    for i, m in enumerate(result.measurements):
+        print(f"{m.n:>9} {m.performance / 1e9:>12.3f} "
+              + " ".join(f"{intensities[level][i]:>12.4f}"
+                         for level in LEVELS))
+    if args.svg or args.json_out:
+        os.makedirs(args.out_dir, exist_ok=True)
+    stem = f"{kernel_name}_{args.machine}"
+    if args.svg:
+        path = os.path.join(args.out_dir, f"{stem}.svg")
+        save_svg(result.svg(), path)
+        print(f"\nsvg written to {path}", file=sys.stderr)
+    if args.json_out:
+        path = os.path.join(args.out_dir, f"{stem}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json_doc(), handle, indent=2)
+        print(f"analysis json written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_benchgate(args) -> int:
     """Diff fresh bench numbers against committed baselines."""
     from .obs.benchgate import BenchGateError, run_gate
 
     baselines = args.baseline or [
         path for path in ("BENCH_engine.json", "BENCH_timeline.json",
-                          "BENCH_selfprofile.json")
+                          "BENCH_selfprofile.json", "BENCH_ert.json")
         if os.path.exists(path)
     ]
     if not baselines:
@@ -748,6 +846,68 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write Prometheus-format sweep metrics here")
     _add_sweep_flags(p_sweep, suppress=True)
 
+    p_ert = sub.add_parser(
+        "ert",
+        help="discover a machine's bandwidth ceilings and compute roof "
+             "with the ERT microbenchmark grid",
+    )
+    p_ert.add_argument("--machine", default="snb",
+                       choices=sorted(PRESETS))
+    p_ert.add_argument("--scale", type=float, default=0.125)
+    p_ert.add_argument("--engine", choices=("fast", "reference"),
+                       default="fast",
+                       help="execution engine for the grid")
+    p_ert.add_argument("--flops", default=",".join(
+                           str(c) for c in DEFAULT_FLOP_COUNTS),
+                       help="comma-separated flops-per-element grid "
+                            "(default %(default)s)")
+    p_ert.add_argument("--sweeps", type=int, default=2,
+                       help="passes over the working set per run "
+                            "(default 2; >1 keeps warm sets resident)")
+    p_ert.add_argument("--reps", type=int, default=2)
+    p_ert.add_argument("--plot", action="store_true",
+                       help="print the discovered hierarchy as an "
+                            "ASCII roofline")
+    p_ert.add_argument("--svg", metavar="PATH",
+                       help="write the discovered hierarchy as an SVG")
+    p_ert.add_argument("--json", action="store_true",
+                       help="emit ceilings + sweep stats as JSON")
+    _add_sweep_flags(p_ert, suppress=True)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="hierarchical roofline: discover ceilings, sweep one "
+             "kernel, and place it on every level's band",
+    )
+    p_an.add_argument("kernel",
+                      choices=kernel_names() + sorted(_KERNEL_ALIASES),
+                      help="kernel to analyse (dgemm/dgemv resolve to "
+                           "the paper's tiled/row variants)")
+    p_an.add_argument("--sizes", required=True,
+                      help="comma-separated problem sizes")
+    p_an.add_argument("--machine", default="snb",
+                      choices=sorted(PRESETS))
+    p_an.add_argument("--scale", type=float, default=0.125)
+    p_an.add_argument("--engine", choices=("fast", "reference"),
+                      default="fast",
+                      help="execution engine for both sweeps")
+    p_an.add_argument("--protocol", choices=("cold", "warm"),
+                      default="cold")
+    p_an.add_argument("--reps", type=int, default=2)
+    p_an.add_argument("--flops", default=",".join(
+                          str(c) for c in DEFAULT_FLOP_COUNTS),
+                      help="flops-per-element grid for ceiling discovery")
+    p_an.add_argument("--svg", action="store_true",
+                      help="write the hierarchical plot under --out-dir")
+    p_an.add_argument("--json-out", action="store_true",
+                      help="write the analysis JSON doc under --out-dir")
+    p_an.add_argument("--out-dir", default=os.path.join(
+                          "artifacts", "analyze"),
+                      help="artifact directory (default artifacts/analyze)")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the full analysis as JSON on stdout")
+    _add_sweep_flags(p_an, suppress=True)
+
     p_conf = sub.add_parser(
         "conformance",
         help="fuzz the fast interpreter against the reference oracle "
@@ -856,6 +1016,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timeline": _cmd_timeline,
         "explain": _cmd_explain,
         "sweep": _cmd_sweep,
+        "ert": _cmd_ert,
+        "analyze": _cmd_analyze,
         "experiment": _cmd_experiment,
         "conformance": _cmd_conformance,
         "selfprofile": _cmd_selfprofile,

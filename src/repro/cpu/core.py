@@ -167,6 +167,7 @@ class Core:
         self.pmu.add("cycles", int(result.cycles))
         self.pmu.add("instructions", result.instructions)
         batch = result.batch
+        self.pmu.add("l1_accesses", batch.accesses)
         self.pmu.add("l1_replacement", max(batch.accesses - batch.l1_hits, 0))
         self.pmu.add(
             "l2_lines_in",

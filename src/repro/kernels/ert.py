@@ -1,0 +1,76 @@
+"""ERT-style microbenchmark kernel (working set x flops-per-byte probe).
+
+The Empirical Roofline Toolkit discovers a machine's ceilings by timing
+one parameterised kernel over a grid of working-set sizes and
+flops-per-element counts: small sets resident in L1 expose the L1
+bandwidth, larger ones fall out of each cache level in turn, and a
+high flop count on an L1-resident set exposes the compute roof.  This
+is that kernel: a single vector is streamed ``sweeps`` times and each
+element receives ``flops_per_elem`` floating-point operations as a
+chained multiply/FMA sequence (the ``ERT_FLOP`` family).
+
+The chain is built so the *flop count is exact and FMA-independent*:
+an odd count leads with a multiply, and every remaining pair is one
+FMA (2 flops) on FMA machines or a multiply+add pair without it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..isa.program import Program
+from .base import CodegenCaps, Kernel, elements_bytes, new_builder, partition_range
+
+
+class ErtKernel(Kernel):
+    """``a[i] = f(a[i])`` with a configurable flop chain per element."""
+
+    name = "ert"
+
+    def __init__(self, flops_per_elem: int = 1, sweeps: int = 1) -> None:
+        if flops_per_elem < 1:
+            raise ConfigurationError("ert: need at least one flop per element")
+        if sweeps < 1:
+            raise ConfigurationError("ert: need at least one sweep")
+        self.flops_per_elem = flops_per_elem
+        self.sweeps = sweeps
+
+    def build(self, n: int, caps: CodegenCaps,
+              rank: int = 0, nranks: int = 1) -> Program:
+        self.validate_n(n, caps, nranks)
+        lo, hi = partition_range(n, rank, nranks)
+        b = new_builder()
+        a = b.buffer("a", elements_bytes(n))
+        alpha = b.reg()
+        beta = b.reg()
+        width = caps.width_bits
+        step = caps.vec_bytes
+        base = lo * 8
+        for _ in range(self.sweeps):
+            with b.loop((hi - lo) // caps.lanes) as i:
+                v = b.load(a[i * step + base], width=width)
+                remaining = self.flops_per_elem
+                if remaining % 2:
+                    v = b.mul(alpha, v, width=width)
+                    remaining -= 1
+                while remaining:
+                    if caps.has_fma:
+                        v = b.fma(alpha, v, beta, width=width)
+                    else:
+                        t = b.mul(alpha, v, width=width)
+                        v = b.add(t, beta, width=width)
+                    remaining -= 2
+                b.store(v, a[i * step + base], width=width)
+        return b.build()
+
+    def flops(self, n: int) -> int:
+        return self.flops_per_elem * n * self.sweeps
+
+    def compulsory_bytes(self, n: int) -> int:
+        return 16 * n  # read a once + write it back once
+
+    def footprint_bytes(self, n: int) -> int:
+        return 8 * n
+
+    def describe(self) -> str:
+        return (f"ert probe ({self.flops_per_elem} flops/elem, "
+                f"{self.sweeps} sweep(s))")

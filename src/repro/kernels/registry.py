@@ -16,6 +16,7 @@ from .base import Kernel
 from .blas1 import Daxpy, Dot, Scale, StreamTriad, StridedSum, SumReduction
 from .blas2 import Dgemv
 from .blas3 import Dgemm
+from .ert import ErtKernel
 from .fft import Fft
 from .memops import Memcpy, Memset, ReadStream
 from .spmv import Spmv
@@ -35,6 +36,7 @@ _FACTORIES: Dict[str, Callable[..., Kernel]] = {
     "dgemm-ikj": partial(Dgemm, variant="ikj"),
     "dgemm-blocked": partial(Dgemm, variant="blocked"),
     "dgemm-tiled": partial(Dgemm, variant="tiled"),
+    "ert": ErtKernel,
     "fft": Fft,
     "spmv": Spmv,
     "spmv-wide": partial(Spmv, bandwidth=1 << 20),

@@ -148,6 +148,43 @@ def tiny_test_machine(engine: str = "fast") -> Machine:
     return Machine(spec, engine=engine)
 
 
+def oracle_test_machine(engine: str = "fast") -> Machine:
+    """Single-core machine with uniformly large caches and zero noise.
+
+    Every level is 256 KiB/16-way (256 sets, power of two), so any
+    kernel footprint up to a quarter of a level is conflict-free
+    everywhere and the infinite-cache analytic model of
+    :mod:`repro.oracle.analytic` is exact.  Registered as the
+    ``oracle`` preset so sweeps and ``repro.analyze`` can target it
+    through a :class:`~repro.machine.ref.MachineRef`.
+    """
+    base_hz = 2.7e9
+    dram = DramConfig(
+        channels=4,
+        bytes_per_cycle_total=32.0,
+        per_core_bytes_per_cycle=16.0,
+        latency_cycles=220,
+    )
+    mk = lambda name, lat, bpc: CacheConfig(  # noqa: E731
+        name, 256 * KIB, assoc=16, latency_cycles=lat, bytes_per_cycle=bpc
+    )
+    spec = MachineSpec(
+        name="oracle",
+        topology=Topology(sockets=1, cores_per_socket=1),
+        ports=sandy_bridge_ports(),
+        hierarchy=HierarchyConfig(
+            l1=mk("L1d", 4, 32.0),
+            l2=mk("L2", 12, 32.0),
+            l3=mk("L3", 36, 16.0),
+            dram=dram,
+            numa=NumaConfig(),
+        ),
+        base_hz=base_hz,
+        noise_lines_per_megacycle=0.0,
+    )
+    return Machine(spec, engine=engine)
+
+
 #: preset registry used by the CLI and experiments
 PRESETS = {
     "snb-ep": sandy_bridge_ep,
@@ -156,6 +193,8 @@ PRESETS = {
     "ivb-desktop": ivy_bridge_desktop,
     "hsw-ep": haswell_node,
     "tiny": lambda scale=1.0, engine="fast": tiny_test_machine(engine=engine),
+    "oracle": lambda scale=1.0, engine="fast": oracle_test_machine(
+        engine=engine),
 }
 
 

@@ -77,6 +77,12 @@ class Measurement:
     compulsory_bytes: int
     #: number of measurement repetitions the medians summarise
     reps: int
+    #: per-level traffic in bytes (median A-B deltas, line-granular):
+    #: ``L1`` = demand accesses resolved anywhere, ``L2`` = lines
+    #: filled into L1, ``L3`` = lines filled into L2, ``DRAM`` = IMC
+    #: CAS traffic (== ``traffic_bytes``).  The hierarchical roofline's
+    #: per-level intensities divide ``true_flops`` by these.
+    level_bytes: Optional[dict] = None
     #: per-rep distribution of the work deltas (median/mean/min/max)
     work_summary: Optional[Summary] = None
     #: per-rep distribution of the traffic deltas
@@ -112,6 +118,19 @@ class Measurement:
                 f"({self.traffic_bytes}); A/B subtraction is broken"
             )
         return self.true_flops / max(self.traffic_bytes, 64.0)
+
+    def level_intensity(self, level: str) -> float:
+        """Arithmetic intensity against one cache level's traffic.
+
+        ``true_flops / bytes-moved-at-level`` with the same one-line
+        floor as :attr:`intensity` (a level a warm run never touches
+        would otherwise divide by zero).
+        """
+        if not self.level_bytes or level not in self.level_bytes:
+            raise MeasurementError(
+                f"{self.kernel}: no measured traffic for level {level!r}"
+            )
+        return self.true_flops / max(self.level_bytes[level], 64.0)
 
     @property
     def counted_performance(self) -> float:
@@ -201,11 +220,13 @@ def measure_kernel(machine: Machine, kernel: Kernel, n: int,
     def run_kernel():
         return machine.run_parallel(jobs)
 
-    core_events = WORK_EVENTS_F64 + ("llc_misses",)
+    level_events = ("l1_accesses", "l1_replacement", "l2_lines_in")
+    core_events = WORK_EVENTS_F64 + ("llc_misses",) + level_events
     work_reps: List[float] = []
     traffic_reps: List[float] = []
     llc_reps: List[float] = []
     runtime_reps: List[float] = []
+    level_reps: dict = {event: [] for event in level_events}
     with SPANS("measure.kernel", kernel=kernel.name, n=n):
         for rep in range(reps):
             # each session starts from fresh-process cache state so the
@@ -247,12 +268,21 @@ def measure_kernel(machine: Machine, kernel: Kernel, n: int,
                                 - bytes_from_session(b))
             llc_reps.append(64.0 * (a.core_delta("llc_misses")
                                     - b.core_delta("llc_misses")))
+            for event in level_events:
+                level_reps[event].append(64.0 * (a.core_delta(event)
+                                                 - b.core_delta(event)))
             runtime_reps.append(run_result.seconds)
 
     work = summarize(work_reps)
     traffic = summarize(traffic_reps)
     llc = summarize(llc_reps)
     runtime = summarize(runtime_reps)
+    level_bytes = {
+        "L1": summarize(level_reps["l1_accesses"]).median,
+        "L2": summarize(level_reps["l1_replacement"]).median,
+        "L3": summarize(level_reps["l2_lines_in"]).median,
+        "DRAM": traffic.median,
+    }
     return Measurement(
         kernel=kernel.name,
         n=n,
@@ -266,6 +296,7 @@ def measure_kernel(machine: Machine, kernel: Kernel, n: int,
         true_flops=kernel.expected_flops(n, caps, len(cores)),
         compulsory_bytes=kernel.compulsory_bytes(n),
         reps=reps,
+        level_bytes=level_bytes,
         work_summary=work,
         traffic_summary=traffic,
         runtime_summary=runtime,

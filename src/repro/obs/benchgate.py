@@ -2,8 +2,9 @@
 
 The repository commits performance baselines — ``BENCH_engine.json``
 (two-tier engine speedup, plan-cache hit rate, rep amortization),
-``BENCH_timeline.json`` (timeline-sampler overhead), and
-``BENCH_selfprofile.json`` (span-profiler overhead) — but until now
+``BENCH_timeline.json`` (timeline-sampler overhead),
+``BENCH_selfprofile.json`` (span-profiler overhead), and
+``BENCH_ert.json`` (ERT-discovered ceiling-hierarchy shape) — but until now
 nothing *compared* fresh numbers against them: CI merely uploaded
 artifacts for humans to eyeball.  This module is the comparer, and
 ``repro benchgate`` the CLI that exits nonzero on regression.
@@ -48,6 +49,7 @@ BASELINES = {
     "s5_engine": "BENCH_engine.json",
     "s3_timeline": "BENCH_timeline.json",
     "s6_selfprofile": "BENCH_selfprofile.json",
+    "s7_ert": "BENCH_ert.json",
 }
 
 #: bench kind -> module under benchmarks/ whose collect_baseline()
@@ -56,6 +58,7 @@ COLLECTORS = {
     "s5_engine": "benchmarks.bench_s5_engine",
     "s3_timeline": "benchmarks.bench_s3_timeline",
     "s6_selfprofile": "benchmarks.bench_s6_selfprofile",
+    "s7_ert": "benchmarks.bench_s7_ert",
 }
 
 
@@ -119,6 +122,15 @@ GATES: Dict[str, List[GateCheck]] = {
         GateCheck("disabled.overhead_fraction", "max_cap", 0.05),
         # enabled profiling must stay usable (not orders of magnitude)
         GateCheck("enabled.overhead_factor", "max_rel", 0.75),
+    ],
+    "s7_ert": [
+        # ERT ceilings are simulated (deterministic) quantities, so the
+        # hierarchy-shape ratios get a tight band: a drift means the
+        # measurement path changed, not the host
+        GateCheck("ratios.l1_over_dram", "min_rel", 0.05),
+        GateCheck("ratios.l2_over_dram", "min_rel", 0.05),
+        GateCheck("ratios.l3_over_dram", "min_rel", 0.05),
+        GateCheck("ratios.compute_over_dram_ridge", "min_rel", 0.05),
     ],
 }
 
@@ -272,6 +284,16 @@ def inject_slowdown(doc: dict, factor: float) -> dict:
         enabled = out.get("enabled", {})
         if "overhead_factor" in enabled:
             enabled["overhead_factor"] *= factor
+    elif kind == "s7_ert":
+        # model a regression in the fast levels of the measurement path:
+        # near-level ceilings deflate relative to DRAM, the compute roof
+        # sags, discovery wall time grows
+        ratios = out.get("ratios", {})
+        for key in ratios:
+            ratios[key] = ratios[key] / factor
+        runs = out.get("run_seconds", {})
+        if "discovery" in runs:
+            runs["discovery"] *= factor
     else:
         raise BenchGateError(f"cannot inject slowdown into bench kind "
                              f"{kind!r}")

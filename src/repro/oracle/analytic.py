@@ -31,16 +31,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..cpu.port_model import sandy_bridge_ports
 from ..kernels.base import CodegenCaps
 from ..kernels.registry import kernel_names, make_kernel
-from ..machine.machine import Machine, MachineSpec
+from ..machine.machine import Machine
+from ..machine.presets import oracle_test_machine
 from ..measure.runner import measure_kernel
 from ..memory.allocator import Allocation
-from ..memory.cache import CacheConfig
-from ..memory.dram import DramConfig
-from ..memory.hierarchy import HierarchyConfig
-from ..memory.numa import NumaConfig, Topology
 from ..pmu.events import FP_EVENT_LANES_F64
 from ..units import KIB
 from .refmem import InfiniteCacheMemory
@@ -56,6 +52,7 @@ ORACLE_SIZES: Dict[str, int] = {
     "dgemm-naive": 16, "dgemm-ikj": 16, "dgemm-blocked": 16,
     "dgemm-tiled": 16,
     "fft": 64, "spmv": 64, "spmv-wide": 64, "stencil3": 256,
+    "ert": 256,
 }
 
 #: closed-form measured cold traffic (prefetch off) for the streaming
@@ -74,6 +71,7 @@ CLOSED_FORM_Q_COLD: Dict[str, Callable[[int], int]] = {
     "memset-nt": lambda n: 8 * n,        # NT lines only
     "memcpy": lambda n: 16 * n,          # read src + RFO dst
     "memcpy-nt": lambda n: 16 * n,       # read src + NT dst
+    "ert": lambda n: 8 * n,              # read a; stores hit the read lines
 }
 
 #: footprint ceiling for oracle runs — ¼ of each cache level, so a
@@ -90,32 +88,12 @@ def oracle_machine() -> Machine:
     small as that argument allows: the honest cold protocol sweeps a
     buster of twice the aggregate capacity per measurement window, so
     oracle wall time scales with cache size.
+
+    The geometry lives in :func:`repro.machine.presets.oracle_test_machine`
+    (registered as the ``oracle`` preset) so sweeps and
+    ``repro.analyze`` can address the same machine by recipe.
     """
-    base_hz = 2.7e9
-    dram = DramConfig(
-        channels=4,
-        bytes_per_cycle_total=32.0,
-        per_core_bytes_per_cycle=16.0,
-        latency_cycles=220,
-    )
-    mk = lambda name, lat, bpc: CacheConfig(  # noqa: E731
-        name, 256 * KIB, assoc=16, latency_cycles=lat, bytes_per_cycle=bpc
-    )
-    spec = MachineSpec(
-        name="oracle",
-        topology=Topology(sockets=1, cores_per_socket=1),
-        ports=sandy_bridge_ports(),
-        hierarchy=HierarchyConfig(
-            l1=mk("L1d", 4, 32.0),
-            l2=mk("L2", 12, 32.0),
-            l3=mk("L3", 36, 16.0),
-            dram=dram,
-            numa=NumaConfig(),
-        ),
-        base_hz=base_hz,
-        noise_lines_per_megacycle=0.0,
-    )
-    return Machine(spec)
+    return oracle_test_machine()
 
 
 def oracle_n(kernel_name: str) -> int:
@@ -180,6 +158,47 @@ def expected_w_q(kernel_name: str, n: int,
     work = _counted_flops(result.counters)
     traffic = 64.0 * (memory.dram_read_lines + memory.dram_write_lines)
     return work, traffic
+
+
+def expected_level_bytes(kernel_name: str, n: int,
+                         protocol: str) -> Dict[str, float]:
+    """Model-expected per-level traffic in bytes, prefetchers off.
+
+    Uses exactly the counter derivations the measurement stack uses
+    (line-granular: 64 bytes per counted line event), so a hierarchical
+    roofline's per-level intensities can be pinned against it:
+
+    * ``L1``   — every demand access resolved by the hierarchy
+      (``l1_accesses`` x line size),
+    * ``L2``   — lines filled into L1 (``l1_replacement``),
+    * ``L3``   — lines filled into L2 (``l2_lines_in``),
+    * ``DRAM`` — IMC CAS reads+writes, identical to
+      :func:`expected_w_q`'s Q.
+    """
+    machine = oracle_machine()
+    caps = CodegenCaps.from_machine(machine)
+    kernel = make_kernel(kernel_name)
+    program = kernel.build(n, caps, rank=0, nranks=1)
+    layout = _synthetic_layout(program)
+    dram = machine.spec.hierarchy.dram
+    bpc = min(dram.per_core_bytes_per_cycle, dram.bytes_per_cycle_total)
+
+    memory = InfiniteCacheMemory()
+    interp = ReferenceInterpreter(machine.spec, memory)
+    if protocol == "warm":
+        _mark_resident(memory, layout)
+        interp.execute(program, layout, bpc)     # warmup pass
+        memory.reset_counters()
+    elif protocol != "cold":
+        raise ValueError(f"unknown protocol {protocol!r}")
+    result = interp.execute(program, layout, bpc)
+    c = result.counters
+    return {
+        "L1": 64.0 * c.get("l1_accesses", 0),
+        "L2": 64.0 * c.get("l1_replacement", 0),
+        "L3": 64.0 * c.get("l2_lines_in", 0),
+        "DRAM": 64.0 * (memory.dram_read_lines + memory.dram_write_lines),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -128,6 +128,9 @@ class ReferenceInterpreter:
         counters["instructions"] = (
             counters.get("instructions", 0) + result.instructions
         )
+        counters["l1_accesses"] = (
+            counters.get("l1_accesses", 0) + batch["accesses"]
+        )
         counters["l1_replacement"] = counters.get("l1_replacement", 0) + max(
             batch["accesses"] - batch["l1_hits"], 0
         )

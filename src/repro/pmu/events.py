@@ -50,6 +50,8 @@ _EVENTS: List[EventDef] = [
     EventDef("instructions", "INST_RETIRED.ANY", SCOPE_CORE,
              "retired instructions"),
     # --- core cache events ---
+    EventDef("l1_accesses", "L1D.ALL_REF", SCOPE_CORE,
+             "demand line accesses resolved by the data-cache hierarchy"),
     EventDef("l1_replacement", "L1D.REPLACEMENT", SCOPE_CORE,
              "lines brought into L1D"),
     EventDef("l2_lines_in", "L2_LINES_IN.ALL", SCOPE_CORE,

@@ -15,26 +15,50 @@ from .cache_aware import (
     level_bandwidth_map,
     served_from,
 )
+from .ert import (
+    DiscoveredCeiling,
+    ErtCeilings,
+    LEVELS,
+    discover_ceilings,
+    ert_plan,
+    ert_working_sets,
+)
 from .export import model_to_dict, points_to_csv, to_json, trajectories_to_csv
+from .hierarchical import (
+    AnalyzeResult,
+    HierarchicalRoofline,
+    analyze,
+    hierarchical_points,
+)
 from .model import ComputeCeiling, MemoryCeiling, RooflineModel
 from .plot_ascii import ascii_plot
 from .plot_svg import save_svg, svg_plot
 from .point import KernelPoint, Trajectory
 
 __all__ = [
+    "AnalyzeResult",
     "BOUND_COMPUTE",
     "BOUND_MEMORY",
     "ComputeCeiling",
+    "DiscoveredCeiling",
+    "ErtCeilings",
+    "HierarchicalRoofline",
     "KernelPoint",
+    "LEVELS",
     "MemoryCeiling",
     "PointAnalysis",
     "RooflineModel",
     "Trajectory",
+    "analyze",
     "analyze_point",
     "ascii_plot",
     "build_cache_aware_roofline",
     "build_roofline",
     "check_point_sanity",
+    "discover_ceilings",
+    "ert_plan",
+    "ert_working_sets",
+    "hierarchical_points",
     "model_to_dict",
     "points_to_csv",
     "level_bandwidth_map",

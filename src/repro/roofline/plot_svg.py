@@ -135,21 +135,26 @@ def svg_plot(model: RooflineModel,
         if not ymin <= y <= ymax:
             continue
         x_start = max(xmin, y / model.peak_bandwidth)
-        out.append(
-            f'<line x1="{px(x_start):.1f}" y1="{py(y):.1f}" '
-            f'x2="{px(xmax):.1f}" y2="{py(y):.1f}" stroke="#888" '
-            f'stroke-dasharray="6 4"/>'
-        )
+        if x_start < xmax:
+            out.append(
+                f'<line x1="{px(x_start):.1f}" y1="{py(y):.1f}" '
+                f'x2="{px(xmax):.1f}" y2="{py(y):.1f}" stroke="#888" '
+                f'stroke-dasharray="6 4"/>'
+            )
         legend_entries.append(("#888", "6 4", ceiling.label))
     for ceiling in model.memory[:-1]:
         x_hi = min(xmax, model.peak_flops / ceiling.bytes_per_second)
         y_lo = max(ymin, xmin * ceiling.bytes_per_second)
         x_lo = max(xmin, y_lo / ceiling.bytes_per_second)
-        out.append(
-            f'<line x1="{px(x_lo):.1f}" y1="{py(x_lo * ceiling.bytes_per_second):.1f}" '
-            f'x2="{px(x_hi):.1f}" y2="{py(x_hi * ceiling.bytes_per_second):.1f}" '
-            f'stroke="#888" stroke-dasharray="6 4"/>'
-        )
+        # a ceiling whose ridge sits left of the x-range (inverted or
+        # coinciding ridge points) would otherwise draw a negative-
+        # width segment; keep the legend entry, skip the line
+        if x_lo < x_hi:
+            out.append(
+                f'<line x1="{px(x_lo):.1f}" y1="{py(x_lo * ceiling.bytes_per_second):.1f}" '
+                f'x2="{px(x_hi):.1f}" y2="{py(x_hi * ceiling.bytes_per_second):.1f}" '
+                f'stroke="#888" stroke-dasharray="6 4"/>'
+            )
         legend_entries.append(("#888", "6 4", ceiling.label))
     ridge = model.ridge_intensity
     roof_x0 = max(xmin, ymin / model.peak_bandwidth)

@@ -24,13 +24,14 @@ from ..measure.stats import Summary
 
 #: payload schema version — bump on any field change so stale cache
 #: entries fail structural validation instead of deserialising wrongly
-PAYLOAD_SCHEMA = 1
+#: (2: added per-level traffic ``level_bytes``)
+PAYLOAD_SCHEMA = 2
 
 _SUMMARY_FIELDS = ("median", "mean", "minimum", "maximum", "count")
 _MEASUREMENT_FIELDS = (
     "kernel", "n", "threads", "protocol", "machine", "work_flops",
     "traffic_bytes", "llc_bytes", "runtime_seconds", "true_flops",
-    "compulsory_bytes", "reps",
+    "compulsory_bytes", "reps", "level_bytes",
 )
 _SUMMARY_KEYS = ("work_summary", "traffic_summary", "runtime_summary")
 

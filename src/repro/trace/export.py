@@ -328,6 +328,7 @@ def measurement_to_dict(m) -> dict:
         "compulsory_bytes": m.compulsory_bytes,
         "traffic_ratio": m.traffic_ratio,
         "llc_bytes": m.llc_bytes,
+        "level_bytes": m.level_bytes,
         "runtime_seconds": m.runtime_seconds,
         "performance_flops_per_s": m.performance,
         "intensity_flops_per_byte": m.intensity,

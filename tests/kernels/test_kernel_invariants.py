@@ -20,6 +20,7 @@ CASES = [
     ("dgemm-ikj", 32),
     ("dgemm-blocked", 32),
     ("dgemm-tiled", 32),
+    ("ert", 1024),
     ("fft", 1024),
     ("spmv", 256),
     ("spmv-wide", 256),

@@ -86,7 +86,15 @@ class TestRegistry:
     def test_all_presets_instantiate(self):
         for name in PRESETS:
             machine = make_machine(name, scale=0.25)
-            assert machine.topology.total_cores >= 2
+            assert machine.topology.total_cores >= 1
+
+    def test_oracle_preset_matches_analytic_oracle(self):
+        from repro.oracle.analytic import oracle_machine
+
+        preset = make_machine("oracle")
+        assert preset.spec == oracle_machine().spec
+        assert preset.topology.total_cores == 1
+        assert preset.spec.noise_lines_per_megacycle == 0.0
 
     def test_unknown_preset(self):
         with pytest.raises(ConfigurationError):

@@ -48,10 +48,23 @@ def timeline_doc():
     }
 
 
+def ert_doc():
+    return {
+        "bench": "s7_ert",
+        "ceilings_bytes_per_s": {"L1": 32e9, "L2": 11.6e9, "L3": 8.3e9,
+                                 "DRAM": 3.8e9},
+        "compute_flops_per_s": 8e9,
+        "ratios": {"l1_over_dram": 8.46, "l2_over_dram": 3.08,
+                   "l3_over_dram": 2.18, "compute_over_dram_ridge": 2.12},
+        "run_seconds": {"discovery": 0.2},
+    }
+
+
 ALL_DOCS = {
     "s5_engine": engine_doc,
     "s6_selfprofile": selfprofile_doc,
     "s3_timeline": timeline_doc,
+    "s7_ert": ert_doc,
 }
 
 

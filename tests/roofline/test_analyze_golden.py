@@ -1,0 +1,72 @@
+"""Golden corpus for ``repro.analyze``: pinned digests of the JSON doc.
+
+A small set of analyze configurations runs end to end — ERT ceiling
+discovery plus the kernel sweep, both through the sweep executor — and
+a sha256 over the canonicalised ``to_json_doc()`` output is compared
+against digests committed in ``analyze_golden.json``.
+
+Same contract as the conformance golden corpus: the oracle tests prove
+the numbers are *right*, this catches *any* change to the published
+document instantly — ceilings, intensities, labels, doc shape.  An
+intentional change regenerates the file (``REPRO_REGEN_GOLDEN=1 pytest
+tests/roofline -m analyze_golden``) and justifies the diff in review.
+
+The simulator and the doc are pure Python/IEEE-754, so the digests are
+platform-stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.machine.ref import MachineRef
+from repro.roofline.hierarchical import analyze
+
+GOLDEN_PATH = Path(__file__).parent / "analyze_golden.json"
+
+#: (case id, kernel, sizes, machine factory) — tiny for turnaround,
+#: oracle for the noise-free reconciliation path
+CASES = {
+    "daxpy-tiny": ("daxpy", [64, 256], lambda: MachineRef.of("tiny")),
+    "dgemm-tiny": ("dgemm-tiled", [16, 32], lambda: MachineRef.of("tiny")),
+    "daxpy-oracle-nopf": (
+        "daxpy", [256],
+        lambda: MachineRef.of("oracle").with_overrides(
+            prefetch_enabled=False),
+    ),
+}
+
+
+def _digest(case: str) -> str:
+    kernel, sizes, ref = CASES[case]
+    result = analyze(kernel, sizes, machine=ref(), protocol="cold", reps=2)
+    blob = json.dumps(result.to_json_doc(), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.analyze_golden
+def test_analyze_golden_digests():
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        digests = {case: _digest(case) for case in sorted(CASES)}
+        GOLDEN_PATH.write_text(json.dumps(digests, indent=2) + "\n")
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        "analyze_golden.json missing; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    mismatches = []
+    for case in sorted(CASES):
+        actual = _digest(case)
+        want = expected.get(case)
+        if actual != want:
+            mismatches.append(f"{case}: {actual} != {want}")
+    assert not mismatches, (
+        "analyze golden digests changed — if intentional, regenerate "
+        "with REPRO_REGEN_GOLDEN=1 and explain in the PR:\n"
+        + "\n".join(mismatches)
+    )

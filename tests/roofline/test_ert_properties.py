@@ -1,0 +1,101 @@
+"""Properties of ERT ceiling discovery: hierarchy order and determinism.
+
+Two invariants the discovery pipeline must hold on the simulated
+machines (tiny and snb presets):
+
+* **Monotone hierarchy** — measured ceilings never invert: the L1 rate
+  is at least the L2 rate, which is at least L3, which is at least
+  DRAM.  Discovery runs prefetch-disabled, so per-level attribution is
+  line-exact and the order is a property of the cache model, not of
+  scheduling.
+* **Execution-strategy independence** — the discovered grid is
+  bit-identical whether the sweep executor runs serially, fans out
+  over worker processes, or replays from the content-addressed cache.
+
+The hypothesis block varies the *compute* part of the grid (extra flop
+counts, sweep passes, reps) on the tiny machine; the bandwidth probes
+always include the canonical flops-per-element=1 points, which is what
+the monotonicity claim is about.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine.ref import MachineRef
+from repro.roofline.ert import LEVELS, discover_ceilings, ert_plan
+from repro.sweep import SweepCache, measurement_to_payload, run_plan
+
+
+def _ref(preset: str) -> MachineRef:
+    """tiny at its only size; snb scaled down so DRAM probes stay fast."""
+    if preset == "tiny":
+        return MachineRef.of("tiny")
+    return MachineRef.of(preset, scale=0.125)
+
+
+def _bandwidths(ceilings) -> list:
+    return [ceilings.levels[level].bytes_per_second for level in LEVELS]
+
+
+@pytest.mark.parametrize("preset", ["tiny", "snb"])
+class TestHierarchyOrder:
+    def test_default_grid_monotone(self, preset):
+        ceilings = discover_ceilings(_ref(preset))
+        bw = _bandwidths(ceilings)
+        assert bw == sorted(bw, reverse=True), (
+            f"{preset}: ceilings invert the hierarchy: "
+            + ", ".join(f"{lvl}={b:.3e}" for lvl, b in zip(LEVELS, bw))
+        )
+
+    def test_all_levels_present_and_positive(self, preset):
+        ceilings = discover_ceilings(_ref(preset))
+        assert set(ceilings.levels) == set(LEVELS)
+        assert all(b > 0 for b in _bandwidths(ceilings))
+        assert ceilings.compute_flops_per_second > 0
+
+    def test_compute_roof_above_every_bandwidth_point(self, preset):
+        """The compute winner beats the flops rate of every probe."""
+        ceilings = discover_ceilings(_ref(preset))
+        best = ceilings.compute_flops_per_second
+        assert best == max(m.performance for m in ceilings.measurements)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    extra=st.lists(st.sampled_from([2, 4, 8, 16, 64]),
+                   min_size=0, max_size=2, unique=True),
+    sweeps=st.integers(min_value=1, max_value=3),
+    reps=st.integers(min_value=1, max_value=2),
+)
+def test_tiny_monotone_across_grids(extra, sweeps, reps):
+    ceilings = discover_ceilings(
+        MachineRef.of("tiny"), flop_counts=[1] + extra,
+        sweeps=sweeps, reps=reps,
+    )
+    bw = _bandwidths(ceilings)
+    assert bw == sorted(bw, reverse=True)
+
+
+@pytest.mark.parametrize("preset", ["tiny", "snb"])
+def test_serial_parallel_bit_identical(preset):
+    plan_a = ert_plan(_ref(preset))
+    plan_b = ert_plan(_ref(preset))
+    serial = run_plan(plan_a, jobs=None)
+    fanned = run_plan(plan_b, jobs=2)
+    assert [measurement_to_payload(m) for m in serial.measurements] == \
+           [measurement_to_payload(m) for m in fanned.measurements]
+
+
+@pytest.mark.parametrize("preset", ["tiny", "snb"])
+def test_cached_replay_bit_identical(preset, tmp_path):
+    cache = SweepCache(str(tmp_path / "sweepcache"))
+    first = discover_ceilings(_ref(preset), cache=cache)
+    replay = discover_ceilings(_ref(preset), cache=cache)
+    assert [measurement_to_payload(m) for m in first.measurements] == \
+           [measurement_to_payload(m) for m in replay.measurements]
+    assert _bandwidths(first) == _bandwidths(replay)
+    assert replay.sweep_stats.hits == len(replay.measurements)

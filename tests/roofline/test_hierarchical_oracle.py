@@ -1,0 +1,100 @@
+"""Oracle cross-check: hierarchical placement reconciles with closed forms.
+
+The analytic oracle (:mod:`repro.oracle.analytic`) predicts per-level
+line traffic exactly on the noise-free oracle machine with prefetchers
+off — the same counter derivations the measurement runner uses, driven
+by the reference interpreter.  These tests pin :func:`repro.analyze`'s
+per-level intensities against those closed forms, *exactly* (no
+tolerance): the measured level bytes must equal the predicted bytes to
+the line, and every published intensity must be the kernel's true flop
+count divided by that predicted traffic.
+
+This is the test band the tentpole is gated by: if counter attribution,
+the A-B measurement windows, the sweep executor, or the ERT-fed
+``analyze`` plumbing ever shifts a single cache line, these fail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import make_kernel
+from repro.kernels.base import CodegenCaps
+from repro.machine.ref import MachineRef
+from repro.oracle.analytic import ORACLE_SIZES, expected_level_bytes
+from repro.roofline.ert import LEVELS
+from repro.roofline.hierarchical import analyze
+
+#: the paper's three headline kernels, at the oracle corpus sizes
+KERNELS = ("daxpy", "dgemv-row", "dgemm-tiled")
+
+
+def _oracle_ref() -> MachineRef:
+    # prefetch off: the closed forms count demand lines only
+    return MachineRef.of("oracle").with_overrides(prefetch_enabled=False)
+
+
+@pytest.fixture(scope="module")
+def results():
+    ref = _oracle_ref()
+    out = {}
+    for kernel in KERNELS:
+        n = ORACLE_SIZES[kernel]
+        out[kernel] = analyze(kernel, [n], machine=ref, protocol="cold",
+                              reps=2)
+    return out
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("level", LEVELS)
+def test_level_bytes_match_closed_form_exactly(results, kernel, level):
+    result = results[kernel]
+    m = result.measurements[0]
+    expected = expected_level_bytes(kernel, m.n, "cold")
+    assert m.level_bytes[level] == expected[level], (
+        f"{kernel} n={m.n}: measured {level} traffic "
+        f"{m.level_bytes[level]} B != analytic {expected[level]} B"
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("level", LEVELS)
+def test_intensities_match_closed_form_exactly(results, kernel, level):
+    result = results[kernel]
+    m = result.measurements[0]
+    expected = expected_level_bytes(kernel, m.n, "cold")
+    want = m.true_flops / max(expected[level], 64.0)
+    assert result.intensities()[level] == [want]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_true_flops_match_closed_form(results, kernel):
+    """Measured executed flops equal the kernel's own closed form
+    (which accounts for reduction-tree adds beyond the algorithmic
+    ``flops(n)``)."""
+    m = results[kernel].measurements[0]
+    caps = CodegenCaps.from_machine(_oracle_ref().build())
+    k = make_kernel(kernel)
+    assert m.true_flops == k.expected_flops(m.n, caps)
+    assert m.true_flops >= k.flops(m.n)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_level_intensities_monotone_with_hierarchy(results, kernel):
+    """Bytes shrink (or hold) moving away from the core, so per-level
+    intensity never decreases from L1 out to DRAM."""
+    intensities = results[kernel].intensities()
+    series = [intensities[level][0] for level in LEVELS]
+    assert series == sorted(series)
+
+
+def test_analyze_publishes_all_levels(results):
+    for kernel in KERNELS:
+        result = results[kernel]
+        assert result.levels == LEVELS
+        trajectories = result.trajectories()
+        assert [t.series for t in trajectories] == \
+               [f"{kernel}@{level}" for level in LEVELS]
+        doc = result.to_json_doc()
+        assert set(doc["hierarchical"]["levels"]) == set(LEVELS)
+        assert len(doc["points"]) == len(LEVELS)

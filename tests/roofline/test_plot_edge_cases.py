@@ -91,3 +91,101 @@ class TestSvgEdgeCases:
     def test_title_override(self):
         svg = svg_plot(layered_model(), title="Custom Title")
         assert "Custom Title" in svg
+
+
+def inverted_ridge_model():
+    """Discovered ceilings can invert (the oracle preset's DRAM counts
+    writebacks that L3 fills do not): a lower-tier band faster than the
+    top one puts its ridge left of the visible range."""
+    return RooflineModel(
+        "inverted",
+        [ComputeCeiling("peak", 1e9)],
+        [MemoryCeiling("L3 ERT (200 GB/s)", 200e9),
+         MemoryCeiling("DRAM ERT (300 GB/s)", 300e9)],
+    )
+
+
+def _line_widths(svg):
+    root = ET.fromstring(svg)
+    return [
+        (float(el.get("x1")), float(el.get("x2")))
+        for el in root.iter("{http://www.w3.org/2000/svg}line")
+    ]
+
+
+class TestRidgeEdgeCases:
+    """Coinciding/inverted ridge points must not draw negative-width
+    segments or stack duplicate labels."""
+
+    def test_inverted_ridge_draws_no_negative_width_segment(self):
+        svg = svg_plot(inverted_ridge_model(), x_range=(1.0, 100.0))
+        assert all(x1 <= x2 for x1, x2 in _line_widths(svg))
+        ET.fromstring(svg)  # still a valid document
+
+    def test_inverted_ridge_keeps_legend_entry(self):
+        svg = svg_plot(inverted_ridge_model(), x_range=(1.0, 100.0))
+        assert "L3 ERT" in svg  # skipped segment, not a vanished level
+
+    def test_compute_ceiling_past_xmax_is_skipped(self):
+        model = RooflineModel(
+            "m",
+            [ComputeCeiling("lo", 9.9e9), ComputeCeiling("hi", 1e10)],
+            [MemoryCeiling("dram", 1e8)],
+        )
+        svg = svg_plot(model, x_range=(0.1, 10.0))
+        assert all(x1 <= x2 for x1, x2 in _line_widths(svg))
+        assert "lo" in svg
+
+    def test_coinciding_ridges_valid_svg_and_ascii(self):
+        model = RooflineModel(
+            "twin",
+            [ComputeCeiling("peak", 8e9)],
+            [MemoryCeiling("L2 ERT (12 GB/s)", 12e9),
+             MemoryCeiling("L3 ERT (12 GB/s)", 12e9),
+             MemoryCeiling("L1 ERT (32 GB/s)", 32e9)],
+        )
+        svg = svg_plot(model)
+        assert all(x1 <= x2 for x1, x2 in _line_widths(svg))
+        text = ascii_plot(model)
+        assert "L2 ERT" in text and "L3 ERT" in text
+
+    def test_inverted_ridge_ascii_renders(self):
+        text = ascii_plot(inverted_ridge_model(), x_range=(1.0, 100.0))
+        assert "DRAM ERT" in text
+
+
+class TestHierarchicalMerge:
+    """Near-equal discovered levels merge into one labelled ceiling
+    instead of two overlapping bands."""
+
+    def _roofline(self, l2, l3):
+        from repro.roofline.hierarchical import HierarchicalRoofline
+
+        return HierarchicalRoofline(
+            "m", ComputeCeiling("peak", 8e9),
+            {"L1": MemoryCeiling("L1 ERT", 32e9),
+             "L2": MemoryCeiling("L2 ERT", l2),
+             "L3": MemoryCeiling("L3 ERT", l3),
+             "DRAM": MemoryCeiling("DRAM ERT", 4e9)},
+        )
+
+    def test_coinciding_levels_merge(self):
+        model = self._roofline(12e9, 12e9).to_model()
+        labels = [c.label for c in model.memory]
+        assert any(lbl.startswith("L2+L3 ERT") for lbl in labels)
+        assert len(model.memory) == 3
+
+    def test_near_coinciding_levels_merge_within_tolerance(self):
+        model = self._roofline(12e9, 11.9e9).to_model()
+        assert any(c.label.startswith("L2+L3") for c in model.memory)
+
+    def test_distinct_levels_stay_separate(self):
+        model = self._roofline(12e9, 8e9).to_model()
+        assert len(model.memory) == 4
+        svg = svg_plot(model)
+        assert all(x1 <= x2 for x1, x2 in _line_widths(svg))
+
+    def test_merged_model_plots_one_band_per_group(self):
+        svg = svg_plot(self._roofline(12e9, 12e9).to_model())
+        assert svg.count("L2+L3 ERT") == 1
+        assert all(x1 <= x2 for x1, x2 in _line_widths(svg))

@@ -43,3 +43,57 @@ class TestMeasureVariants:
         assert code == 0
         out = capsys.readouterr().out
         assert "2t" in out  # thread-count labelled ceilings
+
+
+class TestErtCommand:
+    def test_ert_prints_ceiling_table(self, capsys):
+        code = main(["ert", "--machine", "tiny", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for level in ("L1", "L2", "L3", "DRAM"):
+            assert level in out
+        assert "compute : ERT peak" in out
+
+    def test_ert_json_has_all_levels(self, capsys):
+        import json as _json
+
+        code = main(["ert", "--machine", "tiny", "--json", "--no-cache"])
+        assert code == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert set(doc["hierarchical"]["levels"]) == \
+            {"L1", "L2", "L3", "DRAM"}
+
+    def test_ert_plot_renders_bands(self, capsys):
+        code = main(["ert", "--machine", "tiny", "--plot", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L1 ERT" in out and "DRAM ERT" in out
+
+
+class TestAnalyzeCommand:
+    def test_analyze_alias_and_table(self, capsys):
+        code = main(["analyze", "dgemm", "--sizes", "16,32",
+                     "--machine", "tiny", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dgemm-tiled@L1" in out and "dgemm-tiled@DRAM" in out
+        assert "I@DRAM [F/B]" in out
+
+    def test_analyze_artifacts(self, tmp_path, capsys):
+        code = main(["analyze", "daxpy", "--sizes", "256",
+                     "--machine", "tiny", "--svg", "--json-out",
+                     "--out-dir", str(tmp_path), "--no-cache"])
+        assert code == 0
+        import json as _json
+
+        svg = (tmp_path / "daxpy_tiny.svg").read_text()
+        assert svg.startswith("<svg")
+        doc = _json.loads((tmp_path / "daxpy_tiny.json").read_text())
+        assert doc["kernel"] == "daxpy"
+        assert len(doc["points"]) == 4
+
+    def test_analyze_empty_sizes_errors(self, capsys):
+        code = main(["analyze", "daxpy", "--sizes", ",",
+                     "--machine", "tiny", "--no-cache"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
