@@ -112,6 +112,16 @@ class _LoopInfo:
     dep_fp_terms: List[Tuple[Tuple[int, str, bool], int, int]] = field(
         default_factory=list
     )
+    #: symbolic-tier structural key — loop id plus per-site
+    #: (kind, width, buffer, referenced ivs); ``None`` when the body is
+    #: not symbolically plannable (a gather site, or a negative stride
+    #: over the loop's own induction variable)
+    skey: Optional[tuple] = None
+    #: this core's site ids in body order (part of the binding key: two
+    #: structurally identical loops still train distinct stride sites)
+    sid_tuple: Tuple[int, ...] = ()
+    #: per-core memo of the interned SymbolicPlan for ``skey``
+    symbolic: Optional[object] = None
 
 
 class Core:
@@ -321,6 +331,52 @@ class Core:
     def _plan_for(self, info: _LoopInfo, loop: Loop, ivs,
                   buffers) -> AccessPlan:
         """Cached access plan for this loop in this address context.
+
+        Symbolically plannable loops resolve through the two-tier
+        cache: the structure interns once per process (see
+        :data:`repro.engine.plan.SYMBOLIC_REGISTRY`), and each concrete
+        binding — trip count, site ids, per-site (base, stride, home) —
+        memoises its materialisation in the per-core bound tier, so a
+        plan compiled at one problem size rebinds at any other.
+        Gathers, negative own-loop strides, and machines whose datapath
+        needs segment-granular plans take :meth:`_plan_concrete`.
+        """
+        cache = self.plan_cache
+        sym = info.symbolic
+        if sym is None:
+            if info.skey is None or not self._datapath._symbolic_ok:
+                return self._plan_concrete(info, loop, ivs, buffers)
+            sym = cache.resolve_symbolic(info.skey)
+            info.symbolic = sym
+        else:
+            cache.note_symbolic_hit()
+        loop_id = loop.loop_id
+        binding = tuple(
+            self._site_base_stride(site, loop_id, ivs, buffers)
+            for site in info.mem_sites
+        )
+        bkey = (sym.plan_id, loop.trips, info.sid_tuple, binding)
+        plan = cache.get_bound(bkey)
+        if plan is None:
+            port = self.port
+            descs = [
+                (site.kind, site.site_id, base, stride,
+                 site.width_bits // 8, node)
+                for site, (base, stride, node)
+                in zip(info.mem_sites, binding)
+            ]
+            with SPANS("engine.compile"):
+                plan = sym.bind(
+                    descs, loop.trips, self._line_shift,
+                    port._page_shift, port.node,
+                    packed=self._datapath._use_c,
+                )
+            cache.put_bound(bkey, plan)
+        return plan
+
+    def _plan_concrete(self, info: _LoopInfo, loop: Loop, ivs,
+                       buffers) -> AccessPlan:
+        """Capture-keyed fallback for non-symbolic loops.
 
         The key pins everything the emission stream depends on: the
         loop body (by identity, strongly referenced), the outer
@@ -633,13 +689,15 @@ class Core:
             first = base >> shift
             last = (base + node.bytes - 1) >> shift
             stats = None
-            if first == last and self.engine == "fast" \
-                    and self._datapath._inline:
-                stats = self._datapath.execute_single(first, False,
-                                                      alloc.node)
-                if stats is None:
-                    stats = self._single_line_stats(first, False,
-                                                    alloc.node)
+            if first == last and self.engine == "fast":
+                dp = self._datapath
+                if dp._use_c:
+                    stats = dp.execute_single_c(first, False, alloc.node)
+                elif dp._inline:
+                    stats = dp.execute_single(first, False, alloc.node)
+                    if stats is None:
+                        stats = self._single_line_stats(first, False,
+                                                        alloc.node)
             if stats is None:
                 stats = self.port.access_lines(
                     list(range(first, last + 1)), is_write=False,
@@ -673,13 +731,15 @@ class Core:
                 isinstance(node, Store) and not node.nt):
             is_write = isinstance(node, Store)
             stats = None
-            if first == last and self.engine == "fast" \
-                    and self._datapath._inline:
-                stats = self._datapath.execute_single(first, is_write,
-                                                      alloc.node)
-                if stats is None:
-                    stats = self._single_line_stats(first, is_write,
-                                                    alloc.node)
+            if first == last and self.engine == "fast":
+                dp = self._datapath
+                if dp._use_c:
+                    stats = dp.execute_single_c(first, is_write, alloc.node)
+                elif dp._inline:
+                    stats = dp.execute_single(first, is_write, alloc.node)
+                    if stats is None:
+                        stats = self._single_line_stats(first, is_write,
+                                                        alloc.node)
             if stats is None:
                 stats = self.port.access_lines(lines, is_write=is_write,
                                                node=alloc.node)
@@ -786,6 +846,29 @@ class Core:
             else:
                 raise ExecutionError(f"unexpected node in flat loop: {instr!r}")
 
+        # symbolic-tier structural key: loop/kernel identity only, no
+        # size-dependent values (trips, strides, bases) — the dgemm
+        # kernel at n=64 and n=160 must produce the same key
+        skey = None
+        if mem_sites and loop.trips > 0:
+            parts: Optional[list] = []
+            for site in mem_sites:
+                if site.kind == "gather":
+                    parts = None
+                    break
+                addr = site.instr.addr
+                own = 0
+                for lid, s in addr.strides:
+                    if lid == loop.loop_id:
+                        own = s
+                if own < 0:
+                    parts = None
+                    break
+                parts.append((site.kind, site.width_bits, addr.buffer,
+                              tuple(lid for lid, _s in addr.strides)))
+            if parts is not None:
+                skey = (loop.loop_id, tuple(parts))
+
         # phase skeleton: trip counts are static per loop object, so the
         # whole-phase scaling (seed code redid this every execution) is
         # folded into the analysis cache
@@ -816,6 +899,8 @@ class Core:
                 (key, instrs * trips) for key, instrs in fp_events.items()
             ],
             dep_fp_terms=dep_fp_terms,
+            skey=skey,
+            sid_tuple=tuple(s.site_id for s in mem_sites),
         )
         self._loop_info[id(loop)] = (loop, info)
         return info

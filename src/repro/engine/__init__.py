@@ -14,7 +14,16 @@ equivalence argument and the conformance gates that enforce it.
 
 from ..errors import ConfigurationError
 from .datapath import BatchDatapath
-from .plan import AccessPlan, PlanCache, PlanCacheStats, PlanSegment
+from .plan import (
+    SYMBOLIC_REGISTRY,
+    AccessPlan,
+    PackedPlan,
+    PlanCache,
+    PlanCacheStats,
+    PlanSegment,
+    SymbolicPlan,
+    SymbolicRegistry,
+)
 
 #: valid engine selectors, in CLI/choice order
 ENGINES = ("fast", "reference")
@@ -31,10 +40,14 @@ def validate_engine(engine: str) -> str:
 
 __all__ = [
     "ENGINES",
+    "SYMBOLIC_REGISTRY",
     "AccessPlan",
     "BatchDatapath",
+    "PackedPlan",
     "PlanCache",
     "PlanCacheStats",
     "PlanSegment",
+    "SymbolicPlan",
+    "SymbolicRegistry",
     "validate_engine",
 ]

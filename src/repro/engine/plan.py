@@ -12,21 +12,33 @@ by construction a plan contains the same lines, in the same order, that
 the per-line reference engine would dispatch — the foundation of the
 fast/reference equivalence guarantee (see ``docs/ENGINE.md``).
 
-Plans are cached per :class:`~repro.cpu.core.Core` under a key that
-pins every input the emission stream depends on:
+Plans are cached in two tiers (see :class:`PlanCache`):
 
-* the loop body object (by ``id``; the cache holds a strong reference
-  so ids cannot be recycled),
-* the values of all *outer* induction variables any site's address
-  references,
-* each referenced buffer's allocation base and NUMA home node,
-* for gather sites, the index table object (by ``id``, strong ref;
-  tables are treated as immutable program constants).
+* the **symbolic tier** is a process-global registry keyed on *loop
+  structure alone* — the loop id plus, per site, the access kind,
+  width, buffer name, and referenced induction variables.  Nothing
+  size-dependent (trip counts, strides, bases) enters the key, so the
+  dgemm kernel at n=64 and n=160 resolves to the *same*
+  :class:`SymbolicPlan`: segments are parameterised over trip-count
+  and base/stride symbols and only materialised at binding time.
+* the **bound tier** is per core: a symbolic plan plus one concrete
+  binding — ``(trips, site ids, per-site (base, stride, home))`` —
+  memoises the materialised :class:`AccessPlan`, so re-executions of
+  the same (program, buffer_map) pair (A/B measurement windows, reps,
+  warm-protocol reruns) replay without re-lowering anything.
 
-The measurement protocols re-execute identical (program, buffer_map)
-pairs constantly — the A and B windows of a measurement, every ``rep``,
-every warm-protocol rerun, and the cold protocol's buster sweep — and
-all of those are plan-cache hits.
+Loops the symbolic form cannot express — gathers (data-dependent
+streams) and negative own-loop strides — fall back to the concrete
+capture keying of earlier revisions: the loop object by ``id`` (strong
+ref), outer induction-variable values, buffer bases/homes, and gather
+index tables by ``id``.
+
+``PlanCacheStats.hits``/``misses`` count symbolic-tier resolution: a
+lookup misses only the first time a loop *structure* is seen in the
+process, which is what makes the hit rate size-polymorphic (a sweep
+over many problem sizes no longer pays one miss per size per address
+context).  Materialisation work is tracked separately by
+``built_segments``/``built_lines``.
 """
 
 from __future__ import annotations
@@ -93,6 +105,50 @@ class PlanSegment:
 
 
 @dataclass
+class PackedPlan:
+    """Array form of a plan's runs, consumed by the compiled datapath.
+
+    Layout shared with ``engine/_ckernel.c`` (keep the six meta columns
+    in sync with the ``RM_*`` enum there and in ``engine/ckernel.py``):
+
+    * ``meta`` — one int64 row per run:
+      ``[op, rhome, remote, line_offset, nlines, sid_mode]`` where
+      ``sid_mode >= 0`` is the uniform stream id of the whole run and
+      ``-1`` means per-line ids are in ``sids``.
+    * ``lines`` — all runs' line numbers, flat, indexed by
+      ``line_offset``/``nlines``.
+    * ``sids`` — per-line stream ids aligned with ``lines`` (only read
+      for demand runs with ``sid_mode == -1``).
+
+    No page-transition lists: the kernel performs the per-line
+    ``page != last_page`` check itself, so the packed form is fully
+    position-independent and cheap to materialise from the vectorized
+    affine lowering without any ``.tolist()`` round trip.
+    """
+
+    meta: np.ndarray
+    lines: np.ndarray
+    sids: np.ndarray
+    #: cached raw data pointers (``ndarray.ctypes`` allocates a wrapper
+    #: per access; cached plans replay thousands of times)
+    _ptrs: Optional[Tuple[int, int, int]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def nruns(self) -> int:
+        return self.meta.shape[0]
+
+    @property
+    def ptrs(self) -> Tuple[int, int, int]:
+        """(meta, lines, sids) raw data pointers for the C kernel."""
+        if self._ptrs is None:
+            self._ptrs = (self.meta.ctypes.data, self.lines.ctypes.data,
+                          self.sids.ctypes.data)
+        return self._ptrs
+
+
+@dataclass
 class AccessPlan:
     """The lowered memory traffic of one flat-loop execution context."""
 
@@ -111,6 +167,47 @@ class AccessPlan:
     #: preamble would be paid per *line*; fused runs restore long
     #: streams, carrying per-line stream ids in ``sids`` when sites mix
     runs: List[PlanSegment] = field(default_factory=list)
+    #: array execution form for the compiled kernel (built directly by
+    #: the affine lowering under ``packed=True``, or lazily from
+    #: ``runs`` via :meth:`ensure_packed` for captured plans)
+    packed: Optional[PackedPlan] = None
+
+    @property
+    def run_count(self) -> int:
+        """Number of lowered execution units (for build telemetry)."""
+        n = len(self.segments) or len(self.runs)
+        if not n and self.packed is not None:
+            n = self.packed.nruns
+        return n
+
+    def ensure_packed(self) -> PackedPlan:
+        """The packed array form, built from ``runs`` on first use."""
+        if self.packed is not None:
+            return self.packed
+        runs = self.runs
+        meta = np.zeros((len(runs), 6), dtype=np.int64)
+        total = sum(len(seg.lines) for seg in runs)
+        lines = np.empty(total, dtype=np.int64)
+        sids = np.zeros(total, dtype=np.int64)
+        off = 0
+        for k, seg in enumerate(runs):
+            n = len(seg.lines)
+            lines[off:off + n] = seg.lines
+            if seg.sids is not None:
+                sids[off:off + n] = seg.sids
+                sid_mode = -1
+            else:
+                sid_mode = seg.stream_id
+            row = meta[k]
+            row[0] = seg.op
+            row[1] = seg.rhome
+            row[2] = 1 if seg.remote else 0
+            row[3] = off
+            row[4] = n
+            row[5] = sid_mode
+            off += n
+        self.packed = PackedPlan(meta=meta, lines=lines, sids=sids)
+        return self.packed
 
     @classmethod
     def from_emissions(cls, emissions: Iterable, page_shift: int,
@@ -196,21 +293,26 @@ class AccessPlan:
 
     @classmethod
     def from_affine_sites(cls, sites, trips: int, line_shift: int,
-                          page_shift: int, own_node: int) -> "AccessPlan":
-        """Vectorized lowering of a multi-site affine flat loop.
+                          page_shift: int, own_node: int,
+                          packed: bool = False) -> "AccessPlan":
+        """Vectorized lowering of an affine flat loop (1..n sites).
 
         ``sites`` is a list of ``(kind, site_id, base, stride,
         width_bytes, node)`` records in body order with non-negative
         strides.  Produces exactly the runs :meth:`from_emissions`
-        builds from the interpreter's interleaved walker — per-site
+        builds from the interpreter's emission walk — per-site
         monotone-frontier crossings, the iteration-order merge, and the
         range expansion are computed in numpy instead of per-burst
         Python (the walker averages ~1 line per burst on interleaved
         bodies, so per-burst work dominates compile time otherwise).
 
-        The returned plan carries ``segments=()``: callers use this
-        form only when the inlined datapath is active, which never
-        takes the segment-granular fallback.
+        With ``packed=True`` the plan carries only the
+        :class:`PackedPlan` array form — the run metadata and flat line
+        stream stay numpy end to end (no ``.tolist()``), which is the
+        materialisation the compiled datapath kernel consumes.  The
+        returned plan carries ``segments=()`` either way: callers use
+        this form only when the inlined or compiled datapath is active,
+        which never takes the segment-granular fallback.
         """
         nsites = len(sites)
         trange = np.arange(trips, dtype=np.int64)
@@ -266,6 +368,31 @@ class AccessPlan:
         brk = np.flatnonzero(
             (op_b[1:] != op_b[:-1]) | (rh_b[1:] != rh_b[:-1])) + 1
         bounds = np.concatenate(([0], brk, [counts.size]))
+
+        if packed:
+            b0s = bounds[:-1]
+            offs = line_cum[b0s]
+            meta = np.empty((b0s.size, 6), dtype=np.int64)
+            meta[:, 0] = op_b[b0s]
+            meta[:, 1] = rh_b[b0s]
+            meta[:, 2] = meta[:, 1] != own_node
+            meta[:, 3] = offs
+            meta[:, 4] = line_cum[bounds[1:]] - offs
+            smin = np.minimum.reduceat(sid_flat, offs)
+            smax = np.maximum.reduceat(sid_flat, offs)
+            meta[:, 5] = np.where(smin == smax, smin, -1)
+            plan = cls(
+                segments=[], total_lines=total,
+                packed=PackedPlan(meta=meta, lines=lines_flat,
+                                  sids=sid_flat),
+            )
+            uh = np.unique(rh_b)
+            if uh.size <= 1:
+                plan.home0 = int(uh[0]) if uh.size else own_node
+                plan.remote0 = plan.home0 != own_node
+            else:
+                plan.single_home = False
+            return plan
 
         runs: List[PlanSegment] = []
         homes = set()
@@ -326,9 +453,84 @@ def _precompute_pages(seg: PlanSegment, page_shift: int) -> None:
     seg.walk_pages = tuple(walks)
 
 
+class SymbolicPlan:
+    """One interned loop structure: the size-polymorphic plan.
+
+    A symbolic plan is the compile artifact keyed on loop/kernel
+    identity alone.  Its segments exist only as *symbols* — per-site
+    access kind and width with free trip-count, base, stride, and home
+    parameters — and :meth:`bind` materialises a concrete
+    :class:`AccessPlan` for one assignment of those symbols via the
+    vectorized affine lowering.  Interning is structural, so every
+    program the same kernel generator emits (any problem size, any
+    buffer placement) resolves to the same object.
+    """
+
+    __slots__ = ("plan_id", "skey")
+
+    def __init__(self, plan_id: int, skey: tuple) -> None:
+        self.plan_id = plan_id
+        self.skey = skey
+
+    def bind(self, sites, trips: int, line_shift: int, page_shift: int,
+             own_node: int, packed: bool = False) -> AccessPlan:
+        """Materialise under one concrete symbol assignment.
+
+        ``sites`` supplies the bound symbols in body order —
+        ``(kind, site_id, base, stride, width_bytes, node)`` — and
+        ``trips`` the bound trip count.
+        """
+        return AccessPlan.from_affine_sites(
+            sites, trips, line_shift, page_shift, own_node, packed=packed
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"SymbolicPlan(id={self.plan_id}, loop={self.skey[0]!r})"
+
+
+class SymbolicRegistry:
+    """Process-global interning table for :class:`SymbolicPlan`.
+
+    Structural keys contain nothing machine- or placement-dependent, so
+    one registry serves every core of every machine in the process; the
+    per-core :class:`PlanCache` keeps only bound materialisations.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[tuple, SymbolicPlan] = {}
+
+    def intern(self, skey: tuple) -> Tuple[SymbolicPlan, bool]:
+        """(plan, freshly created?) for a structural key."""
+        plan = self._plans.get(skey)
+        if plan is not None:
+            return plan, False
+        plan = SymbolicPlan(len(self._plans), skey)
+        self._plans[skey] = plan
+        return plan, True
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+
+#: the process-wide symbolic tier (see :class:`SymbolicRegistry`)
+SYMBOLIC_REGISTRY = SymbolicRegistry()
+
+
 @dataclass
 class PlanCacheStats:
-    """Compile-tier telemetry (hit rate drives the amortization story)."""
+    """Compile-tier telemetry (hit rate drives the amortization story).
+
+    ``hits``/``misses`` count symbolic-tier resolution per plan lookup:
+    a miss means the loop's *structure* had never been seen by the
+    process (a genuinely new kernel shape); everything else — any
+    problem size, any buffer placement, any rep of a known shape — is
+    a hit.  Binding-level materialisation work is what
+    ``built_segments``/``built_lines`` track, and ``flushes`` counts
+    whole-cache evictions of the bound tier at the line cap.  Concrete
+    fallback lookups (gathers, negative strides, segment-fallback
+    machines) land in the same counters with their capture-key
+    semantics.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -356,18 +558,51 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """Per-core plan store, keyed as described in the module docstring.
+    """Per-core plan store: bound symbolic plans plus concrete captures.
 
-    Entries hold strong references to the loop object and any gather
-    tables so the ``id()`` components of the key stay valid.
+    The bound tier memoises :meth:`SymbolicPlan.bind` materialisations
+    under ``(plan_id, trips, site ids, per-site (base, stride, home))``
+    keys; the concrete tier keeps capture-keyed plans for loops the
+    symbolic form cannot express (entries hold strong references to the
+    loop object and any gather tables so the ``id()`` key components
+    stay valid).  Both tiers share the line-count memory cap and are
+    flushed together.
     """
 
     def __init__(self, max_lines: int = PLAN_CACHE_MAX_LINES) -> None:
         self.stats = PlanCacheStats()
         self.max_lines = max_lines
         self._entries: Dict[tuple, Tuple[object, tuple, AccessPlan]] = {}
+        self._bound: Dict[tuple, AccessPlan] = {}
         self._cached_lines = 0
 
+    # -- symbolic tier -------------------------------------------------
+    def resolve_symbolic(self, skey: tuple) -> SymbolicPlan:
+        """Intern a loop structure, counting the lookup (see stats)."""
+        plan, fresh = SYMBOLIC_REGISTRY.intern(skey)
+        if fresh:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return plan
+
+    def note_symbolic_hit(self) -> None:
+        """Count a lookup whose structure was already resolved locally."""
+        self.stats.hits += 1
+
+    # -- bound tier ----------------------------------------------------
+    def get_bound(self, bkey: tuple) -> Optional[AccessPlan]:
+        return self._bound.get(bkey)
+
+    def put_bound(self, bkey: tuple, plan: AccessPlan) -> None:
+        if self._cached_lines + plan.total_lines > self.max_lines:
+            self._flush()
+        self._bound[bkey] = plan
+        self._cached_lines += plan.total_lines
+        self.stats.built_segments += plan.run_count
+        self.stats.built_lines += plan.total_lines
+
+    # -- concrete fallback tier ----------------------------------------
     def get(self, key: tuple):
         entry = self._entries.get(key)
         if entry is None:
@@ -378,13 +613,17 @@ class PlanCache:
 
     def put(self, key: tuple, loop, pinned: tuple, plan: AccessPlan) -> None:
         if self._cached_lines + plan.total_lines > self.max_lines:
-            self._entries.clear()
-            self._cached_lines = 0
-            self.stats.flushes += 1
+            self._flush()
         self._entries[key] = (loop, pinned, plan)
         self._cached_lines += plan.total_lines
-        self.stats.built_segments += len(plan.segments) or len(plan.runs)
+        self.stats.built_segments += plan.run_count
         self.stats.built_lines += plan.total_lines
 
+    def _flush(self) -> None:
+        self._entries.clear()
+        self._bound.clear()
+        self._cached_lines = 0
+        self.stats.flushes += 1
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) + len(self._bound)

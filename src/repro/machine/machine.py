@@ -21,7 +21,7 @@ from ..cpu.core import Core, ExecutionResult
 from ..cpu.frequency import FrequencyGovernor
 from ..cpu.port_model import PortModel
 from ..cpu.timing import TimingParams
-from ..engine import validate_engine
+from ..engine import ckernel, validate_engine
 from ..errors import ConfigurationError, ExecutionError
 from ..isa.program import Program
 from ..memory.allocator import Allocation, BumpAllocator
@@ -137,6 +137,14 @@ class Machine:
     def core(self, core_id: int) -> Core:
         if core_id not in self._cores:
             self._check_core(core_id)
+            if not self._cores and self.engine == "fast" \
+                    and ckernel.available():
+                # swap to the numpy array state the compiled datapath
+                # shares; must precede the first CorePort construction
+                # (ports capture the cache/TLB representation).  Engine
+                # reassignment after construction is honoured because
+                # no core exists yet at this point.
+                self.hierarchy.adopt_array_backend()
             self._cores[core_id] = Core(
                 core_id,
                 self.ports,

@@ -489,7 +489,15 @@ class Cache:
                 for s in self._sets:
                     s.clear()
             elif self._backend == "array":
-                self._init_array_state()
+                # In place: external views of these arrays (the C datapath
+                # kernel caches raw pointers) must stay valid across clears.
+                self._tags.fill(-1)
+                self._adirty.fill(False)
+                if self._akind in ("lru", "fifo"):
+                    self._stamp.fill(0)
+                    self._tick = 0
+                elif self._akind == "plru":
+                    self._plru.fill(0)
             else:
                 for set_idx in range(self.config.nsets):
                     self._lines[set_idx] = [None] * self._assoc

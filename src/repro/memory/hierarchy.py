@@ -29,10 +29,12 @@ from ..prefetch import (
     StreamPrefetcher,
     StridePrefetcher,
 )
+from ..prefetch.arraystate import ArrayStreamPrefetcher, ArrayStridePrefetcher
 from .cache import Cache, CacheConfig
 from .dram import DramConfig, DramNode
 from .numa import NumaConfig, Topology
-from .tlb import Tlb, TlbConfig
+from .prefetched import PrefetchedSet
+from .tlb import ArrayTlb, Tlb, TlbConfig
 
 
 @dataclass(frozen=True)
@@ -166,6 +168,48 @@ class MemoryHierarchy:
         self.dram = [DramNode(node, config.dram) for node in range(topology.sockets)]
         self._prefetchers: List[List[Prefetcher]] = [factory() for _ in range(ncores)]
         self._ports: Dict[int, CorePort] = {}
+        self._custom_prefetch = prefetch_factory is not None
+        #: True once the caches/TLBs/prefetchers were swapped to the
+        #: numpy array state the compiled datapath kernel shares
+        self.array_mode = False
+
+    def adopt_array_backend(self) -> bool:
+        """Swap every cache and prefetcher to numpy array state.
+
+        Called by the machine before the first core is built when the
+        fast engine will drive this hierarchy through the compiled C
+        datapath.  The array state is behaviourally identical to the
+        dict state (hypothesis-verified), and is shared between the C
+        kernel and the Python port paths, so rare operations (multi-line
+        singles, flushes, conformance introspection) stay exact.
+
+        Only LRU hierarchies with the stock prefetcher set are eligible;
+        returns False (leaving the dict state in place) otherwise.
+        """
+        if self.array_mode:
+            return True
+        if self._ports:
+            return False  # ports already hold references to the dict state
+        if self._custom_prefetch:
+            return False
+        cfg = self.config
+        for level in (cfg.l1, cfg.l2, cfg.l3):
+            if level.policy != "lru":
+                return False
+        if any(c.occupancy() for c in self.l1 + self.l2 + self.l3):
+            return False
+        ncores = self.topology.total_cores
+        self.l1 = [Cache(cfg.l1, backend="array") for _ in range(ncores)]
+        self.l2 = [Cache(cfg.l2, backend="array") for _ in range(ncores)]
+        self.l3 = [Cache(cfg.l3, backend="array")
+                   for _ in range(self.topology.sockets)]
+        self._prefetchers = [
+            [NextLinePrefetcher(), ArrayStreamPrefetcher(),
+             ArrayStridePrefetcher()]
+            for _ in range(ncores)
+        ]
+        self.array_mode = True
+        return True
 
     def port(self, core_id: int) -> "CorePort":
         """The (cached) access port of one core."""
@@ -230,8 +274,12 @@ class CorePort:
         self.l1 = hierarchy.l1[core_id]
         self.l2 = hierarchy.l2[core_id]
         self.l3 = hierarchy.l3[self.node]
-        self.tlb = Tlb(hierarchy.config.tlb)
-        self._prefetched: set = set()
+        if hierarchy.array_mode:
+            self.tlb = ArrayTlb(hierarchy.config.tlb)
+            self._prefetched = PrefetchedSet()
+        else:
+            self.tlb = Tlb(hierarchy.config.tlb)
+            self._prefetched = set()
         self._page_shift = (
             hierarchy.config.tlb.page_bytes.bit_length()
             - hierarchy.config.line_bytes.bit_length()

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
 
 
@@ -119,3 +121,106 @@ class Tlb:
     def page_sets(self):
         """(L1 pages, L2 pages) as frozensets (conformance/diagnostics)."""
         return frozenset(self._l1), frozenset(self._l2)
+
+
+class ArrayTlb:
+    """Numpy-backed TLB, state shareable with the C datapath kernel.
+
+    Behaviourally identical to :class:`Tlb`: the dict backend's
+    insertion-order recency is replicated with monotone stamps — the L1
+    victim is the valid entry with the smallest stamp (stamps refresh on
+    hit and on fill), and the L2 victim is the oldest *insertion* (L2
+    entries are never re-stamped after insert, matching the dict's
+    insert-only ordering).  All mutable state lives in int64 arrays so
+    the compiled kernel can operate on the same storage the Python
+    fallback paths use.
+
+    Array layout (shared with ``engine/_ckernel.c``):
+
+    * ``l1_pages`` / ``l1_stamp`` — fully-associative L1 entries
+      (page number, recency stamp); -1 marks an empty slot.
+    * ``l2_pages`` / ``l2_stamp`` — same for the STLB.
+    * ``regs`` — ``[tick, l1_count, l2_count]``.
+    """
+
+    EMPTY = -1
+
+    def __init__(self, config: TlbConfig) -> None:
+        self.config = config
+        self.stats = TlbStats()
+        self._page_shift = config.page_bytes.bit_length() - 1
+        self.l1_pages = np.full(config.l1_entries, self.EMPTY, dtype=np.int64)
+        self.l1_stamp = np.zeros(config.l1_entries, dtype=np.int64)
+        self.l2_pages = np.full(config.l2_entries, self.EMPTY, dtype=np.int64)
+        self.l2_stamp = np.zeros(config.l2_entries, dtype=np.int64)
+        self.regs = np.zeros(3, dtype=np.int64)  # [tick, l1_count, l2_count]
+
+    def page_of_line(self, line: int, line_bytes: int = 64) -> int:
+        return (line * line_bytes) >> self._page_shift
+
+    def translate_page(self, page: int) -> int:
+        self.stats.accesses += 1
+        idx = np.nonzero(self.l1_pages == page)[0]
+        if idx.size:
+            self.regs[0] += 1
+            self.l1_stamp[idx[0]] = self.regs[0]
+            self.stats.l1_hits += 1
+            return 0
+        idx = np.nonzero(self.l2_pages == page)[0]
+        if idx.size:
+            self.l2_pages[idx[0]] = self.EMPTY
+            self.regs[2] -= 1
+            self.stats.l2_hits += 1
+            self._fill(page)
+            return 0
+        self.stats.walks += 1
+        self._fill(page)
+        return self.config.walk_latency_cycles
+
+    def _fill(self, page: int) -> None:
+        l1p, l2p = self.l1_pages, self.l2_pages
+        if self.regs[1] >= self.config.l1_entries:
+            # all L1 slots valid -> smallest stamp is the dict-order head
+            vidx = int(np.argmin(self.l1_stamp))
+            victim = int(l1p[vidx])
+            l1p[vidx] = self.EMPTY
+            self.regs[1] -= 1
+            if self.regs[2] >= self.config.l2_entries:
+                widx = int(np.argmin(self.l2_stamp))
+                l2p[widx] = self.EMPTY
+                self.regs[2] -= 1
+            free2 = int(np.nonzero(l2p == self.EMPTY)[0][0])
+            self.regs[0] += 1
+            l2p[free2] = victim
+            self.l2_stamp[free2] = self.regs[0]
+            self.regs[2] += 1
+        free1 = int(np.nonzero(l1p == self.EMPTY)[0][0])
+        self.regs[0] += 1
+        l1p[free1] = page
+        self.l1_stamp[free1] = self.regs[0]
+        self.regs[1] += 1
+
+    def contains(self, page: int) -> bool:
+        return bool((self.l1_pages == page).any()
+                    or (self.l2_pages == page).any())
+
+    def flush(self) -> None:
+        # In place: the C kernel holds raw pointers to these arrays.
+        self.l1_pages.fill(self.EMPTY)
+        self.l2_pages.fill(self.EMPTY)
+        self.l1_stamp.fill(0)
+        self.l2_stamp.fill(0)
+        self.regs.fill(0)
+
+    def reset(self) -> None:
+        self.flush()
+        self.stats.reset()
+
+    @property
+    def resident_pages(self) -> int:
+        return int(self.regs[1] + self.regs[2])
+
+    def page_sets(self):
+        l1 = frozenset(int(p) for p in self.l1_pages if p != self.EMPTY)
+        l2 = frozenset(int(p) for p in self.l2_pages if p != self.EMPTY)
+        return l1, l2

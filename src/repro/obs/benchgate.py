@@ -74,6 +74,9 @@ class GateCheck:
     * ``min_abs`` — current must be >= baseline - tol
     * ``max_cap`` — current must be <= tol (an absolute ceiling the
       baseline does not move; tolerance scaling does not apply)
+    * ``min_floor`` — current must be >= tol (an absolute floor,
+      symmetric to ``max_cap``: the committed baseline neither
+      relaxes nor tightens it, and tolerance scaling does not apply)
     """
 
     path: str
@@ -106,8 +109,16 @@ GATES: Dict[str, List[GateCheck]] = {
         # the fast engine's reason to exist: wall-clock speedup over
         # the reference engine on the committed sweep workloads
         GateCheck("sweeps.*.speedup", "min_rel", 0.35),
-        # compile-tier amortization: plans must actually be reused
+        # the symbolic-plan acceptance bound: >= 10x on the dgemm
+        # sweep, absolute — a faster committed baseline must not let
+        # the engine coast back down toward the old plateau
+        GateCheck("sweeps.dgemm.speedup", "min_floor", 10.0),
+        # compile-tier amortization: plans must actually be reused ...
         GateCheck("sweeps.*.plan_cache.hit_rate", "min_abs", 0.10),
+        # ... and with size-polymorphic structures, near-perfectly:
+        # every problem size of a sweep rebinds the same interned
+        # plans instead of recompiling
+        GateCheck("sweeps.*.plan_cache.hit_rate", "min_floor", 0.95),
         GateCheck("amortization.amortization_factor", "min_rel", 0.50),
     ],
     "s3_timeline": [
@@ -230,6 +241,9 @@ def compare_docs(baseline: dict, current: dict,
             elif direction == "max_cap":
                 limit = check.tol
                 ok = cur_value <= limit
+            elif direction == "min_floor":
+                limit = check.tol
+                ok = cur_value >= limit
             else:  # pragma: no cover - specs are static
                 raise BenchGateError(f"unknown direction {direction!r}")
             if math.isnan(cur_value):

@@ -19,9 +19,11 @@ hypothesis suite under ``tests/oracle/``.
 from .differential import (
     DifferentialOutcome,
     Divergence,
+    diff_engine_sides,
     minimize_program,
     render_program,
     run_cross_engine,
+    run_cross_engine_sequence,
     run_differential,
 )
 from .fuzz import ProgramGenerator, random_program
@@ -32,6 +34,7 @@ __all__ = [
     "DifferentialOutcome",
     "Divergence",
     "InfiniteCacheMemory",
+    "diff_engine_sides",
     "ProgramGenerator",
     "ReferenceInterpreter",
     "ReferenceMemory",
@@ -40,5 +43,6 @@ __all__ = [
     "random_program",
     "render_program",
     "run_cross_engine",
+    "run_cross_engine_sequence",
     "run_differential",
 ]

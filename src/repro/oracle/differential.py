@@ -211,7 +211,56 @@ def run_cross_engine(program: Program, prefetch_mask: int = 0,
             run = machine.run(loaded, core_id=core_id)
         sides.append((machine, run.result))
     (fast_m, fast_r), (ref_m, ref_r) = sides
+    divs = diff_engine_sides(fast_m, fast_r, ref_m, ref_r, core_id)
+    return DifferentialOutcome(divergences=divs, fast_cycles=fast_r.cycles,
+                               ref_cycles=ref_r.cycles)
 
+
+def run_cross_engine_sequence(programs, prefetch_mask: int = 0,
+                              core_id: int = 0,
+                              machine_factory: Callable = tiny_test_machine,
+                              ) -> DifferentialOutcome:
+    """Run a program *sequence* through one warm machine pair and diff.
+
+    Unlike :func:`run_cross_engine`, which builds fresh machines per
+    program, both machines persist across the whole sequence: caches
+    stay warm, prefetchers stay trained, and — crucially — the fast
+    engine's plan cache carries plans compiled under earlier programs
+    into later ones.  This is the gate for size-polymorphic plans: a
+    plan compiled for the loop at size A must rebind, not silently
+    replay, when the same loop structure returns at size B with
+    different trip counts and buffer placements.  Observables are
+    diffed after every program; the first divergent step is reported
+    with its index prefixed to each observable name.
+    """
+    fast_m = machine_factory()
+    fast_m.engine = "fast"
+    ref_m = machine_factory()
+    ref_m.engine = "reference"
+    fast_cycles = ref_cycles = 0.0
+    for step, program in enumerate(programs):
+        results = []
+        for machine in (fast_m, ref_m):
+            machine.prefetch_control.write_msr(prefetch_mask)
+            loaded = machine.load(program)
+            run = machine.run(loaded, core_id=core_id)
+            results.append(run.result)
+        fast_r, ref_r = results
+        fast_cycles, ref_cycles = fast_r.cycles, ref_r.cycles
+        divs = diff_engine_sides(fast_m, fast_r, ref_m, ref_r, core_id)
+        if divs:
+            return DifferentialOutcome(
+                divergences=[Divergence(f"step[{step}].{d.observable}",
+                                        d.fast, d.ref) for d in divs],
+                fast_cycles=fast_cycles, ref_cycles=ref_cycles,
+            )
+    return DifferentialOutcome(divergences=[], fast_cycles=fast_cycles,
+                               ref_cycles=ref_cycles)
+
+
+def diff_engine_sides(fast_m, fast_r, ref_m, ref_r,
+                      core_id: int) -> List[Divergence]:
+    """Diff every cross-engine observable between two executed machines."""
     divs: List[Divergence] = []
     for name in ("cycles", "instructions", "true_flops"):
         a, b = getattr(fast_r, name), getattr(ref_r, name)
@@ -291,8 +340,7 @@ def run_cross_engine(program: Program, prefetch_mask: int = 0,
     if fast_tlb != ref_tlb:
         divs.append(Divergence("tlb.resident_pages", fast_tlb, ref_tlb))
 
-    return DifferentialOutcome(divergences=divs, fast_cycles=fast_r.cycles,
-                               ref_cycles=ref_r.cycles)
+    return divs
 
 
 # ----------------------------------------------------------------------

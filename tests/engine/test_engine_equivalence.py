@@ -17,8 +17,13 @@ import pytest
 
 from repro.engine import ENGINES, AccessPlan, PlanCache, validate_engine
 from repro.errors import ConfigurationError
-from repro.kernels import kernel_names, make_kernel
-from repro.machine.presets import tiny_test_machine
+from repro.isa import ProgramBuilder
+from repro.kernels import CodegenCaps, kernel_names, make_kernel
+from repro.machine.presets import (
+    make_machine,
+    oracle_test_machine,
+    tiny_test_machine,
+)
 from repro.machine.ref import MachineRef
 from repro.measure import measure_kernel
 from repro.oracle import render_program, run_cross_engine
@@ -97,6 +102,73 @@ def test_fast_engine_matches_reference_engine(data):
 
 
 # ----------------------------------------------------------------------
+# equivalence matrix: machine preset x prefetcher configuration
+# ----------------------------------------------------------------------
+#: scaled-down snb keeps the reference side fast while exercising the
+#: real Sandy Bridge hierarchy shape; oracle is the single-core
+#: big-uniform-cache preset the analytic model targets
+_MATRIX_PRESETS = {
+    "tiny": tiny_test_machine,
+    "snb": lambda: make_machine("snb", scale=0.0625),
+    "oracle": oracle_test_machine,
+}
+#: all prefetchers on, a mixed mask, and all off
+_MATRIX_MASKS = (0, 5, 15)
+_MATRIX_KERNELS = ("daxpy", "stencil3", "spmv")
+
+
+@pytest.mark.parametrize("mask", _MATRIX_MASKS)
+@pytest.mark.parametrize("preset", sorted(_MATRIX_PRESETS))
+def test_cross_engine_matrix_preset_by_prefetchers(preset, mask):
+    factory = _MATRIX_PRESETS[preset]
+    caps = CodegenCaps.from_machine(factory())
+    for name in _MATRIX_KERNELS:
+        program = make_kernel(name).build(64, caps)
+        outcome = run_cross_engine(
+            program, prefetch_mask=mask, machine_factory=factory
+        )
+        assert outcome.ok, "\n".join(
+            [f"preset {preset} mask {mask} kernel {name}"]
+            + [str(d) for d in outcome.divergences]
+        )
+
+
+# ----------------------------------------------------------------------
+# non-symbolic loops: the concrete capture fallback
+# ----------------------------------------------------------------------
+def _gather_program():
+    b = ProgramBuilder()
+    buf = b.buffer("data", 4096)
+    table = b.index_table("tab0", [(i * 24) % 4000 for i in range(40)])
+    with b.loop(32) as i:
+        b.gather(buf, table[i], width=64)
+    return b.build()
+
+
+def _descending_program():
+    b = ProgramBuilder()
+    buf = b.buffer("data", 4096)
+    with b.loop(32) as i:
+        b.load(buf[i * -16 + 31 * 16], width=128)
+    return b.build()
+
+
+@pytest.mark.parametrize("build", [_gather_program, _descending_program],
+                         ids=["gather", "negative-stride"])
+def test_non_affine_loops_take_the_concrete_fallback_and_match(build):
+    program = build()
+    outcome = run_cross_engine(program)
+    assert outcome.ok, "\n".join(str(d) for d in outcome.divergences)
+    # white-box: these shapes are not symbolically plannable, so they
+    # must land in the capture-keyed concrete tier, never the bound one
+    machine = tiny_test_machine()
+    machine.run(machine.load(program))
+    cache = machine.core(0).plan_cache
+    assert len(cache._entries) > 0
+    assert len(cache._bound) == 0
+
+
+# ----------------------------------------------------------------------
 # full-methodology byte identity on every registry kernel
 # ----------------------------------------------------------------------
 def _measure_doc(engine: str, name: str, n: int) -> str:
@@ -128,9 +200,15 @@ def test_fast_engine_hits_the_plan_cache_across_reps():
     machine = tiny_test_machine()
     measure_kernel(machine, make_kernel("daxpy"), 256, reps=3)
     stats = machine.core(0).plan_stats
-    assert stats.misses > 0
-    assert stats.hits > stats.misses  # A/B windows + reps reuse plans
-    assert 0.0 < stats.hit_rate < 1.0
+    # structure interning is process-global, so `misses` can be zero
+    # here (an earlier test may have interned daxpy's loop shapes
+    # already); what this machine guarantees is reuse: A/B windows and
+    # reps replay the same structures over and over
+    assert stats.hits > 0
+    assert stats.hits > stats.misses
+    assert stats.hit_rate >= 0.8
+    assert stats.built_lines > 0
+    assert stats.flushes == 0
 
 
 def test_reference_engine_never_compiles_plans():
@@ -157,8 +235,9 @@ def test_plan_cache_flushes_at_the_line_cap():
 
 
 def test_plan_key_distinguishes_buffer_placement():
-    # same program measured at two sizes -> different buffer bases ->
-    # different plan keys (no false sharing between distinct contexts)
+    # same kernel measured at two sizes -> one shared symbolic
+    # structure, but different trip counts and buffer bases -> new
+    # bound-tier entries (no false sharing between distinct contexts)
     machine = tiny_test_machine()
     measure_kernel(machine, make_kernel("daxpy"), 64, reps=1)
     first = len(machine.core(0).plan_cache)

@@ -14,15 +14,18 @@ from repro.obs.benchgate import (
 
 
 def engine_doc():
+    # shaped like the post-symbolic-plan BENCH_engine.json: the specs
+    # carry absolute floors (dgemm speedup >= 10, hit rate >= 0.95)
+    # that a realistic doc must clear
     return {
         "bench": "s5_engine",
         "sweeps": {
-            "daxpy": {"fast_seconds": 1.0, "reference_seconds": 2.0,
-                      "speedup": 2.0,
-                      "plan_cache": {"hit_rate": 0.8}},
-            "dgemm": {"fast_seconds": 3.0, "reference_seconds": 9.0,
-                      "speedup": 3.0,
-                      "plan_cache": {"hit_rate": 0.67}},
+            "daxpy": {"fast_seconds": 0.1, "reference_seconds": 2.0,
+                      "speedup": 20.0,
+                      "plan_cache": {"hit_rate": 0.99}},
+            "dgemm": {"fast_seconds": 0.75, "reference_seconds": 9.0,
+                      "speedup": 12.0,
+                      "plan_cache": {"hit_rate": 0.99}},
         },
         "amortization": {"amortization_factor": 1.75,
                          "marginal_rep_seconds": 0.1,
@@ -109,10 +112,28 @@ class TestCompare:
 
     def test_tolerance_scale_widens_the_gate(self):
         current = engine_doc()
-        current["sweeps"]["daxpy"]["speedup"] = 1.2  # -40%: fails at 35%
+        current["sweeps"]["daxpy"]["speedup"] = 12.0  # -40%: fails at 35%
         assert not all(r.ok for r in compare_docs(engine_doc(), current))
         wide = compare_docs(engine_doc(), current, tolerance_scale=2.0)
         assert all(r.ok for r in wide)
+
+    def test_absolute_floor_ignores_baseline_and_tolerance(self):
+        # the >= 10x dgemm floor: a generous baseline and a wide
+        # tolerance scale must not resurrect the old plateau
+        current = engine_doc()
+        current["sweeps"]["dgemm"]["speedup"] = 9.5
+        results = {r.metric: r for r in
+                   compare_docs(engine_doc(), current,
+                                tolerance_scale=100.0)}
+        assert not results["sweeps.dgemm.speedup"].ok
+
+    def test_hit_rate_floor_fires_on_recompile_regression(self):
+        current = engine_doc()
+        current["sweeps"]["dgemm"]["plan_cache"]["hit_rate"] = 0.67
+        results = compare_docs(engine_doc(), current)
+        bad = [r for r in results if not r.ok]
+        assert any(r.metric == "sweeps.dgemm.plan_cache.hit_rate"
+                   and r.limit == 0.95 for r in bad)
 
     def test_absolute_cap_ignores_baseline(self):
         # the 5% disabled-overhead ceiling: even if the baseline were

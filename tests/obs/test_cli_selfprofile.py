@@ -26,8 +26,10 @@ def _engine_baseline(tmp_path):
     doc = {
         "bench": "s5_engine",
         "sweeps": {
-            "daxpy": {"fast_seconds": 1.0, "reference_seconds": 2.0,
-                      "speedup": 2.0, "plan_cache": {"hit_rate": 0.8}},
+            "daxpy": {"fast_seconds": 0.1, "reference_seconds": 2.0,
+                      "speedup": 20.0, "plan_cache": {"hit_rate": 0.99}},
+            "dgemm": {"fast_seconds": 0.75, "reference_seconds": 9.0,
+                      "speedup": 12.0, "plan_cache": {"hit_rate": 0.99}},
         },
         "amortization": {"amortization_factor": 1.75,
                          "marginal_rep_seconds": 0.1,
@@ -83,7 +85,11 @@ class TestSelfprofile:
         doc = json.loads(capsys.readouterr().out)
         assert doc["kernel"] == "daxpy"
         assert doc["profile"]["spans"] > 0
-        assert doc["plan_cache"]["misses"] > 0
+        # the symbolic tier interns loop structures process-globally, so
+        # a structure another in-process run already resolved is a pure
+        # hit: assert lookups flow, not a per-run miss
+        assert doc["plan_cache"]["hits"] + doc["plan_cache"]["misses"] > 0
+        assert doc["plan_cache"]["built_lines"] > 0
         assert "repro_sweep_point_seconds" in doc["metrics"]
         hotspot_names = {h["name"] for h in doc["profile"]["hotspots"]}
         assert "engine.execute" in hotspot_names
@@ -138,7 +144,10 @@ class TestSweepPlanCacheSatellite:
         assert rc == 0
         doc = json.loads(capsys.readouterr().out)
         pc = doc["plan_cache"]
-        assert pc["misses"] > 0
+        # structure interning is process-global: misses only happen the
+        # first time a loop shape is ever seen in the process
+        assert pc["hits"] + pc["misses"] > 0
+        assert pc["built_lines"] > 0
         assert 0.0 <= pc["hit_rate"] <= 1.0
 
     def test_sweep_metrics_out_includes_plan_cache(self, tmp_path, capsys):
