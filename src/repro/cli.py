@@ -32,6 +32,13 @@ machine-readable output; ``profile`` and ``sweep`` add ``--trace-out``
 ``--cache-dir`` flags (also accepted after ``sweep``/``experiment``)
 control how measurement grids execute: ``--jobs`` fans points over a
 process pool, ``--no-cache`` forces re-simulation of every point.
+
+Parallel sweeps collect distributed telemetry by default (see
+:mod:`repro.obs.remote`): ``sweep --flame-out`` exports the merged
+host+workers flame view, ``sweep --live`` renders an in-terminal
+dashboard, and ``--telemetry``/``--no-telemetry`` override the
+collection default.  When a point raises or a worker dies, the error
+message names the flight-recorder dump under ``artifacts/flightrec/``.
 """
 
 from __future__ import annotations
@@ -297,6 +304,10 @@ def _sweep_machine_ref(machine: str, scale: float,
 
 
 def _cmd_sweep(args) -> int:
+    from .obs.dashboard import SweepDashboard
+    from .obs.spans import SPANS
+    from .sweep.executor import resolve_jobs
+
     ref = _sweep_machine_ref(args.machine, args.scale, args.engine)
     if args.grid:
         plan = make_grid(args.grid, ref, quick=args.quick, reps=args.reps)
@@ -318,27 +329,47 @@ def _cmd_sweep(args) -> int:
     bus.attach(sink)
 
     def progress(done: int, total: int, point, status: str) -> None:
-        if not args.json:
+        if not args.json and not args.live:
             print(f"[{done}/{total}] {status:7s} {point.label()}")
 
-    run = run_plan(plan, jobs=args.jobs, cache=cache, bus=bus,
-                   progress=progress)
+    dashboard = None
+    if args.live:
+        dashboard = SweepDashboard(total=len(plan),
+                                   jobs=resolve_jobs(args.jobs))
+    try:
+        run = run_plan(plan, jobs=args.jobs, cache=cache, bus=bus,
+                       progress=progress, telemetry=args.telemetry,
+                       on_point=dashboard.update if dashboard else None)
+    finally:
+        if dashboard is not None:
+            dashboard.close()
     if args.trace_out:
         doc = to_chrome_trace(sink.events, frequency_hz=1.0,
                               machine_name=f"sweep {ref.describe()}")
         with open(args.trace_out, "w", encoding="utf-8") as handle:
             json.dump(doc, handle)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.flame_out:
+        # the merged host+workers flame: parent spans on tid 0, worker
+        # spans (absorbed by the telemetry merge) on per-pid tracks
+        with open(args.flame_out, "w", encoding="utf-8") as handle:
+            json.dump(SPANS.to_chrome_trace(
+                process_name=f"sweep {ref.describe()}"), handle)
+        print(f"flame written to {args.flame_out}", file=sys.stderr)
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(to_prometheus({"sweep": run.stats.to_dict(),
-                                        "plan_cache": run.plan_cache}))
+            handle.write(to_prometheus({
+                "sweep": run.stats.to_dict(),
+                "plan_cache": run.plan_cache,
+                "workers": run.telemetry.get("workers", []),
+            }))
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     if args.json:
         print(json.dumps({
             "machine": ref.key_doc(),
             "stats": run.stats.to_dict(),
             "plan_cache": run.plan_cache,
+            "telemetry": run.telemetry,
             "keys": run.keys,
             "measurements": [measurement_to_payload(m)
                              for m in run.measurements],
@@ -357,6 +388,15 @@ def _cmd_sweep(args) -> int:
         print(f"plans: {pc['hits']} hit / {pc['misses']} built "
               f"({pc['hit_rate']:.0%} reuse, "
               f"{pc['built_lines']} lines lowered)")
+    workers = run.telemetry.get("workers", [])
+    if workers:
+        parts = ", ".join(
+            f"pid {w['pid']}: {w['points']} pt / {w['busy_seconds']:.2f}s"
+            + (f" ({w['utilization']:.0%} busy)"
+               if "utilization" in w else "")
+            for w in workers
+        )
+        print(f"workers: {parts}")
     return 0
 
 
@@ -525,6 +565,7 @@ def _cmd_selfprofile(args) -> int:
     with open(metrics_path, "w", encoding="utf-8") as handle:
         handle.write(REGISTRY.to_prometheus())
 
+    dropped = SPANS.dropped
     if args.json:
         print(json.dumps({
             "kernel": kernel_name,
@@ -532,6 +573,7 @@ def _cmd_selfprofile(args) -> int:
             "machine": ref.key_doc(),
             "stats": run.stats.to_dict(),
             "plan_cache": run.plan_cache,
+            "dropped": dropped,
             "profile": SPANS.to_json_doc(),
             "metrics": REGISTRY.to_json_doc(),
             "artifacts": {"flame": flame_path, "metrics": metrics_path},
@@ -543,12 +585,18 @@ def _cmd_selfprofile(args) -> int:
               f"engine={args.engine}")
         print(f"host time : {run.stats.elapsed_seconds:.3f} s over "
               f"{run.stats.points} point(s)")
+        print(f"spans     : {len(SPANS.records)} retained, "
+              f"{dropped} dropped past the retention cap")
         pc = run.plan_cache
         if pc.get("hits", 0) or pc.get("misses", 0):
             print(f"plans     : {pc['hits']} hit / {pc['misses']} built "
                   f"({pc['hit_rate']:.0%} reuse)")
         print()
         print(SPANS.hotspot_table(args.top))
+    if dropped:
+        print(f"warning: {dropped} span(s) exceeded the retention cap — "
+              f"the flame view is truncated (aggregates stay complete)",
+              file=sys.stderr)
     print(f"flame trace written to {flame_path}", file=sys.stderr)
     print(f"metrics written to {metrics_path}", file=sys.stderr)
     SPANS.reset()
@@ -650,7 +698,8 @@ def _cmd_benchgate(args) -> int:
 
     baselines = args.baseline or [
         path for path in ("BENCH_engine.json", "BENCH_timeline.json",
-                          "BENCH_selfprofile.json", "BENCH_ert.json")
+                          "BENCH_selfprofile.json", "BENCH_ert.json",
+                          "BENCH_disttrace.json")
         if os.path.exists(path)
     ]
     if not baselines:
@@ -842,8 +891,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "as JSON")
     p_sweep.add_argument("--trace-out",
                          help="write Chrome trace-event JSON of the sweep")
+    p_sweep.add_argument("--flame-out",
+                         help="write the merged host+workers span flame "
+                              "(Chrome trace-event JSON) here")
     p_sweep.add_argument("--metrics-out",
                          help="write Prometheus-format sweep metrics here")
+    p_sweep.add_argument("--live", action="store_true",
+                         help="render a live in-terminal dashboard "
+                              "(progress, hit rate, latency percentiles, "
+                              "queue depth, worker occupancy)")
+    telemetry = p_sweep.add_mutually_exclusive_group()
+    telemetry.add_argument("--telemetry", dest="telemetry",
+                           action="store_true", default=None,
+                           help="force distributed-telemetry collection "
+                                "(default: on for parallel runs only)")
+    telemetry.add_argument("--no-telemetry", dest="telemetry",
+                           action="store_false",
+                           help="disable distributed-telemetry collection "
+                                "even for parallel runs")
     _add_sweep_flags(p_sweep, suppress=True)
 
     p_ert = sub.add_parser(

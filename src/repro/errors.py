@@ -56,6 +56,16 @@ class SweepError(ReproError):
     """A sweep plan, its executor, or the result cache misbehaved."""
 
 
+class SweepPointError(SweepError):
+    """One sweep point failed inside a worker.
+
+    The message names the failing point and, when the flight recorder
+    managed to write one, the path of its crash dump under
+    ``artifacts/flightrec/``.  Raised from worker processes, so it must
+    stay constructible from its message alone to survive pickling.
+    """
+
+
 class TimelineError(ReproError):
     """A timeline profile was misconfigured or the trace cannot be
     windowed (empty trace, window wider than the measured span, ...)."""

@@ -8,7 +8,7 @@ tier vs. execute tier vs. cache model vs. sweep executor), what the
 long-lived process's counters and latency distributions look like, and
 whether the committed performance baselines still hold.
 
-Three pieces:
+Five pieces:
 
 * :mod:`repro.obs.spans` — a hierarchical span profiler
   (``with SPANS("engine.compile"):``) instrumented through the hot
@@ -17,12 +17,20 @@ Three pieces:
 * :mod:`repro.obs.metrics` — a unified registry of counters, gauges
   and histograms behind one Prometheus/JSON export path (shared
   text-format helpers with :mod:`repro.trace.export`);
+* :mod:`repro.obs.remote` — the distributed telemetry plane: trace
+  contexts dispatched with each sweep point, worker-side span/metrics/
+  event capture, parent-side merge onto per-worker flame tracks, and
+  the always-on flight recorder that dumps its ring to
+  ``artifacts/flightrec/`` when a point raises or a worker dies;
+* :mod:`repro.obs.dashboard` — the ``repro sweep --live`` in-terminal
+  dashboard rendered from the metrics registry;
 * :mod:`repro.obs.benchgate` — the perf-regression gate diffing
   freshly measured numbers against the committed ``BENCH_*.json``
   baselines.
 
-See ``docs/OBSERVABILITY.md`` for the two-plane model (machine-time
-trace bus vs. host-time span profiler) and the metrics catalog.
+See ``docs/OBSERVABILITY.md`` for the three-plane model (machine-time
+trace bus, host-time span profiler, cross-process distributed plane)
+and the metrics catalog.
 """
 
 from .spans import SPANS, SpanProfiler, SpanRecord
@@ -37,6 +45,15 @@ from .metrics import (
     format_labels,
     format_value,
 )
+from .remote import (
+    FLIGHT,
+    FlightRecorder,
+    SpanSectionCapture,
+    TraceContext,
+    build_point_telemetry,
+    merge_run_telemetry,
+)
+from .dashboard import SweepDashboard
 from .benchgate import (
     GateResult,
     compare_docs,
@@ -58,6 +75,13 @@ __all__ = [
     "escape_label_value",
     "format_labels",
     "format_value",
+    "FLIGHT",
+    "FlightRecorder",
+    "SpanSectionCapture",
+    "TraceContext",
+    "build_point_telemetry",
+    "merge_run_telemetry",
+    "SweepDashboard",
     "GateResult",
     "compare_docs",
     "gate_checks_for",

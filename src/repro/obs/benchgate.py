@@ -50,6 +50,7 @@ BASELINES = {
     "s3_timeline": "BENCH_timeline.json",
     "s6_selfprofile": "BENCH_selfprofile.json",
     "s7_ert": "BENCH_ert.json",
+    "s9_disttrace": "BENCH_disttrace.json",
 }
 
 #: bench kind -> module under benchmarks/ whose collect_baseline()
@@ -59,6 +60,7 @@ COLLECTORS = {
     "s3_timeline": "benchmarks.bench_s3_timeline",
     "s6_selfprofile": "benchmarks.bench_s6_selfprofile",
     "s7_ert": "benchmarks.bench_s7_ert",
+    "s9_disttrace": "benchmarks.bench_s9_disttrace",
 }
 
 
@@ -142,6 +144,16 @@ GATES: Dict[str, List[GateCheck]] = {
         GateCheck("ratios.l2_over_dram", "min_rel", 0.05),
         GateCheck("ratios.l3_over_dram", "min_rel", 0.05),
         GateCheck("ratios.compute_over_dram_ridge", "min_rel", 0.05),
+    ],
+    "s9_disttrace": [
+        # the distributed-telemetry acceptance bound: the always-on
+        # parts (flight-recorder breadcrumbs, fault-hook checks) must
+        # stay under 2% of the dgemm sweep wall time with collection
+        # off (absolute ceiling — the baseline value does not relax it)
+        GateCheck("disabled.overhead_fraction", "max_cap", 0.02),
+        # full collection (span capture, metrics delta, event sample,
+        # merge) must stay usable on the same sweep
+        GateCheck("enabled.overhead_factor", "max_rel", 0.75),
     ],
 }
 
@@ -298,6 +310,18 @@ def inject_slowdown(doc: dict, factor: float) -> dict:
         enabled = out.get("enabled", {})
         if "overhead_factor" in enabled:
             enabled["overhead_factor"] *= factor
+    elif kind == "s9_disttrace":
+        disabled = out.get("disabled", {})
+        for key in ("overhead_fraction", "flight_note_ns",
+                    "fault_check_ns"):
+            if key in disabled:
+                disabled[key] *= factor
+        enabled = out.get("enabled", {})
+        if "overhead_factor" in enabled:
+            enabled["overhead_factor"] *= factor
+        runs = out.get("run_seconds", {})
+        if "telemetry" in runs:
+            runs["telemetry"] *= factor
     elif kind == "s7_ert":
         # model a regression in the fast levels of the measurement path:
         # near-level ceilings deflate relative to DRAM, the compute roof

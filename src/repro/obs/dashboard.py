@@ -1,0 +1,157 @@
+"""In-terminal live dashboard for sweep runs (``repro sweep --live``).
+
+Renders a small, periodically refreshed status block from the process
+metrics registry — the same series every other exposition path reads:
+
+* points done / total with the live cache hit rate,
+* per-point latency percentiles from ``repro_sweep_point_seconds``
+  (bucket-resolution estimates; see :meth:`Histogram.percentile`),
+* sweep process-pool queue depth,
+* worker occupancy (in-flight futures vs. the job budget).
+
+On a TTY the block redraws in place with ANSI cursor movement; on a
+plain pipe it degrades to one summary line per refresh interval so logs
+stay readable.  The dashboard is driven by the executor's ``on_point``
+completion callback plus a final :meth:`close` — it never touches the
+executor's hot loop between completions.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from .metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["SweepDashboard"]
+
+#: minimum seconds between repaints (completions arrive in bursts)
+_REFRESH_SECONDS = 0.1
+
+
+class SweepDashboard:
+    """Render sweep progress from the metrics registry.
+
+    Wire it up as::
+
+        dash = SweepDashboard(total=len(plan), jobs=jobs)
+        run_plan(plan, jobs=jobs, on_point=dash.update, ...)
+        dash.close()
+    """
+
+    def __init__(self, total: int, jobs: int = 1,
+                 stream: Optional[TextIO] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 clock=time.monotonic) -> None:
+        self.total = total
+        self.jobs = jobs
+        self.stream = stream if stream is not None else sys.stderr
+        self.registry = registry if registry is not None else REGISTRY
+        self._clock = clock
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._done = 0
+        self._hits = 0
+        self._started = clock()
+        self._last_paint = 0.0
+        self._painted_lines = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # executor callbacks
+    # ------------------------------------------------------------------
+    def update(self, done: int, total: int, point, status: str) -> None:
+        """The executor's ``on_point`` hook."""
+        self._done = done
+        self.total = total
+        if status == "hit":
+            self._hits += 1
+        now = self._clock()
+        if now - self._last_paint >= _REFRESH_SECONDS or done >= total:
+            self._last_paint = now
+            self._paint()
+
+    def close(self) -> None:
+        """Final repaint; leaves the block on screen."""
+        if self.closed:
+            return
+        self.closed = True
+        self._paint(final=True)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def _metric(self, name: str):
+        return self.registry.get(name)
+
+    def _queue_depth(self) -> float:
+        gauge = self._metric("repro_sweep_executor_queue_depth")
+        try:
+            return gauge.value() if gauge is not None else 0.0
+        except ValueError:
+            return 0.0
+
+    def _percentiles(self):
+        histogram = self._metric("repro_sweep_point_seconds")
+        if histogram is None:
+            return None
+        try:
+            p50 = histogram.percentile(0.50)
+            p90 = histogram.percentile(0.90)
+            p99 = histogram.percentile(0.99)
+        except (TypeError, ValueError):
+            return None
+        if p50 is None:
+            return None
+        return p50, p90, p99
+
+    def lines(self) -> list:
+        """The dashboard block as a list of plain-text lines."""
+        done, total = self._done, self.total
+        elapsed = max(self._clock() - self._started, 1e-9)
+        bar_width = 28
+        filled = int(bar_width * done / total) if total else bar_width
+        bar = "#" * filled + "-" * (bar_width - filled)
+        hit_rate = self._hits / done if done else 0.0
+        depth = self._queue_depth()
+        busy = min(depth, self.jobs)
+        rows = [
+            f"sweep [{bar}] {done}/{total} points "
+            f"({done / total:.0%})" if total else
+            f"sweep [{bar}] {done}/{total} points",
+            f"  cache: {self._hits} hit(s), {done - self._hits} "
+            f"simulated ({hit_rate:.0%} hit rate)",
+        ]
+        percentiles = self._percentiles()
+        if percentiles is not None:
+            p50, p90, p99 = percentiles
+            rows.append(
+                f"  point latency: p50<={p50:g}s p90<={p90:g}s "
+                f"p99<={p99:g}s (bucket bounds)"
+            )
+        rows.append(
+            f"  pool: queue depth {depth:g}, "
+            f"~{busy:g}/{self.jobs} worker(s) busy, "
+            f"{done / elapsed:.1f} point/s"
+        )
+        return rows
+
+    def _paint(self, final: bool = False) -> None:
+        rows = self.lines()
+        try:
+            if self._tty:
+                if self._painted_lines:
+                    # move to the top of the previous block and repaint
+                    self.stream.write(f"\x1b[{self._painted_lines}F")
+                self.stream.write(
+                    "".join(f"\x1b[2K{row}\n" for row in rows))
+                self._painted_lines = len(rows)
+            else:
+                if final or self._done >= self.total:
+                    self.stream.write("\n".join(rows) + "\n")
+                else:
+                    self.stream.write(rows[0] + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            # a closed/broken stream must never kill the sweep
+            pass

@@ -226,6 +226,32 @@ class Histogram(_Metric):
         series = self._series.get(self._key(labels))
         return series[2] if series else 0
 
+    def percentile(self, q: float, **labels) -> Optional[float]:
+        """Bucket-resolution quantile estimate (``0 < q <= 1``).
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches ``q`` of the observations — the classic
+        Prometheus-style estimate, biased up by at most one bucket
+        width.  The open ``+Inf`` bucket reports the largest finite
+        bound.  ``None`` with no observations.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile wants 0 < q <= 1, got {q}")
+        series = self._series.get(self._key(labels))
+        if series is None or not series[2]:
+            return None
+        counts, _total, n = series
+        threshold = q * n
+        cumulative = 0
+        for bound, count in zip(self.bounds, counts):
+            cumulative += count
+            if cumulative >= threshold:
+                if math.isinf(bound):
+                    break
+                return bound
+        finite = [b for b in self.bounds if not math.isinf(b)]
+        return finite[-1] if finite else None
+
     def sum(self, **labels) -> float:
         series = self._series.get(self._key(labels))
         return series[1] if series else 0.0
@@ -382,6 +408,102 @@ class MetricsRegistry:
             f"{prefix}_sweep_elapsed_seconds",
             "Wall time the sweep executor spent on the plan",
         ).set(stats_doc.get("elapsed_seconds", 0.0))
+
+    # ------------------------------------------------------------------
+    # cross-process delta transport (distributed telemetry plane)
+    # ------------------------------------------------------------------
+    def to_delta_doc(self) -> dict:
+        """Plain-data snapshot of every family, suitable for pickling
+        across a process boundary and replaying with
+        :meth:`absorb_delta`.
+
+        Sweep workers start from an empty registry, so their full
+        snapshot *is* the delta their point produced.
+        """
+        families: Dict[str, dict] = {}
+        for name, metric in sorted(self._metrics.items()):
+            doc: dict = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                doc["bounds"] = [b for b in metric.bounds
+                                 if not math.isinf(b)]
+                doc["series"] = [
+                    {"key": list(key), "counts": list(series[0]),
+                     "sum": series[1], "count": series[2]}
+                    for key, series in sorted(metric._series.items())
+                ]
+            else:
+                doc["samples"] = [
+                    {"key": list(key), "value": value}
+                    for key, value in sorted(metric._samples.items())
+                ]
+            families[name] = doc
+        return families
+
+    def absorb_delta(self, doc: dict) -> None:
+        """Merge a :meth:`to_delta_doc` snapshot from another process.
+
+        Merge semantics by kind: counters **sum**, gauges take the
+        incoming value (**last write wins** — workers report their own
+        state, there is nothing meaningful to add), histograms merge
+        **bucket-wise** (bounds must match exactly; mismatched bucket
+        layouts cannot be combined without losing information, so that
+        is an error rather than a silent approximation).  Families and
+        series are created on demand.
+        """
+        for name in sorted(doc):
+            family = doc[name]
+            kind = family.get("kind")
+            labelnames = tuple(family.get("labelnames", ()))
+            help_text = family.get("help", "")
+            if kind == "histogram":
+                bounds = family.get("bounds") or list(DEFAULT_BUCKETS)
+                metric = self.histogram(name, help_text, buckets=bounds,
+                                        labelnames=labelnames)
+                want = tuple(float(b) for b in bounds) + (math.inf,)
+                if metric.bounds != want:
+                    raise ValueError(
+                        f"{name}: histogram bucket bounds differ "
+                        f"(registry {metric.bounds}, delta {want}); "
+                        f"refusing a lossy merge"
+                    )
+                for row in family.get("series", ()):
+                    key = tuple(row["key"])
+                    if len(key) != len(metric.labelnames):
+                        raise ValueError(
+                            f"{name}: series key {key} does not match "
+                            f"labels {metric.labelnames}"
+                        )
+                    series = metric._series_for(key)
+                    for i, count in enumerate(row["counts"]):
+                        series[0][i] += count
+                    series[1] += row["sum"]
+                    series[2] += row["count"]
+                continue
+            if kind == "counter":
+                metric = self.counter(name, help_text, labelnames)
+            elif kind == "gauge":
+                metric = self.gauge(name, help_text, labelnames)
+            else:
+                raise ValueError(
+                    f"{name}: cannot absorb metric kind {kind!r}"
+                )
+            for row in family.get("samples", ()):
+                key = tuple(row["key"])
+                if len(key) != len(metric.labelnames):
+                    raise ValueError(
+                        f"{name}: sample key {key} does not match "
+                        f"labels {metric.labelnames}"
+                    )
+                if kind == "counter":
+                    metric._samples[key] = (
+                        metric._samples.get(key, 0.0) + row["value"]
+                    )
+                else:
+                    metric._samples[key] = float(row["value"])
 
     # ------------------------------------------------------------------
     # export

@@ -45,18 +45,26 @@ __all__ = ["SPANS", "SpanProfiler", "SpanRecord"]
 
 
 class SpanRecord:
-    """One finished span: name, host-time interval, tree position."""
+    """One finished span: name, host-time interval, tree position.
 
-    __slots__ = ("name", "start_ns", "dur_ns", "depth", "parent", "attrs")
+    ``tid`` is the flame-view track the span renders on: 0 is the
+    parent process's "host wall-time" track; spans absorbed from sweep
+    workers carry the worker's pid (see
+    :meth:`SpanProfiler.absorb_remote`).
+    """
+
+    __slots__ = ("name", "start_ns", "dur_ns", "depth", "parent", "attrs",
+                 "tid")
 
     def __init__(self, name: str, start_ns: int, depth: int,
-                 parent: int, attrs: Optional[dict]) -> None:
+                 parent: int, attrs: Optional[dict], tid: int = 0) -> None:
         self.name = name
         self.start_ns = start_ns
         self.dur_ns = 0
         self.depth = depth
         self.parent = parent  # index into the record list, -1 for roots
         self.attrs = attrs
+        self.tid = tid
 
     def as_dict(self) -> dict:
         doc = {
@@ -66,6 +74,8 @@ class SpanRecord:
             "depth": self.depth,
             "parent": self.parent,
         }
+        if self.tid:
+            doc["tid"] = self.tid
         if self.attrs:
             doc["attrs"] = dict(self.attrs)
         return doc
@@ -145,6 +155,11 @@ class SpanProfiler:
         self._stack: List[tuple] = []
         #: child-time accumulator parallel to the stack (for self time)
         self._child_ns: List[int] = []
+        #: flame-view track id -> display name for absorbed worker spans
+        self._tracks: Dict[int, str] = {}
+        #: causal links from parent dispatch to absorbed worker roots:
+        #: dicts with id/track/submit_ns/start_ns
+        self._links: List[dict] = []
 
     # ------------------------------------------------------------------
     # span bookkeeping (called by _Span)
@@ -179,6 +194,66 @@ class SpanProfiler:
             agg[2] += child_ns
         if self._child_ns:
             self._child_ns[-1] += dur
+
+    # ------------------------------------------------------------------
+    # absorbing worker telemetry (distributed plane, repro.obs.remote)
+    # ------------------------------------------------------------------
+    def absorb_remote(self, spans: dict, track: int, track_name: str,
+                      link: Optional[dict] = None) -> int:
+        """Merge a worker's captured span section into this profiler.
+
+        ``spans`` is the ``"spans"`` section of a telemetry payload:
+        ``records`` (parent indices relative to the section, ``-1`` for
+        roots), per-name ``aggregates`` and a ``dropped`` count.  The
+        records land on flame-view track ``track`` (the worker pid) and
+        the aggregates fold into the unified hotspot table.  ``link``
+        (``{"id": ..., "submit_ns": ...}``) attaches a causal flow
+        arrow from the parent's dispatch instant to the section's first
+        root span in the Chrome export.
+
+        Returns the number of records absorbed.  Sections that do not
+        fit under the retention cap are counted in :attr:`dropped`
+        whole (partial absorption would corrupt the parent remapping),
+        but their aggregates still merge.
+        """
+        rows = spans.get("records") or []
+        offset = len(self.records)
+        absorbed = 0
+        if rows and offset + len(rows) <= self.max_records:
+            for row in rows:
+                parent = row["parent"]
+                record = SpanRecord(
+                    row["name"], row["start_ns"], row["depth"],
+                    parent + offset if parent >= 0 else -1,
+                    row.get("attrs"), tid=track,
+                )
+                record.dur_ns = row["dur_ns"]
+                self.records.append(record)
+            absorbed = len(rows)
+        else:
+            self.dropped += len(rows)
+        self.dropped += spans.get("dropped", 0)
+        for name, (count, total_ns, child_ns) in (
+                spans.get("aggregates") or {}).items():
+            agg = self._agg.get(name)
+            if agg is None:
+                self._agg[name] = [count, total_ns, child_ns]
+            else:
+                agg[0] += count
+                agg[1] += total_ns
+                agg[2] += child_ns
+        self._tracks.setdefault(track, track_name)
+        if link is not None and absorbed:
+            for row_index, row in enumerate(rows):
+                if row["parent"] < 0:
+                    self._links.append({
+                        "id": str(link.get("id", offset)),
+                        "track": track,
+                        "submit_ns": link.get("submit_ns"),
+                        "start_ns": rows[row_index]["start_ns"],
+                    })
+                    break
+        return absorbed
 
     # ------------------------------------------------------------------
     # reporting
@@ -229,9 +304,12 @@ class SpanProfiler:
     def to_chrome_trace(self, process_name: str = "repro host") -> dict:
         """Chrome trace-event flame view of host wall-time.
 
-        Every retained span becomes a complete (``X``) event on one
-        host-time track; timestamps are microseconds relative to the
-        first span, so the flame starts at t=0 in Perfetto.
+        Every retained span becomes a complete (``X``) event;
+        timestamps are microseconds relative to the earliest span, so
+        the flame starts at t=0 in Perfetto.  Parent-process spans
+        render on the "host wall-time" track (tid 0); spans absorbed
+        from sweep workers land on one track per worker pid, with flow
+        arrows from the parent's dispatch instant to each worker root.
         """
         events: List[dict] = [
             {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
@@ -239,20 +317,38 @@ class SpanProfiler:
             {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0,
              "args": {"name": "host wall-time"}},
         ]
-        t0 = self.records[0].start_ns if self.records else 0
+        for track, name in sorted(self._tracks.items()):
+            events.append({"ph": "M", "name": "thread_name", "pid": 0,
+                           "tid": track, "args": {"name": name}})
+        t0 = min((r.start_ns for r in self.records), default=0)
         for record in self.records:
             event = {
                 "ph": "X",
                 "name": record.name,
                 "cat": "host",
                 "pid": 0,
-                "tid": 0,
+                "tid": record.tid,
                 "ts": (record.start_ns - t0) / 1e3,
                 "dur": record.dur_ns / 1e3,
             }
             if record.attrs:
                 event["args"] = dict(record.attrs)
             events.append(event)
+        for flow in self._links:
+            submit_ns = flow.get("submit_ns")
+            if submit_ns is None:
+                submit_ns = flow["start_ns"]
+            events.append({
+                "ph": "s", "id": flow["id"], "name": "sweep.dispatch",
+                "cat": "sweep", "pid": 0, "tid": 0,
+                "ts": (submit_ns - t0) / 1e3,
+            })
+            events.append({
+                "ph": "f", "bp": "e", "id": flow["id"],
+                "name": "sweep.dispatch", "cat": "sweep", "pid": 0,
+                "tid": flow["track"],
+                "ts": (flow["start_ns"] - t0) / 1e3,
+            })
         if self.dropped:
             events.append({
                 "ph": "i", "name": f"retention cap: {self.dropped} "
@@ -265,12 +361,16 @@ class SpanProfiler:
 
     def to_json_doc(self) -> dict:
         """Machine-readable summary (hotspots + retention counters)."""
-        return {
+        doc = {
             "spans": len(self.records),
             "dropped": self.dropped,
             "root_seconds": self._root_ns() / 1e9,
             "hotspots": self.hotspots(None),
         }
+        if self._tracks:
+            doc["tracks"] = {str(tid): name
+                             for tid, name in sorted(self._tracks.items())}
+        return doc
 
 
 #: the process-wide profiler every instrumentation site reads

@@ -23,6 +23,17 @@ Execution emits ``sweep``-kind events on a :class:`repro.trace.TraceBus`
 cache hit/miss counts flow through the same observability layer as
 simulation traces: export with ``to_chrome_trace(..., frequency_hz=1.0)``
 or fold :meth:`SweepStats.to_dict` into a Prometheus exposition.
+
+The executor is also the anchor of the *distributed* telemetry plane
+(:mod:`repro.obs.remote`): each dispatched point carries a
+:class:`~repro.obs.remote.TraceContext`, workers send back a compact
+``telemetry`` payload section (span tree, metrics delta, trace-event
+sample) that is merged into the parent profiler/registry after the run,
+and every process keeps an always-on flight-recorder ring that dumps to
+``artifacts/flightrec/`` when a point raises or a worker dies.  The
+telemetry section is popped from the payload before it reaches the
+result cache, so measurement checksums are identical with telemetry on,
+off, serial, parallel, or replayed.
 """
 
 from __future__ import annotations
@@ -30,14 +41,16 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from ..errors import SweepError
+from ..errors import SweepError, SweepPointError
 from ..measure.runner import Measurement, measure_kernel
+from ..obs import remote
 from ..obs.metrics import REGISTRY
 from ..obs.spans import SPANS
-from ..trace.bus import TraceBus
+from ..trace.bus import RingSink, TraceBus
 from ..trace.events import MARK, SWEEP, TraceEvent
 from .cache import CORRUPT, HIT, SweepCache, point_key
 from .plan import SweepPlan, SweepPoint
@@ -66,44 +79,82 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def simulate_point(point: SweepPoint) -> dict:
+def simulate_point(point: SweepPoint,
+                   ctx: Optional[remote.TraceContext] = None) -> dict:
     """Measure one point on a fresh machine; returns the payload.
 
-    Module-level so the process pool can import it by name; the only
-    argument and the return value are plain picklable data.
+    Module-level so the process pool can import it by name; the
+    arguments and the return value are plain picklable data.
 
     Besides the measurement fields, the payload carries the machine's
     compile-tier telemetry under ``"plan_cache"`` (summed over the
     point's cores).  Because every point gets a *fresh* machine in both
     the serial and parallel paths, the numbers are deterministic and
     participate in the payload checksum like everything else.
+
+    With a collecting :class:`~repro.obs.remote.TraceContext` the
+    payload additionally carries a ``"telemetry"`` section (span tree,
+    worker metrics delta, bounded trace-event sample).  The caller pops
+    it before the payload reaches the result cache, so it never enters
+    the checksum.  The flight recorder notes breadcrumbs regardless of
+    telemetry state, and any exception dumps the ring with the failing
+    point's repr before re-raising as
+    :class:`~repro.errors.SweepPointError`.
     """
-    machine = point.machine.build()
-    with SPANS("sweep.point", kernel=point.kernel, n=point.n):
-        measurement = measure_kernel(
-            machine, point.build_kernel(), point.n, protocol=point.protocol,
-            cores=point.cores, reps=point.reps, width_bits=point.width_bits,
+    label = f"{point.kernel}:{point.n}"
+    remote.FLIGHT.note("point", "begin", point=label,
+                       run=ctx.run_id if ctx else None,
+                       index=ctx.point_index if ctx else None)
+    try:
+        remote.maybe_fault(label)
+        collect = ctx is not None and ctx.collect
+        capture = remote.SpanSectionCapture() if collect else None
+        sink: Optional[RingSink] = None
+        busy_start = time.perf_counter_ns()
+        if capture is not None:
+            capture.__enter__()
+        try:
+            machine = point.machine.build()
+            if collect and ctx.event_sample > 0:
+                sink = RingSink(ctx.event_sample)
+                machine.trace.attach(sink)
+            with SPANS("sweep.point", kernel=point.kernel, n=point.n):
+                measurement = measure_kernel(
+                    machine, point.build_kernel(), point.n,
+                    protocol=point.protocol, cores=point.cores,
+                    reps=point.reps, width_bits=point.width_bits,
+                )
+        finally:
+            if capture is not None:
+                capture.__exit__(None, None, None)
+        busy_ns = time.perf_counter_ns() - busy_start
+        payload = measurement_to_payload(measurement)
+        payload["plan_cache"] = _harvest_plan_cache(machine, point.cores)
+        if collect:
+            payload["telemetry"] = remote.build_point_telemetry(
+                ctx, capture.section, busy_ns,
+                events_total=sink.total if sink else 0,
+                event_sample=[e.to_dict() for e in sink.events]
+                if sink else [],
+            )
+        remote.FLIGHT.note("point", "end", point=label, busy_ns=busy_ns)
+        return payload
+    except Exception as exc:
+        dump = remote.FLIGHT.dump(
+            "point-exception", point=repr(point),
+            directory=ctx.flightrec_dir if ctx else None,
+            error=f"{type(exc).__name__}: {exc}",
         )
-    payload = measurement_to_payload(measurement)
-    payload["plan_cache"] = _harvest_plan_cache(machine, point.cores)
-    return payload
-
-
-def _harvest_plan_cache(machine, cores) -> dict:
-    """Sum compile-tier counters over the point's cores."""
-    total = {"hits": 0, "misses": 0, "built_segments": 0,
-             "built_lines": 0, "flushes": 0}
-    for core_id in cores:
-        doc = machine.core(core_id).plan_stats.as_dict()
-        for key in total:
-            total[key] += doc.get(key, 0)
-    lookups = total["hits"] + total["misses"]
-    total["hit_rate"] = total["hits"] / lookups if lookups else 0.0
-    return total
+        raise SweepPointError(
+            f"sweep point {label} failed: {type(exc).__name__}: {exc} "
+            f"[point: {point!r}] [flight-recorder dump: {dump}]"
+        ) from exc
 
 
 def merge_plan_cache(docs) -> dict:
-    """Aggregate per-point ``plan_cache`` docs (missing/None skipped)."""
+    """Sum keyed ``plan_cache`` counter docs (missing/None skipped) and
+    derive the combined hit rate.  The single summing helper behind
+    both the per-machine harvest and the cross-point aggregate."""
     total = {"hits": 0, "misses": 0, "built_segments": 0,
              "built_lines": 0, "flushes": 0}
     for doc in docs:
@@ -114,6 +165,13 @@ def merge_plan_cache(docs) -> dict:
     lookups = total["hits"] + total["misses"]
     total["hit_rate"] = total["hits"] / lookups if lookups else 0.0
     return total
+
+
+def _harvest_plan_cache(machine, cores) -> dict:
+    """Sum compile-tier counters over the point's cores."""
+    return merge_plan_cache(
+        machine.core(core_id).plan_stats.as_dict() for core_id in cores
+    )
 
 
 @dataclass
@@ -161,13 +219,17 @@ class SweepRun:
 
     ``plan_cache`` aggregates the compile-tier telemetry carried in
     every payload (cached replays included, since the harvest happened
-    when the point was first simulated).
+    when the point was first simulated).  ``telemetry`` is the merged
+    distributed-telemetry summary (worker table, per-point status
+    including replayed-from-cache marks, bounded trace-event sample) —
+    purely observational, never part of any measurement checksum.
     """
 
     measurements: List[Measurement]
     stats: SweepStats
     keys: List[str] = field(default_factory=list)
     plan_cache: dict = field(default_factory=dict)
+    telemetry: dict = field(default_factory=dict)
 
 
 def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
@@ -175,7 +237,10 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
              bus: Optional[TraceBus] = None,
              progress: Optional[Callable[[int, int, SweepPoint, str], None]]
              = None,
-             stats: Optional[SweepStats] = None) -> SweepRun:
+             stats: Optional[SweepStats] = None,
+             telemetry: Optional[bool] = None,
+             on_point: Optional[Callable[[int, int, SweepPoint, str], None]]
+             = None) -> SweepRun:
     """Execute a plan: replay cached points, simulate the rest.
 
     ``cache=None`` disables memoisation entirely.  ``bus`` receives one
@@ -183,14 +248,35 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
     called as ``(done, total, point, status)`` after each point.
     ``stats`` lets callers accumulate counters across several plans
     (the experiment runner does); a fresh one is used when omitted.
+
+    ``telemetry`` switches distributed telemetry collection: ``None``
+    (default) enables it exactly when the run is parallel — serial runs
+    keep the span-capture cost off their hot path unless asked.
+    ``on_point`` is called as ``(done, total, point, status)`` the
+    moment each point *completes* (cache hits during the probe,
+    simulated points as their results land, in completion order) —
+    unlike ``progress``, which fires in plan order after everything is
+    done.  The live dashboard hangs off ``on_point``.
     """
     jobs = resolve_jobs(jobs)
+    collect = (jobs > 1) if telemetry is None else bool(telemetry)
+    run_id = remote.new_run_id()
     run_stats = SweepStats()
     started = time.perf_counter()
     points = list(plan)
     keys = [point_key(p) for p in points]
     payloads: List[Optional[dict]] = [None] * len(points)
     status: List[str] = [""] * len(points)
+    sections: List[Optional[dict]] = [None] * len(points)
+    submit_ns: List[Optional[int]] = [None] * len(points)
+
+    completed = 0
+
+    def _notify(point: SweepPoint, outcome: str) -> None:
+        nonlocal completed
+        completed += 1
+        if on_point is not None:
+            on_point(completed, len(points), point, outcome)
 
     point_seconds = REGISTRY.histogram(
         "repro_sweep_point_seconds",
@@ -208,6 +294,7 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
             if outcome == HIT:
                 payloads[idx] = payload
                 status[idx] = HIT
+                _notify(points[idx], HIT)
             else:
                 if outcome == CORRUPT:
                     run_stats.corrupt += 1
@@ -218,12 +305,26 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
         with SPANS("sweep.run", points=len(pending)):
             if jobs == 1 or len(pending) == 1:
                 for idx in pending:
+                    ctx = remote.TraceContext(run_id=run_id,
+                                              point_index=idx,
+                                              collect=collect)
+                    submit_ns[idx] = time.perf_counter_ns()
                     t0 = time.perf_counter()
-                    payloads[idx] = simulate_point(points[idx])
+                    payloads[idx] = simulate_point(points[idx], ctx)
                     point_seconds.observe(time.perf_counter() - t0)
+                    _notify(points[idx], status[idx])
             else:
-                _simulate_parallel(points, pending, payloads, jobs,
-                                   point_seconds)
+                _simulate_parallel(
+                    points, pending, payloads, jobs, point_seconds,
+                    run_id=run_id, collect=collect, submit_ns=submit_ns,
+                    on_done=lambda idx: _notify(points[idx], status[idx]),
+                )
+        # Telemetry never reaches the content-addressed cache: pop it
+        # here so stored payloads (and their checksums) are identical
+        # with collection on or off.
+        for idx in pending:
+            if payloads[idx] is not None:
+                sections[idx] = payloads[idx].pop("telemetry", None)
         if cache is not None:
             with SPANS("sweep.store"):
                 for idx in pending:
@@ -236,6 +337,10 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
     REGISTRY.absorb_sweep_stats(run_stats.to_dict())
     plan_cache = merge_plan_cache(p.get("plan_cache") for p in payloads if p)
     REGISTRY.absorb_plan_cache(plan_cache)
+    telemetry_doc = remote.merge_run_telemetry(
+        run_id, sections, status, [p.label() for p in points], submit_ns,
+        elapsed_seconds=run_stats.elapsed_seconds, collected=collect,
+    )
 
     measurements: List[Measurement] = []
     done = 0
@@ -260,16 +365,27 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
     if stats is not None:
         stats.merge(run_stats)
     return SweepRun(measurements=measurements, stats=run_stats, keys=keys,
-                    plan_cache=plan_cache)
+                    plan_cache=plan_cache, telemetry=telemetry_doc)
 
 
 def _simulate_parallel(points: List[SweepPoint], pending: List[int],
                        payloads: List[Optional[dict]], jobs: int,
-                       point_seconds=None) -> None:
+                       point_seconds=None, run_id: str = "",
+                       collect: bool = False,
+                       submit_ns: Optional[List[Optional[int]]] = None,
+                       on_done: Optional[Callable[[int], None]] = None
+                       ) -> None:
     """Fan pending points over a process pool, bounded backlog.
 
     ``point_seconds`` (a histogram) observes submit-to-completion
     latency per point; the queue-depth gauge tracks in-flight futures.
+    ``submit_ns`` (plan-order array) records each point's dispatch
+    instant for the causal flow links in the merged flame view, and
+    ``on_done`` fires with the point index as each result lands.
+
+    If the pool breaks (a worker was killed mid-point), the parent's
+    flight recorder is dumped with the reprs of every in-flight point
+    before a :class:`SweepError` naming them is raised.
     """
     workers = min(jobs, len(pending))
     backlog = workers * _BACKLOG_PER_WORKER
@@ -284,10 +400,29 @@ def _simulate_parallel(points: List[SweepPoint], pending: List[int],
         in_flight: Dict[object, int] = {}
 
         def submit(idx: int) -> None:
-            future = pool.submit(simulate_point, points[idx])
+            point = points[idx]
+            ctx = remote.TraceContext(run_id=run_id, point_index=idx,
+                                      collect=collect)
+            future = pool.submit(simulate_point, point, ctx)
+            if submit_ns is not None:
+                submit_ns[idx] = time.perf_counter_ns()
+            remote.FLIGHT.note("dispatch", f"{point.kernel}:{point.n}",
+                               index=idx, run=run_id)
             in_flight[future] = idx
             submitted[future] = time.perf_counter()
             depth.set(len(in_flight))
+
+        def broken_pool(first_idx: int) -> SweepError:
+            inflight = sorted({first_idx, *in_flight.values()})
+            labels = [f"{points[i].kernel}:{points[i].n}" for i in inflight]
+            dump = remote.FLIGHT.dump(
+                "worker-death", point=repr(points[first_idx]),
+                in_flight=[repr(points[i]) for i in inflight],
+            )
+            return SweepError(
+                f"sweep worker died; in-flight point(s): "
+                f"{', '.join(labels)} [flight-recorder dump: {dump}]"
+            )
 
         try:
             for idx in queue:
@@ -298,11 +433,16 @@ def _simulate_parallel(points: List[SweepPoint], pending: List[int],
                 finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in finished:
                     idx = in_flight.pop(future)
-                    payloads[idx] = future.result()
+                    try:
+                        payloads[idx] = future.result()
+                    except BrokenProcessPool:
+                        raise broken_pool(idx) from None
                     if point_seconds is not None:
                         point_seconds.observe(
                             time.perf_counter() - submitted.pop(future)
                         )
+                    if on_done is not None:
+                        on_done(idx)
                 depth.set(len(in_flight))
                 for idx in queue:
                     submit(idx)

@@ -279,6 +279,24 @@ def to_prometheus(summary: dict, prefix: str = "repro") -> str:
         metric("sweep_elapsed_seconds", "gauge",
                "Wall time the sweep executor spent on the plan",
                [({}, sweep.get("elapsed_seconds", 0.0))])
+    workers = summary.get("workers") or []
+    if workers:
+        # worker rows come from the merged distributed-telemetry doc
+        # (repro.obs.remote.merge_run_telemetry); label values go
+        # through the same escape helpers as every other series here
+        metric("sweep_worker_points_total", "counter",
+               "Sweep points simulated, by worker process",
+               [({"worker": w.get("pid", 0)}, w.get("points", 0))
+                for w in workers])
+        metric("sweep_worker_busy_seconds_total", "counter",
+               "Wall time spent simulating sweep points, by worker "
+               "process",
+               [({"worker": w.get("pid", 0)}, w.get("busy_seconds", 0.0))
+                for w in workers])
+        metric("sweep_worker_utilization", "gauge",
+               "Fraction of the sweep wall time each worker spent busy",
+               [({"worker": w.get("pid", 0)}, w.get("utilization", 0.0))
+                for w in workers if w.get("utilization") is not None])
     plan_cache = summary.get("plan_cache", {})
     if plan_cache:
         metric("plan_cache_lookups_total", "counter",

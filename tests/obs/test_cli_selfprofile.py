@@ -98,6 +98,27 @@ class TestSelfprofile:
         main(["selfprofile", "daxpy", "--n", "256",
               "--out-dir", str(tmp_path)])
         assert SPANS.enabled is False
+
+    def test_dropped_spans_are_surfaced_and_warned(self, tmp_path,
+                                                   capsys, monkeypatch):
+        monkeypatch.setattr(SPANS, "max_records", 10)
+        rc = main(["selfprofile", "daxpy", "--n", "256",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "dropped past the retention cap" in captured.out
+        assert "retention cap" in captured.err  # nonzero-dropped warning
+        assert "flame view is truncated" in captured.err
+
+    def test_dropped_reported_in_json_and_zero_without_cap(
+            self, tmp_path, capsys):
+        rc = main(["selfprofile", "daxpy", "--n", "256", "--json",
+                   "--out-dir", str(tmp_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["dropped"] == 0
+        assert "retention cap" not in captured.err
         assert SPANS.records == []
 
 

@@ -1,0 +1,111 @@
+"""The ``repro sweep --live`` dashboard, rendered against a fake stream.
+
+The dashboard only *reads*: its numbers come from the metrics registry
+(latency histogram, queue-depth gauge) plus the executor's ``on_point``
+callback.  These tests drive it with a StringIO (non-TTY path) and a
+manual clock, so rendering is deterministic and nothing sleeps.
+"""
+
+import io
+
+from repro.obs.dashboard import SweepDashboard
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_dash(total=4, jobs=2, registry=None):
+    clock = FakeClock()
+    stream = io.StringIO()
+    dash = SweepDashboard(total=total, jobs=jobs, stream=stream,
+                          registry=registry or MetricsRegistry(),
+                          clock=clock)
+    return dash, stream, clock
+
+
+class TestLines:
+    def test_progress_and_hit_accounting(self):
+        dash, _stream, clock = make_dash(total=4)
+        dash.update(1, 4, None, "miss")
+        clock.tick(1.0)
+        dash.update(2, 4, None, "hit")
+        rows = dash.lines()
+        assert "2/4 points" in rows[0]
+        assert "(50%)" in rows[0]
+        assert "1 hit(s), 1 simulated (50% hit rate)" in rows[1]
+
+    def test_zero_total_never_divides(self):
+        dash, _stream, _clock = make_dash(total=0)
+        rows = dash.lines()
+        assert "0/0 points" in rows[0]
+
+    def test_latency_percentiles_appear_with_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_sweep_point_seconds", "latency",
+                                  buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        dash, _stream, _clock = make_dash(registry=registry)
+        latency = [row for row in dash.lines() if "point latency" in row]
+        assert latency, "observed histogram should produce a latency row"
+        assert "p50<=1s" in latency[0]
+        assert "p99<=10s" in latency[0]
+
+    def test_no_latency_row_without_observations(self):
+        dash, _stream, _clock = make_dash()
+        assert not [row for row in dash.lines() if "point latency" in row]
+
+    def test_queue_depth_and_worker_occupancy(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_sweep_executor_queue_depth",
+                       "depth").set(5.0)
+        dash, _stream, _clock = make_dash(jobs=2, registry=registry)
+        pool = [row for row in dash.lines() if "pool:" in row][0]
+        assert "queue depth 5" in pool
+        assert "~2/2 worker(s) busy" in pool  # occupancy caps at jobs
+
+
+class TestNonTtyRendering:
+    def test_progress_lines_then_full_block_at_close(self):
+        dash, stream, clock = make_dash(total=2)
+        dash.update(1, 2, None, "miss")
+        clock.tick(1.0)
+        dash.update(2, 2, None, "hit")
+        dash.close()
+        out = stream.getvalue()
+        assert "sweep [" in out
+        assert "cache: 1 hit(s)" in out  # full block rendered at the end
+        assert "\x1b[" not in out  # no ANSI control on a plain pipe
+
+    def test_update_rate_limit_coalesces_paints(self):
+        dash, stream, clock = make_dash(total=10)
+        for done in range(1, 9):
+            dash.update(done, 10, None, "miss")  # same instant: 1 paint
+        painted = stream.getvalue().count("sweep [")
+        assert painted == 1
+        clock.tick(1.0)
+        dash.update(9, 10, None, "miss")
+        assert stream.getvalue().count("sweep [") == painted + 1
+
+    def test_close_is_idempotent(self):
+        dash, stream, _clock = make_dash(total=1)
+        dash.update(1, 1, None, "miss")
+        dash.close()
+        once = stream.getvalue()
+        dash.close()
+        assert stream.getvalue() == once
+
+    def test_broken_stream_never_raises(self):
+        dash, stream, _clock = make_dash(total=1)
+        stream.close()
+        dash.update(1, 1, None, "miss")  # paints into a closed stream
+        dash.close()
