@@ -24,6 +24,15 @@ Subcommands:
   reference oracle and check every kernel's measured W/Q against
   analytic closed forms; exits nonzero and writes a JSONL divergence
   report under ``artifacts/`` on any mismatch
+* ``serve``       — roofline as a service: an asyncio HTTP/JSON server
+  (``POST /measure|/analyze|/sweep``, job polling, NDJSON progress
+  streams, Prometheus ``/metrics``) with request coalescing through
+  the sweep cache and graceful drain on SIGTERM (docs/SERVICE.md)
+* ``worker``      — one sweep worker process connecting back to a
+  socket-backend listener (``--connect HOST:PORT``); normally spawned
+  by the backend, started manually for external fleets
+* ``cache``       — sweep-cache maintenance: ``cache gc --max-bytes
+  2G --max-age 30d`` bounds the on-disk result cache (oldest first)
 
 ``measure``, ``roofline``, and ``sweep`` accept ``--json`` for
 machine-readable output; ``profile`` and ``sweep`` add ``--trace-out``
@@ -31,7 +40,10 @@ machine-readable output; ``profile`` and ``sweep`` add ``--trace-out``
 (Prometheus text format).  The global ``--jobs N`` / ``--no-cache`` /
 ``--cache-dir`` flags (also accepted after ``sweep``/``experiment``)
 control how measurement grids execute: ``--jobs`` fans points over a
-process pool, ``--no-cache`` forces re-simulation of every point.
+process pool (``$REPRO_SWEEP_JOBS`` then ``$REPRO_JOBS`` when the flag
+is absent), ``--no-cache`` forces re-simulation of every point, and
+``--backend serial|pool|socket`` picks where points execute — the
+three are bit-identical (docs/SWEEP.md).
 
 Parallel sweeps collect distributed telemetry by default (see
 :mod:`repro.obs.remote`): ``sweep --flame-out`` exports the merged
@@ -339,7 +351,8 @@ def _cmd_sweep(args) -> int:
     try:
         run = run_plan(plan, jobs=args.jobs, cache=cache, bus=bus,
                        progress=progress, telemetry=args.telemetry,
-                       on_point=dashboard.update if dashboard else None)
+                       on_point=dashboard.update if dashboard else None,
+                       backend=args.backend)
     finally:
         if dashboard is not None:
             dashboard.close()
@@ -367,6 +380,7 @@ def _cmd_sweep(args) -> int:
     if args.json:
         print(json.dumps({
             "machine": ref.key_doc(),
+            "backend": run.backend,
             "stats": run.stats.to_dict(),
             "plan_cache": run.plan_cache,
             "telemetry": run.telemetry,
@@ -405,7 +419,8 @@ def _cmd_experiment(args) -> int:
     config = ExperimentConfig(scale=args.scale, quick=args.quick,
                               reps=args.reps, jobs=args.jobs,
                               cache=not args.no_cache,
-                              cache_dir=args.cache_dir, stats=stats)
+                              cache_dir=args.cache_dir,
+                              backend=args.backend, stats=stats)
     ids = args.ids or None
     results = run_experiments(ids, config)
     report = render_report(results, config)
@@ -626,7 +641,7 @@ def _cmd_ert(args) -> int:
     ceilings = discover_ceilings(
         ref, flop_counts=_parse_flop_counts(args.flops),
         sweeps=args.sweeps, reps=args.reps,
-        jobs=args.jobs, cache=cache,
+        jobs=args.jobs, cache=cache, backend=args.backend,
     )
     roofline = HierarchicalRoofline.from_ceilings(ceilings)
     if args.json:
@@ -661,7 +676,7 @@ def _cmd_analyze(args) -> int:
     result = hierarchical_analyze(
         kernel_name, sizes, machine=ref, protocol=args.protocol,
         reps=args.reps, flop_counts=_parse_flop_counts(args.flops),
-        jobs=args.jobs, cache=cache,
+        jobs=args.jobs, cache=cache, backend=args.backend,
     )
     if args.json:
         print(json.dumps(result.to_json_doc(), indent=2))
@@ -735,6 +750,92 @@ def _cmd_benchgate(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    """Join a socket sweep as one worker process."""
+    from .sweep.worker import worker_main
+
+    return worker_main(args.connect, heartbeat=args.heartbeat)
+
+
+def _cmd_serve(args) -> int:
+    """Run the roofline HTTP service until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .serve import RooflineServer
+
+    server = RooflineServer(
+        host=args.host, port=args.port, jobs=args.jobs,
+        backend=args.backend, cache_dir=args.cache_dir,
+        no_cache=args.no_cache, threads=args.threads,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        host, port = server.address
+        print(f"repro serve listening on http://{host}:{port} "
+              f"(backend={args.backend or 'auto'}, "
+              f"jobs={args.jobs or 'auto'})", file=sys.stderr)
+        sys.stderr.flush()
+        await server.serve_forever()
+        print("repro serve drained cleanly", file=sys.stderr)
+
+    asyncio.run(_run())
+    return 0
+
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+_AGE_SUFFIXES = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def _parse_size(text: str) -> int:
+    """'500M' / '2g' / '1048576' -> bytes."""
+    text = text.strip().lower()
+    scale = _SIZE_SUFFIXES.get(text[-1:], None)
+    digits = text[:-1] if scale else text
+    try:
+        return int(float(digits) * (scale or 1))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad size {text!r}; use bytes or a K/M/G suffix")
+
+
+def _parse_age(text: str) -> float:
+    """'7d' / '12h' / '45m' / '3600' -> seconds."""
+    text = text.strip().lower()
+    scale = _AGE_SUFFIXES.get(text[-1:], None)
+    digits = text[:-1] if scale else text
+    try:
+        return float(digits) * (scale or 1.0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad age {text!r}; use seconds or an s/m/h/d suffix")
+
+
+def _cmd_cache(args) -> int:
+    """Sweep-cache maintenance (currently: gc)."""
+    cache = SweepCache(args.cache_dir)
+    if args.cache_command == "gc":
+        if args.max_bytes is None and args.max_age is None:
+            print("error: cache gc needs --max-bytes and/or --max-age",
+                  file=sys.stderr)
+            return 2
+        summary = cache.gc(max_bytes=args.max_bytes,
+                           max_age_seconds=args.max_age)
+        if args.json:
+            print(json.dumps({"root": cache.root, **summary}, indent=2))
+        else:
+            print(f"cache gc: {cache.root}")
+            print(f"  scanned  : {summary['scanned']} entr(y/ies)")
+            print(f"  removed  : {summary['removed']} "
+                  f"({format_bytes(summary['reclaimed_bytes'])} "
+                  f"reclaimed)")
+            print(f"  kept     : {format_bytes(summary['kept_bytes'])}")
+        return 0
+    print(f"error: unknown cache command {args.cache_command!r}",
+          file=sys.stderr)
+    return 2
+
+
 def _add_sweep_flags(parser: argparse.ArgumentParser,
                      suppress: bool = False) -> None:
     """Jobs/cache flags, shared by the main parser and subparsers.
@@ -747,7 +848,14 @@ def _add_sweep_flags(parser: argparse.ArgumentParser,
     parser.add_argument(
         "--jobs", type=int, **(kw or {"default": None}),
         help="fan measurement points over N worker processes "
-             "(default: $REPRO_SWEEP_JOBS, else serial)")
+             "(default: $REPRO_SWEEP_JOBS, then $REPRO_JOBS, else serial)")
+    parser.add_argument(
+        "--backend", choices=("serial", "pool", "socket"),
+        **(kw or {"default": None}),
+        help="sweep execution backend: in-process (serial), local "
+             "process pool (pool), or socket worker fleet (socket); "
+             "default picks serial/pool from --jobs.  Results are "
+             "bit-identical and cache-compatible across backends.")
     parser.add_argument(
         "--no-cache", action="store_true", **(kw or {"default": False}),
         help="bypass the sweep result cache (re-simulate every point)")
@@ -1059,6 +1167,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_gate.add_argument("--repeats", type=int, default=None,
                         help="repeats for in-process re-measurement")
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a socket sweep as a worker process (normally "
+             "spawned by the socket backend, but can be started by "
+             "hand to build an external fleet)",
+    )
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="the sweep parent's listener address")
+    p_worker.add_argument("--heartbeat", type=float, default=0.5,
+                          help="heartbeat period in seconds (default "
+                               "0.5; 0 disables)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the roofline HTTP/JSON service (POST /measure, "
+             "/analyze, /sweep; GET /jobs/<id>, /metrics, /healthz); "
+             "drains gracefully on SIGTERM",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="bind port (default 8787; 0 = ephemeral)")
+    p_serve.add_argument("--threads", type=int, default=4,
+                         help="job executor threads (default 4)")
+    _add_sweep_flags(p_serve, suppress=True)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="sweep result cache maintenance",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_gc = cache_sub.add_parser(
+        "gc",
+        help="prune the cache by age and/or total size "
+             "(oldest entries evicted first)",
+    )
+    p_gc.add_argument("--max-bytes", type=_parse_size, default=None,
+                      metavar="SIZE",
+                      help="size budget for the cache (bytes, or with a "
+                           "K/M/G suffix); oldest entries beyond it are "
+                           "removed")
+    p_gc.add_argument("--max-age", type=_parse_age, default=None,
+                      metavar="AGE",
+                      help="drop entries older than this (seconds, or "
+                           "with an s/m/h/d suffix, e.g. 7d)")
+    p_gc.add_argument("--json", action="store_true",
+                      help="emit the gc summary as JSON")
+    p_gc.add_argument("--cache-dir", default=None,
+                      help="cache directory (default: "
+                           "artifacts/sweepcache or $REPRO_SWEEP_CACHE)")
+
     p_exp = sub.add_parser("experiment", help="run paper experiments")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default all)")
     p_exp.add_argument("--scale", type=float, default=0.125)
@@ -1087,6 +1246,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "conformance": _cmd_conformance,
         "selfprofile": _cmd_selfprofile,
         "benchgate": _cmd_benchgate,
+        "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

@@ -39,7 +39,10 @@ class ExperimentConfig:
     every point in the content-addressed on-disk sweep cache so
     re-running an experiment only simulates points whose inputs
     changed.  ``stats``, when set, accumulates cache hit/miss counters
-    across every sweep the experiments submit.
+    across every sweep the experiments submit.  ``backend`` picks the
+    sweep execution backend (a name from
+    :data:`~repro.sweep.backends.BACKEND_NAMES` or an instance);
+    ``None`` keeps the classic jobs-driven serial/pool choice.
     """
 
     scale: float = 0.125
@@ -49,6 +52,7 @@ class ExperimentConfig:
     jobs: Optional[int] = None
     cache: bool = True
     cache_dir: Optional[str] = None
+    backend: Optional[object] = None
     stats: Optional[SweepStats] = field(default=None, repr=False,
                                         compare=False)
 
@@ -81,9 +85,9 @@ class ExperimentConfig:
         return SweepCache(self.cache_dir) if self.cache else None
 
     def run_plan(self, plan: SweepPlan) -> List[Measurement]:
-        """Execute a plan under this config's jobs/cache settings."""
+        """Execute a plan under this config's jobs/cache/backend."""
         run = run_plan(plan, jobs=self.jobs, cache=self.sweep_cache(),
-                       stats=self.stats)
+                       stats=self.stats, backend=self.backend)
         return run.measurements
 
     def sweep(self, kernel: str, sizes: Sequence[int],

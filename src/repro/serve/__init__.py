@@ -1,0 +1,14 @@
+"""Roofline-as-a-service: asyncio HTTP/JSON front-end (``repro serve``).
+
+See :mod:`repro.serve.server` for the endpoint map and
+``docs/SERVICE.md`` for the operator guide.  Stdlib-only: asyncio
+streams for transport, the sweep engine for the work, the metrics
+registry for observability.
+"""
+
+from .http import HttpError, Request
+from .jobs import Job, JobTable, job_key
+from .server import RooflineServer
+
+__all__ = ["HttpError", "Job", "JobTable", "Request", "RooflineServer",
+           "job_key"]

@@ -2,15 +2,28 @@
 
 Measurement grids — the (kernel x size x protocol x machine) sweeps
 behind every roofline figure — are described declaratively as
-:class:`SweepPlan` objects, executed serially or over a process pool,
-and memoised point-by-point in an on-disk cache keyed by the full
-content of each point's inputs.  Serial, parallel, and cache-replayed
-runs return bit-identical measurements; ``tests/sweep/`` enforces it.
+:class:`SweepPlan` objects, executed through a pluggable
+:class:`~repro.sweep.backends.SweepBackend` (in-process serial, a
+local process pool, or ``repro worker`` processes over sockets), and
+memoised point-by-point in an on-disk cache keyed by the full content
+of each point's inputs.  Every backend and cache-replayed run returns
+bit-identical measurements; ``tests/sweep/`` enforces it.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    LocalPoolBackend,
+    PointResult,
+    SerialBackend,
+    SocketWorkerBackend,
+    SweepBackend,
+    WorkItem,
+    make_backend,
+)
 from .cache import VERSION_SALT, SweepCache, default_cache_dir, point_key
 from .executor import (
     JOBS_ENV,
+    JOBS_FALLBACK_ENV,
     SweepRun,
     SweepStats,
     resolve_jobs,
@@ -22,15 +35,24 @@ from .plan import SweepPlan, SweepPoint
 from .serialize import measurement_to_payload, payload_to_measurement
 
 __all__ = [
+    "BACKEND_NAMES",
     "GRIDS",
     "JOBS_ENV",
+    "JOBS_FALLBACK_ENV",
+    "LocalPoolBackend",
+    "PointResult",
+    "SerialBackend",
+    "SocketWorkerBackend",
+    "SweepBackend",
     "SweepCache",
     "SweepPlan",
     "SweepPoint",
     "SweepRun",
     "SweepStats",
     "VERSION_SALT",
+    "WorkItem",
     "default_cache_dir",
+    "make_backend",
     "make_grid",
     "measurement_to_payload",
     "payload_to_measurement",

@@ -1,0 +1,456 @@
+"""Socket worker backend: ship work units to ``repro worker`` processes.
+
+The parent binds a loopback listener and either spawns its own worker
+fleet (``python -m repro worker --connect host:port``) or waits for
+externally started workers to register.  Work units — picklable
+:class:`~repro.machine.ref.MachineRef` + :class:`~repro.sweep.plan.
+SweepPoint` + :class:`~repro.obs.remote.TraceContext` — travel as
+length-prefixed pickle frames (:mod:`repro.sweep.wire`); results come
+back as the same serialised payload every other backend produces, so
+socket execution is bit-identical to serial and local-pool runs.
+
+Liveness, the part a process pool gives you for free:
+
+* every worker runs a heartbeat thread; the parent declares a worker
+  dead when its stream goes quiet past ``heartbeat_timeout`` (or the
+  connection drops — a SIGKILLed worker is an instant EOF);
+* ``point_timeout`` bounds any single point; a worker stuck past it is
+  killed and replaced;
+* a dead worker's in-flight point is **requeued** to another worker,
+  up to ``max_requeues`` attempts per point.  Replacement workers are
+  spawned with the :data:`~repro.obs.remote.KILL_ENV` /
+  :data:`~repro.obs.remote.CRASH_ENV` fault hooks stripped from their
+  environment, so an injected fault fires once instead of killing
+  every replacement in turn (the requeue test leans on this).
+
+Unlike the pool backend — where one worker death poisons the pool and
+fails the run — a socket sweep survives worker loss as long as one
+worker remains and no point exhausts its requeue budget.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...errors import SweepError, SweepPointError
+from ...obs import remote
+from ..wire import (
+    KIND_JSON,
+    KIND_PICKLE,
+    WIRE_VERSION,
+    FrameReader,
+    send_json,
+    send_pickle,
+)
+from .base import PointResult, SweepBackend, WorkItem
+from .localpool import _queue_depth_gauge
+
+__all__ = ["SocketWorkerBackend"]
+
+#: environment variables never inherited by *replacement* workers —
+#: fault hooks are one-shot by policy (see the module docstring)
+_REPLACEMENT_STRIP_ENV = (remote.CRASH_ENV, remote.KILL_ENV)
+
+#: default worker-side heartbeat period (seconds)
+DEFAULT_HEARTBEAT_SECONDS = 0.5
+
+#: parent-side silence budget before a worker is declared dead
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+
+@dataclass
+class _WorkerLink:
+    """Parent-side state for one connected worker."""
+
+    sock: socket.socket
+    reader: FrameReader = field(default_factory=FrameReader)
+    pid: Optional[int] = None
+    proc: Optional[subprocess.Popen] = None
+    item: Optional[WorkItem] = None
+    seq: int = -1
+    submit_ns: int = 0
+    submitted: float = 0.0
+    last_seen: float = field(default_factory=time.monotonic)
+    hello: bool = False
+
+    @property
+    def idle(self) -> bool:
+        return self.hello and self.item is None
+
+    def label(self) -> str:
+        return f"worker pid {self.pid}" if self.pid else "worker (no hello)"
+
+
+class SocketWorkerBackend(SweepBackend):
+    """Dispatch points to ``repro worker`` processes over sockets."""
+
+    name = "socket"
+    parallel = True
+
+    def __init__(self, workers: int = 2, host: str = "127.0.0.1",
+                 port: int = 0, spawn: bool = True,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 point_timeout: Optional[float] = None,
+                 max_requeues: int = 2,
+                 accept_timeout: float = 30.0,
+                 worker_heartbeat: float = DEFAULT_HEARTBEAT_SECONDS) -> None:
+        super().__init__()
+        if spawn and workers < 1:
+            raise SweepError(
+                f"socket backend needs workers >= 1 when spawning, "
+                f"got {workers}"
+            )
+        self.workers = workers
+        self.spawn = spawn
+        self.heartbeat_timeout = heartbeat_timeout
+        self.point_timeout = point_timeout
+        self.max_requeues = max_requeues
+        self.accept_timeout = accept_timeout
+        self.worker_heartbeat = worker_heartbeat
+        self._links: List[_WorkerLink] = []
+        self._selector = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(max(workers, 8))
+        self._address = self._listener.getsockname()[:2]
+        self._selector.register(self._listener, selectors.EVENT_READ,
+                                "listener")
+        self._seq = 0
+        if self.spawn:
+            for _ in range(workers):
+                self._spawn_worker(clean=False)
+
+    # ------------------------------------------------------------------
+    # fleet management
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The ``(host, port)`` external workers connect to."""
+        return self._address
+
+    def _worker_env(self, clean: bool) -> dict:
+        env = dict(os.environ)
+        # make sure the child can import repro even when the parent was
+        # launched with a cwd-relative PYTHONPATH
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        paths = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        if package_root not in paths:
+            env["PYTHONPATH"] = os.pathsep.join([package_root] + paths)
+        if clean:
+            for name in _REPLACEMENT_STRIP_ENV:
+                env.pop(name, None)
+        return env
+
+    def _spawn_worker(self, clean: bool) -> None:
+        host, port = self.address
+        command = [sys.executable, "-m", "repro", "worker",
+                   "--connect", f"{host}:{port}",
+                   "--heartbeat", f"{self.worker_heartbeat:g}"]
+        proc = subprocess.Popen(command, env=self._worker_env(clean))
+        self._stats.workers_spawned += 1
+        remote.FLIGHT.note("worker", "spawn", pid=proc.pid,
+                           replacement=clean)
+        self._pending_procs = getattr(self, "_pending_procs", [])
+        self._pending_procs.append(proc)
+
+    def _accept(self) -> None:
+        sock, _addr = self._listener.accept()
+        sock.settimeout(10.0)
+        link = _WorkerLink(sock=sock)
+        self._links.append(link)
+        self._selector.register(sock, selectors.EVENT_READ, link)
+
+    def _adopt_proc(self, link: _WorkerLink) -> None:
+        """Match a hello'd link to the subprocess we spawned for it."""
+        for proc in getattr(self, "_pending_procs", []):
+            if proc.pid == link.pid:
+                link.proc = proc
+                self._pending_procs.remove(proc)
+                return
+
+    def _drop_worker(self, link: _WorkerLink, reason: str) -> None:
+        try:
+            self._selector.unregister(link.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+        if link.proc is not None and link.proc.poll() is None:
+            link.proc.terminate()
+            try:
+                link.proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                link.proc.kill()
+                link.proc.wait()
+        if link in self._links:
+            self._links.remove(link)
+        remote.FLIGHT.note("worker", "drop", pid=link.pid, reason=reason)
+
+    def live_workers(self) -> int:
+        return sum(1 for link in self._links if link.hello)
+
+    def _reap_spawn_failures(self) -> None:
+        """Fail fast when a spawned worker exits before saying hello.
+
+        Without this, a worker that can't even import repro (bad
+        PYTHONPATH, broken install) would leave the dispatch loop
+        waiting for a registration that never comes.
+        """
+        for proc in list(getattr(self, "_pending_procs", [])):
+            code = proc.poll()
+            if code is None:
+                continue
+            self._pending_procs.remove(proc)
+            raise SweepError(
+                f"spawned worker pid {proc.pid} exited with code {code} "
+                f"before registering; check that `repro worker` can run "
+                f"in this environment"
+            )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def submit(self, items: Sequence[WorkItem]) -> Iterator[PointResult]:
+        if self.closed:
+            raise SweepError("socket backend already closed")
+        pending: List[WorkItem] = list(items)
+        requeues: Dict[int, int] = {}
+        done = 0
+        total = len(pending)
+        depth = _queue_depth_gauge()
+        waited = 0.0
+        try:
+            while done < total:
+                self._dispatch_idle(pending)
+                in_flight = sum(1 for link in self._links
+                                if link.item is not None)
+                depth.set(in_flight)
+                if not self._links and not self.spawn:
+                    if waited >= self.accept_timeout:
+                        raise SweepError(
+                            f"no worker registered within "
+                            f"{self.accept_timeout:g}s on "
+                            f"{self.address[0]}:{self.address[1]}; start "
+                            f"one with: repro worker --connect "
+                            f"{self.address[0]}:{self.address[1]}"
+                        )
+                self._reap_spawn_failures()
+                events = self._selector.select(timeout=0.1)
+                waited += 0.1 if not events else 0.0
+                for key, _mask in events:
+                    if key.data == "listener":
+                        self._accept()
+                        continue
+                    link: _WorkerLink = key.data
+                    for result in self._drain_link(link, pending, requeues):
+                        done += 1
+                        yield result
+                for result in self._reap_timeouts(pending, requeues):
+                    done += 1
+                    yield result
+        finally:
+            depth.set(0)
+
+    def _dispatch_idle(self, pending: List[WorkItem]) -> None:
+        for link in list(self._links):
+            if not pending:
+                return
+            if not link.idle:
+                continue
+            item = pending.pop(0)
+            self._seq += 1
+            link.item = item
+            link.seq = self._seq
+            link.submit_ns = time.perf_counter_ns()
+            link.submitted = time.perf_counter()
+            link.last_seen = time.monotonic()
+            try:
+                send_pickle(link.sock, ("work", link.seq, item.point,
+                                        item.ctx))
+            except OSError:
+                # send failure == death; requeue via the common path
+                link.item = None
+                pending.insert(0, item)
+                self._worker_died(link, item, pending, {}, "send-failed",
+                                  requeue=False)
+                continue
+            self._stats.dispatched += 1
+            remote.FLIGHT.note(
+                "dispatch", f"{item.point.kernel}:{item.point.n}",
+                index=item.index, run=item.ctx.run_id, seq=link.seq,
+                worker=link.pid,
+            )
+
+    def _drain_link(self, link: _WorkerLink, pending: List[WorkItem],
+                    requeues: Dict[int, int]) -> List[PointResult]:
+        try:
+            data = link.sock.recv(1 << 16)
+        except (ConnectionResetError, OSError):
+            data = b""
+        if not data:
+            self._worker_died(link, link.item, pending, requeues,
+                              "connection-lost")
+            return []
+        link.last_seen = time.monotonic()
+        results: List[PointResult] = []
+        for kind, message in link.reader.feed(data):
+            if kind == KIND_JSON:
+                self._handle_control(link, message)
+            else:
+                result = self._handle_pickle(link, message, requeues)
+                if result is not None:
+                    results.append(result)
+        return results
+
+    def _handle_control(self, link: _WorkerLink, message: dict) -> None:
+        mtype = message.get("type")
+        if mtype == "hello":
+            version = message.get("version")
+            if version != WIRE_VERSION:
+                self._drop_worker(link, f"wire version {version} != "
+                                        f"{WIRE_VERSION}")
+                raise SweepError(
+                    f"worker speaks wire version {version}, parent "
+                    f"speaks {WIRE_VERSION}; upgrade one of them"
+                )
+            link.pid = int(message.get("pid", 0)) or None
+            link.hello = True
+            self._adopt_proc(link)
+        elif mtype == "heartbeat":
+            pass  # last_seen already refreshed by the read itself
+        else:
+            self._drop_worker(link, f"unknown control {mtype!r}")
+
+    def _handle_pickle(self, link: _WorkerLink, message,
+                       requeues: Dict[int, int]) -> Optional[PointResult]:
+        if (not isinstance(message, tuple) or len(message) < 2
+                or message[0] not in ("result", "error")):
+            self._drop_worker(link, "malformed frame")
+            raise SweepError(f"malformed worker frame from {link.label()}")
+        tag, seq = message[0], message[1]
+        if link.item is None or seq != link.seq:
+            # a stale echo from a worker whose point was requeued after
+            # a timeout; the point already ran (or will run) elsewhere
+            remote.FLIGHT.note("worker", "stale-frame", pid=link.pid,
+                              seq=seq)
+            return None
+        item = link.item
+        link.item = None
+        if tag == "error":
+            _tag, _seq, exc_type, text = message
+            raise SweepPointError(
+                f"{text} [via {link.label()}, {exc_type}]"
+            )
+        payload = message[2]
+        if not isinstance(payload, dict):
+            raise SweepError(
+                f"worker returned {type(payload).__name__}, expected a "
+                f"payload dict"
+            )
+        self._stats.completed += 1
+        return PointResult(
+            index=item.index, payload=payload,
+            submit_ns=link.submit_ns,
+            elapsed_seconds=time.perf_counter() - link.submitted,
+            worker=link.pid,
+            requeues=requeues.get(item.index, 0),
+        )
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _worker_died(self, link: _WorkerLink, item: Optional[WorkItem],
+                     pending: List[WorkItem], requeues: Dict[int, int],
+                     reason: str, requeue: bool = True) -> None:
+        self._stats.worker_deaths += 1
+        self._drop_worker(link, reason)
+        if item is not None and requeue:
+            count = requeues.get(item.index, 0) + 1
+            requeues[item.index] = count
+            label = f"{item.point.kernel}:{item.point.n}"
+            if count > self.max_requeues:
+                dump = remote.FLIGHT.dump(
+                    "worker-death", point=repr(item.point),
+                    requeues=count - 1, cause=reason,
+                )
+                raise SweepError(
+                    f"sweep point {label} killed {count} worker(s) "
+                    f"({reason}); giving up after {self.max_requeues} "
+                    f"requeue(s) [flight-recorder dump: {dump}]"
+                )
+            self._stats.requeued += 1
+            remote.FLIGHT.note("requeue", label, attempt=count,
+                              reason=reason, worker=link.pid)
+            pending.insert(0, item)
+        if self.spawn and not self.closed:
+            # replacements never inherit the one-shot fault hooks
+            self._spawn_worker(clean=True)
+
+    def _reap_timeouts(self, pending: List[WorkItem],
+                       requeues: Dict[int, int]) -> List[PointResult]:
+        now = time.monotonic()
+        for link in list(self._links):
+            if not link.hello:
+                continue
+            quiet = now - link.last_seen
+            if quiet > self.heartbeat_timeout:
+                self._worker_died(link, link.item, pending, requeues,
+                                  f"heartbeat silent {quiet:.1f}s")
+                continue
+            if (self.point_timeout is not None and link.item is not None
+                    and time.perf_counter() - link.submitted
+                    > self.point_timeout):
+                self._worker_died(link, link.item, pending, requeues,
+                                  f"point exceeded "
+                                  f"{self.point_timeout:g}s timeout")
+        return []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        doc = super().stats()
+        doc["workers"] = self.live_workers()
+        doc["address"] = "%s:%d" % self.address
+        return doc
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for link in list(self._links):
+            try:
+                send_json(link.sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            self._drop_worker(link, "shutdown")
+        for proc in getattr(self, "_pending_procs", []):
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        self._pending_procs = []
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    def __repr__(self) -> str:
+        return (f"SocketWorkerBackend(workers={self.workers}, "
+                f"address={'%s:%d' % self.address}, spawn={self.spawn})")

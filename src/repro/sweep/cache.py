@@ -128,5 +128,86 @@ class SweepCache:
             raise
         return path
 
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def entries(self):
+        """Yield ``(path, size_bytes, mtime)`` for every cache entry."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                yield path, st.st_size, st.st_mtime
+
+    def gc(self, max_bytes: Optional[int] = None,
+           max_age_seconds: Optional[float] = None,
+           now: Optional[float] = None) -> dict:
+        """Prune the cache: drop stale entries, then the oldest past a
+        size budget.
+
+        ``max_age_seconds`` removes every entry older than that (by
+        mtime; ``store`` rewrites an entry, refreshing it).  After the
+        age pass, ``max_bytes`` evicts oldest-first until the remaining
+        entries (plus stray ``.tmp`` droppings, which are always
+        removed) fit the budget.  Either bound may be ``None``.
+
+        Returns a summary: ``scanned`` / ``removed`` entry counts,
+        bytes ``reclaimed``, bytes ``kept``.  Concurrently-vanishing
+        files are skipped, so gc is safe to run beside live sweeps.
+        """
+        import time as _time
+        now = _time.time() if now is None else now
+        scanned = removed = reclaimed = 0
+        survivors = []  # (mtime, size, path), age-pruned
+        for path, size, mtime in self.entries():
+            if path.endswith(".tmp"):
+                removed += self._unlink(path)
+                reclaimed += size
+                continue
+            scanned += 1
+            if (max_age_seconds is not None
+                    and now - mtime > max_age_seconds):
+                removed += self._unlink(path)
+                reclaimed += size
+                continue
+            survivors.append((mtime, size, path))
+        kept = sum(size for _, size, _ in survivors)
+        if max_bytes is not None and kept > max_bytes:
+            survivors.sort()  # oldest first
+            while survivors and kept > max_bytes:
+                _mtime, size, path = survivors.pop(0)
+                removed += self._unlink(path)
+                reclaimed += size
+                kept -= size
+        self._prune_empty_shards()
+        return {"scanned": scanned, "removed": removed,
+                "reclaimed_bytes": reclaimed, "kept_bytes": kept}
+
+    def _unlink(self, path: str) -> int:
+        try:
+            os.unlink(path)
+            return 1
+        except OSError:
+            return 0
+
+    def _prune_empty_shards(self) -> None:
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if os.path.isdir(shard_dir) and not os.listdir(shard_dir):
+                try:
+                    os.rmdir(shard_dir)
+                except OSError:
+                    pass
+
     def __repr__(self) -> str:
         return f"SweepCache({self.root!r})"

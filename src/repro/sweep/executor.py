@@ -6,17 +6,18 @@ order, via three interchangeable paths:
 
 * **cache hit** — the point's content-addressed key is present on disk
   and checksum-verified; the stored payload is replayed;
-* **serial miss** — the point is simulated in-process;
-* **parallel miss** — the point is pickled to a
-  :class:`~concurrent.futures.ProcessPoolExecutor` worker, which
-  rebuilds a fresh machine from the point's :class:`MachineRef` recipe
-  and simulates there.  Machines are never shipped across processes —
-  only the recipe and the resulting payload are.
+* **backend miss** — the point is handed to a
+  :class:`~repro.sweep.backends.SweepBackend` (in-process serial, a
+  local process pool, or ``repro worker`` processes over sockets),
+  which rebuilds a fresh machine from the point's :class:`MachineRef`
+  recipe and simulates there.  Machines are never shipped across
+  processes — only the recipe and the resulting payload are.
 
-All three paths funnel through the same serialised payload
-(:mod:`repro.sweep.serialize`), so serial, parallel and cached runs are
-bit-identical by construction — the determinism suite in
-``tests/sweep/`` asserts it point by point.
+Every path funnels through the same serialised payload
+(:mod:`repro.sweep.serialize`), so cached runs and all three backends
+are bit-identical by construction — the determinism suite in
+``tests/sweep/`` asserts it point by point and
+``tests/sweep/test_backends.py`` checksums backend parity.
 
 Execution emits ``sweep``-kind events on a :class:`repro.trace.TraceBus`
 (timestamps in seconds on the host clock) so per-point progress and
@@ -40,10 +41,8 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional, Union
 
 from ..errors import SweepError, SweepPointError
 from ..measure.runner import Measurement, measure_kernel
@@ -59,21 +58,30 @@ from .serialize import measurement_to_payload, payload_to_measurement
 #: environment default for ``jobs`` when the caller passes ``None``
 JOBS_ENV = "REPRO_SWEEP_JOBS"
 
-#: cap on in-flight futures per worker, so huge plans don't pickle the
-#: whole grid into the executor queue at once
-_BACKLOG_PER_WORKER = 4
+#: generic fallback honoured when :data:`JOBS_ENV` is unset — the
+#: sweep-specific variable wins so a sweep can be tuned independently
+#: of other parallel tooling sharing the shell
+JOBS_FALLBACK_ENV = "REPRO_JOBS"
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Explicit value, else $REPRO_SWEEP_JOBS, else serial."""
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Explicit value, else $REPRO_SWEEP_JOBS, else $REPRO_JOBS, else 1.
+
+    An explicit ``jobs`` (a CLI flag, say) always wins; the environment
+    is only consulted when the caller passes ``None``.
+    """
     if jobs is None:
-        env = os.environ.get(JOBS_ENV, "").strip()
-        if not env:
+        for name in (JOBS_ENV, JOBS_FALLBACK_ENV):
+            env = os.environ.get(name, "").strip()
+            if not env:
+                continue
+            try:
+                jobs = int(env)
+            except ValueError as exc:
+                raise SweepError(f"bad {name}={env!r}: {exc}") from exc
+            break
+        else:
             return 1
-        try:
-            jobs = int(env)
-        except ValueError as exc:
-            raise SweepError(f"bad {JOBS_ENV}={env!r}: {exc}") from exc
     if jobs < 1:
         raise SweepError(f"jobs must be >= 1, got {jobs}")
     return jobs
@@ -230,6 +238,10 @@ class SweepRun:
     keys: List[str] = field(default_factory=list)
     plan_cache: dict = field(default_factory=dict)
     telemetry: dict = field(default_factory=dict)
+    #: name of the backend that simulated the misses ("cached" when
+    #: every point replayed from the cache) — observational only, never
+    #: part of any checksum
+    backend: str = "cached"
 
 
 def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
@@ -240,7 +252,9 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
              stats: Optional[SweepStats] = None,
              telemetry: Optional[bool] = None,
              on_point: Optional[Callable[[int, int, SweepPoint, str], None]]
-             = None) -> SweepRun:
+             = None,
+             backend: Optional[Union[str, "SweepBackend"]] = None
+             ) -> SweepRun:
     """Execute a plan: replay cached points, simulate the rest.
 
     ``cache=None`` disables memoisation entirely.  ``bus`` receives one
@@ -249,17 +263,39 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
     ``stats`` lets callers accumulate counters across several plans
     (the experiment runner does); a fresh one is used when omitted.
 
+    ``backend`` picks the execution backend for cache misses: a
+    :class:`~repro.sweep.backends.SweepBackend` instance (borrowed —
+    the caller closes it; the service layer reuses one across
+    requests), a name from
+    :data:`~repro.sweep.backends.BACKEND_NAMES` (constructed for this
+    run and closed after), or ``None`` for the classic behaviour —
+    serial when ``jobs`` is 1 or only one point misses, a local
+    process pool otherwise.  Results are bit-identical and
+    cache-compatible whichever backend runs them.
+
     ``telemetry`` switches distributed telemetry collection: ``None``
-    (default) enables it exactly when the run is parallel — serial runs
-    keep the span-capture cost off their hot path unless asked.
+    (default) enables it exactly when execution leaves the calling
+    process — serial runs keep the span-capture cost off their hot
+    path unless asked.
     ``on_point`` is called as ``(done, total, point, status)`` the
     moment each point *completes* (cache hits during the probe,
     simulated points as their results land, in completion order) —
     unlike ``progress``, which fires in plan order after everything is
     done.  The live dashboard hangs off ``on_point``.
     """
+    from .backends import SweepBackend, WorkItem, make_backend
+    from .backends.localpool import LocalPoolBackend
+    from .backends.serial import SerialBackend
+
     jobs = resolve_jobs(jobs)
-    collect = (jobs > 1) if telemetry is None else bool(telemetry)
+    if telemetry is not None:
+        collect = bool(telemetry)
+    elif backend is None:
+        collect = jobs > 1
+    elif isinstance(backend, str):
+        collect = backend != "serial"
+    else:
+        collect = backend.parallel
     run_id = remote.new_run_id()
     run_stats = SweepStats()
     started = time.perf_counter()
@@ -301,24 +337,40 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
                 status[idx] = outcome
                 pending.append(idx)
 
+    backend_name = "cached"
     if pending:
-        with SPANS("sweep.run", points=len(pending)):
+        owned: Optional[SweepBackend] = None
+        if backend is None:
             if jobs == 1 or len(pending) == 1:
-                for idx in pending:
-                    ctx = remote.TraceContext(run_id=run_id,
-                                              point_index=idx,
-                                              collect=collect)
-                    submit_ns[idx] = time.perf_counter_ns()
-                    t0 = time.perf_counter()
-                    payloads[idx] = simulate_point(points[idx], ctx)
-                    point_seconds.observe(time.perf_counter() - t0)
-                    _notify(points[idx], status[idx])
+                owned = SerialBackend()
             else:
-                _simulate_parallel(
-                    points, pending, payloads, jobs, point_seconds,
-                    run_id=run_id, collect=collect, submit_ns=submit_ns,
-                    on_done=lambda idx: _notify(points[idx], status[idx]),
-                )
+                owned = LocalPoolBackend(min(jobs, len(pending)))
+            active = owned
+        elif isinstance(backend, str):
+            owned = make_backend(backend, jobs=jobs)
+            active = owned
+        else:
+            active = backend
+        backend_name = active.name
+        backend_stats = active.stats
+        items = [
+            WorkItem(index=idx, point=points[idx],
+                     ctx=remote.TraceContext(run_id=run_id,
+                                             point_index=idx,
+                                             collect=collect))
+            for idx in pending
+        ]
+        try:
+            with SPANS("sweep.run", points=len(pending),
+                       backend=active.name):
+                for result in active.submit(items):
+                    payloads[result.index] = result.payload
+                    submit_ns[result.index] = result.submit_ns
+                    point_seconds.observe(result.elapsed_seconds)
+                    _notify(points[result.index], status[result.index])
+        finally:
+            if owned is not None:
+                owned.close()
         # Telemetry never reaches the content-addressed cache: pop it
         # here so stored payloads (and their checksums) are identical
         # with collection on or off.
@@ -341,6 +393,10 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
         run_id, sections, status, [p.label() for p in points], submit_ns,
         elapsed_seconds=run_stats.elapsed_seconds, collected=collect,
     )
+    if pending:
+        # counters (dispatched/requeued/worker deaths), cumulative over
+        # the backend's lifetime when the caller lent us a shared one
+        telemetry_doc["backend"] = backend_stats()
 
     measurements: List[Measurement] = []
     done = 0
@@ -365,92 +421,5 @@ def run_plan(plan: SweepPlan, jobs: Optional[int] = None,
     if stats is not None:
         stats.merge(run_stats)
     return SweepRun(measurements=measurements, stats=run_stats, keys=keys,
-                    plan_cache=plan_cache, telemetry=telemetry_doc)
-
-
-def _simulate_parallel(points: List[SweepPoint], pending: List[int],
-                       payloads: List[Optional[dict]], jobs: int,
-                       point_seconds=None, run_id: str = "",
-                       collect: bool = False,
-                       submit_ns: Optional[List[Optional[int]]] = None,
-                       on_done: Optional[Callable[[int], None]] = None
-                       ) -> None:
-    """Fan pending points over a process pool, bounded backlog.
-
-    ``point_seconds`` (a histogram) observes submit-to-completion
-    latency per point; the queue-depth gauge tracks in-flight futures.
-    ``submit_ns`` (plan-order array) records each point's dispatch
-    instant for the causal flow links in the merged flame view, and
-    ``on_done`` fires with the point index as each result lands.
-
-    If the pool breaks (a worker was killed mid-point), the parent's
-    flight recorder is dumped with the reprs of every in-flight point
-    before a :class:`SweepError` naming them is raised.
-    """
-    workers = min(jobs, len(pending))
-    backlog = workers * _BACKLOG_PER_WORKER
-    depth = REGISTRY.gauge(
-        "repro_sweep_executor_queue_depth",
-        "Futures in flight in the sweep process pool",
-    )
-    submitted: Dict[object, float] = {}
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        queue = iter(pending)
-        in_flight: Dict[object, int] = {}
-
-        def submit(idx: int) -> None:
-            point = points[idx]
-            ctx = remote.TraceContext(run_id=run_id, point_index=idx,
-                                      collect=collect)
-            future = pool.submit(simulate_point, point, ctx)
-            if submit_ns is not None:
-                submit_ns[idx] = time.perf_counter_ns()
-            remote.FLIGHT.note("dispatch", f"{point.kernel}:{point.n}",
-                               index=idx, run=run_id)
-            in_flight[future] = idx
-            submitted[future] = time.perf_counter()
-            depth.set(len(in_flight))
-
-        def broken_pool(first_idx: int) -> SweepError:
-            inflight = sorted({first_idx, *in_flight.values()})
-            labels = [f"{points[i].kernel}:{points[i].n}" for i in inflight]
-            dump = remote.FLIGHT.dump(
-                "worker-death", point=repr(points[first_idx]),
-                in_flight=[repr(points[i]) for i in inflight],
-            )
-            return SweepError(
-                f"sweep worker died; in-flight point(s): "
-                f"{', '.join(labels)} [flight-recorder dump: {dump}]"
-            )
-
-        try:
-            for idx in queue:
-                submit(idx)
-                if len(in_flight) >= backlog:
-                    break
-            while in_flight:
-                finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    idx = in_flight.pop(future)
-                    try:
-                        payloads[idx] = future.result()
-                    except BrokenProcessPool:
-                        raise broken_pool(idx) from None
-                    if point_seconds is not None:
-                        point_seconds.observe(
-                            time.perf_counter() - submitted.pop(future)
-                        )
-                    if on_done is not None:
-                        on_done(idx)
-                depth.set(len(in_flight))
-                for idx in queue:
-                    submit(idx)
-                    if len(in_flight) >= backlog:
-                        break
-        except BaseException:
-            for future in in_flight:
-                future.cancel()
-            raise
-        finally:
-            depth.set(0)
+                    plan_cache=plan_cache, telemetry=telemetry_doc,
+                    backend=backend_name)

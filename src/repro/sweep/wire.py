@@ -1,0 +1,164 @@
+"""Length-prefixed frame protocol between sweep parent and workers.
+
+One frame = a 5-byte header (``kind`` uint8 + ``length`` uint32,
+big-endian) followed by ``length`` body bytes.  Two body encodings:
+
+* ``KIND_JSON`` — control messages (hello, heartbeat, shutdown) as
+  UTF-8 JSON objects with a ``"type"`` field;
+* ``KIND_PICKLE`` — work and result tuples.  Work units are picklable
+  by design (:class:`~repro.machine.ref.MachineRef` +
+  :class:`~repro.sweep.plan.SweepPoint` + ``TraceContext``), and the
+  result payload is the same plain-dict document every other execution
+  path produces.
+
+Message vocabulary (the whole protocol):
+
+====================  =========  =====================================
+direction             encoding   body
+====================  =========  =====================================
+worker → parent       JSON       ``{"type": "hello", "pid", "version"}``
+worker → parent       JSON       ``{"type": "heartbeat", "pid"}``
+parent → worker       JSON       ``{"type": "shutdown"}``
+parent → worker       pickle     ``("work", seq, point, ctx)``
+worker → parent       pickle     ``("result", seq, payload)``
+worker → parent       pickle     ``("error", seq, exc_type, message)``
+====================  =========  =====================================
+
+``seq`` is the parent's dispatch sequence number, echoed back so
+results can be matched to work after a requeue.  Pickle frames never
+cross a trust boundary here — the parent spawns (or the operator
+starts) every worker, the listener binds loopback by default, and the
+stream starts with a JSON hello carrying :data:`WIRE_VERSION` so
+mismatched peers fail fast instead of mis-deserialising.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from typing import Optional, Tuple
+
+from ..errors import SweepError
+
+__all__ = [
+    "FrameReader",
+    "KIND_JSON",
+    "KIND_PICKLE",
+    "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
+    "decode_frame",
+    "encode_json",
+    "encode_pickle",
+    "recv_frame",
+    "send_json",
+    "send_pickle",
+]
+
+#: bump on any incompatible protocol change; checked in the hello
+WIRE_VERSION = 1
+
+KIND_JSON = 1
+KIND_PICKLE = 2
+
+_HEADER = struct.Struct("!BI")
+
+#: sanity cap on a single frame (a sweep payload is a few KiB; a
+#: multi-GiB length prefix means a corrupt or hostile stream)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_json(doc: dict) -> bytes:
+    body = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return _HEADER.pack(KIND_JSON, len(body)) + body
+
+
+def encode_pickle(obj) -> bytes:
+    body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(KIND_PICKLE, len(body)) + body
+
+
+def send_json(sock: socket.socket, doc: dict) -> None:
+    sock.sendall(encode_json(doc))
+
+
+def send_pickle(sock: socket.socket, obj) -> None:
+    sock.sendall(encode_pickle(obj))
+
+
+def decode_frame(kind: int, body: bytes):
+    """Decode one complete frame body into a Python object."""
+    if kind == KIND_JSON:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise SweepError(f"undecodable JSON frame: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise SweepError(f"JSON frame must be an object, got "
+                             f"{type(doc).__name__}")
+        return doc
+    if kind == KIND_PICKLE:
+        try:
+            return pickle.loads(body)
+        except Exception as exc:
+            raise SweepError(f"undecodable pickle frame: {exc}") from exc
+    raise SweepError(f"unknown frame kind {kind}")
+
+
+class FrameReader:
+    """Incremental frame parser over a byte stream.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames and
+    yields complete ``(kind, object)`` pairs.  Used by the parent's
+    selector loop, where reads arrive in arbitrary fragments.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return frames
+            kind, length = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise SweepError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte cap (corrupt stream?)"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            frames.append((kind, decode_frame(kind, body)))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = bytearray()
+    while len(chunks) < n:
+        data = sock.recv(n - len(chunks))
+        if not data:
+            return None
+        chunks.extend(data)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Tuple[int, object]]:
+    """Blocking read of one frame; ``None`` on a clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    kind, length = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise SweepError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap (corrupt stream?)"
+        )
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise SweepError("stream truncated mid-frame")
+    return kind, decode_frame(kind, body)

@@ -1,0 +1,114 @@
+"""The ``repro worker`` process: one socket, one point at a time.
+
+A worker connects to a :class:`~repro.sweep.backends.socketworker.
+SocketWorkerBackend` listener, introduces itself with a JSON hello
+(pid + wire version), then loops: receive a ``("work", seq, point,
+ctx)`` pickle frame, run :func:`~repro.sweep.executor.simulate_point`,
+ship ``("result", seq, payload)`` back.  Point failures become
+``("error", seq, exc_type, message)`` frames — the worker stays alive
+so one bad point doesn't cost a process spawn.
+
+A daemon thread sends ``{"type": "heartbeat"}`` every ``heartbeat``
+seconds so the parent can tell a slow point from a hung process; the
+socket is shared, so every send goes through one lock.  A clean exit
+is a ``{"type": "shutdown"}`` frame or EOF from the parent.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Optional
+
+from ..errors import ReproError, SweepError
+from .wire import KIND_JSON, KIND_PICKLE, WIRE_VERSION, recv_frame, send_json, send_pickle
+
+__all__ = ["worker_main"]
+
+#: how long the worker keeps retrying the initial connect; covers the
+#: parent still being inside its bind/listen window
+CONNECT_RETRY_SECONDS = 10.0
+
+
+def _connect(host: str, port: int) -> socket.socket:
+    deadline = time.monotonic() + CONNECT_RETRY_SECONDS
+    last: Optional[OSError] = None
+    while time.monotonic() < deadline:
+        try:
+            return socket.create_connection((host, port), timeout=5.0)
+        except OSError as exc:
+            last = exc
+            time.sleep(0.05)
+    raise SweepError(f"worker could not connect to {host}:{port}: {last}")
+
+
+def _heartbeat_loop(sock: socket.socket, lock: threading.Lock,
+                    period: float, stop: threading.Event) -> None:
+    doc = {"type": "heartbeat", "pid": os.getpid()}
+    while not stop.wait(period):
+        try:
+            with lock:
+                send_json(sock, doc)
+        except OSError:
+            return  # parent is gone; the main loop will notice too
+
+
+def worker_main(connect: str, heartbeat: float = 0.5) -> int:
+    """Run the worker loop; returns the process exit code."""
+    # deferred so `repro worker --help` stays fast
+    from .executor import simulate_point
+
+    host, _, port_text = connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SweepError(
+            f"--connect wants host:port, got {connect!r}"
+        )
+    sock = _connect(host, int(port_text))
+    sock.settimeout(None)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    with send_lock:
+        send_json(sock, {"type": "hello", "pid": os.getpid(),
+                         "version": WIRE_VERSION})
+    if heartbeat > 0:
+        threading.Thread(
+            target=_heartbeat_loop, args=(sock, send_lock, heartbeat, stop),
+            name="repro-worker-heartbeat", daemon=True,
+        ).start()
+    try:
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except OSError:
+                return 0
+            if frame is None:
+                return 0  # parent hung up
+            kind, message = frame
+            if kind == KIND_JSON:
+                if message.get("type") == "shutdown":
+                    return 0
+                continue  # unknown control frames are ignorable
+            if kind != KIND_PICKLE:
+                continue
+            if (not isinstance(message, tuple) or len(message) != 4
+                    or message[0] != "work"):
+                raise SweepError(f"worker got malformed frame: "
+                                 f"{message!r:.200}")
+            _tag, seq, point, ctx = message
+            try:
+                payload = simulate_point(point, ctx)
+            except ReproError as exc:
+                with send_lock:
+                    send_pickle(sock, ("error", seq,
+                                       type(exc).__name__, str(exc)))
+                continue
+            with send_lock:
+                send_pickle(sock, ("result", seq, payload))
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass

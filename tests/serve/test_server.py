@@ -1,0 +1,210 @@
+"""Roofline service: endpoints, coalescing, metrics, graceful drain.
+
+Each test spins the server on an ephemeral loopback port inside a
+private event loop, drives it with blocking ``urllib`` clients on
+executor threads (real sockets, real HTTP), and drains it before
+asserting.  The coalescing test is the service-level analogue of the
+backend parity suite: 8 concurrent identical requests must cost
+exactly one simulation, observable through the ``repro_serve_*`` and
+sweep cache metrics.
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import REGISTRY
+from repro.serve import RooflineServer
+from repro.serve.jobs import JobTable, job_key
+
+pytestmark = pytest.mark.sweep
+
+
+def post(base: str, path: str, doc: dict):
+    req = urllib.request.Request(
+        base + path, data=json.dumps(doc).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=120) as resp:
+        return resp.status, resp.read()
+
+
+def serve(test_body):
+    """Run ``await test_body(server, base_url)`` on a fresh server."""
+    async def runner():
+        server = RooflineServer(port=0, threads=4)
+        await server.start()
+        host, port = server.address
+        try:
+            await test_body(server, f"http://{host}:{port}")
+        finally:
+            await server.drain()
+    asyncio.run(runner())
+
+
+def metric_value(text: str, name: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(name) and "{" not in line[len(name):][:1]:
+            parts = line.split()
+            if parts[0] == name:
+                return float(parts[1])
+    raise AssertionError(f"metric {name} not found")
+
+
+class TestEndpoints:
+    def test_healthz_and_404(self):
+        async def body(server, base):
+            loop = asyncio.get_running_loop()
+            status, raw = await loop.run_in_executor(
+                None, get, base, "/healthz")
+            assert status == 200
+            assert json.loads(raw)["status"] == "ok"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                await loop.run_in_executor(None, get, base, "/nope")
+            assert err.value.code == 404
+        serve(body)
+
+    def test_measure_roundtrip_matches_direct_run(self):
+        async def body(server, base):
+            loop = asyncio.get_running_loop()
+            status, doc = await loop.run_in_executor(
+                None, post, base, "/measure",
+                {"kernel": "daxpy", "n": 96, "machine": "tiny"})
+            assert status == 200 and doc["status"] == "done"
+            served = doc["result"]["measurement"]
+
+            from repro.machine.ref import MachineRef
+            from repro.sweep import (
+                SweepPlan,
+                measurement_to_payload,
+                run_plan,
+            )
+            plan = SweepPlan()
+            plan.add_sweep(MachineRef.of("tiny"), "daxpy", [96])
+            direct = run_plan(plan, cache=None)
+            assert served == measurement_to_payload(direct.measurements[0])
+        serve(body)
+
+    def test_validation_errors_are_400s(self):
+        async def body(server, base):
+            loop = asyncio.get_running_loop()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                await loop.run_in_executor(
+                    None, post, base, "/measure", {"kernel": "daxpy"})
+            assert err.value.code == 400
+            assert "requires" in json.loads(err.value.read())["error"]
+        serve(body)
+
+    def test_job_poll_and_event_stream(self):
+        async def body(server, base):
+            loop = asyncio.get_running_loop()
+            status, doc = await loop.run_in_executor(
+                None, post, base, "/measure",
+                {"kernel": "daxpy", "n": 128, "machine": "tiny",
+                 "async": True})
+            assert status == 202
+            job_id = doc["job"]
+            # poll until done (the simulation is quick on tiny)
+            for _ in range(200):
+                status, raw = await loop.run_in_executor(
+                    None, get, base, f"/jobs/{job_id}")
+                state = json.loads(raw)
+                if state["status"] in ("done", "error"):
+                    break
+                await asyncio.sleep(0.05)
+            assert state["status"] == "done"
+            status, raw = await loop.run_in_executor(
+                None, get, base, f"/jobs/{job_id}/events")
+            lines = [json.loads(line)
+                     for line in raw.decode().strip().splitlines()]
+            assert lines[0]["status"] == "running"
+            assert lines[-1]["status"] == "done"
+            assert any(e.get("type") == "point" for e in lines)
+        serve(body)
+
+
+class TestCoalescing:
+    def test_eight_concurrent_identical_requests_one_simulation(self):
+        params = {"kernel": "daxpy", "n": 192, "machine": "tiny"}
+
+        async def body(server, base):
+            loop = asyncio.get_running_loop()
+            before_miss = _sweep_misses()
+            results = await asyncio.gather(*[
+                loop.run_in_executor(None, post, base, "/measure",
+                                     dict(params))
+                for _ in range(8)
+            ])
+            assert {status for status, _ in results} == {200}
+            payloads = {
+                json.dumps(doc["result"]["measurement"], sort_keys=True)
+                for _, doc in results
+            }
+            assert len(payloads) == 1
+            # exactly one *simulation* happened: in-flight duplicates
+            # coalesced onto the first job, and any request arriving
+            # after it finished replayed from the sweep cache
+            assert _sweep_misses() - before_miss == 1
+
+            status, raw = await loop.run_in_executor(
+                None, get, base, "/metrics")
+            text = raw.decode()
+            executed = metric_value(text,
+                                    "repro_serve_jobs_executed_total")
+            coalesced = metric_value(text,
+                                     "repro_serve_coalesced_total")
+            assert executed + coalesced >= 8
+            assert coalesced >= 1 or executed >= 2  # both paths legal
+            assert metric_value(text, "repro_serve_queue_depth") == 0
+        serve(body)
+
+    def test_job_key_is_order_insensitive(self):
+        a = job_key("measure", {"kernel": "daxpy", "n": 5})
+        b = job_key("measure", {"n": 5, "kernel": "daxpy"})
+        assert a == b
+        assert a != job_key("sweep", {"kernel": "daxpy", "n": 5})
+
+    def test_table_attaches_only_to_in_flight_jobs(self):
+        async def body():
+            table = JobTable()
+            job, attached = table.submit("measure", {"n": 1})
+            assert not attached
+            again, attached = table.submit("measure", {"n": 1})
+            assert attached and again is job and job.coalesced == 1
+            job.status = "done"
+            table.finish(job)
+            fresh, attached = table.submit("measure", {"n": 1})
+            assert not attached and fresh is not job
+        asyncio.run(body())
+
+
+class TestDrain:
+    def test_drain_finishes_in_flight_work_then_refuses(self):
+        async def body(server, base):
+            loop = asyncio.get_running_loop()
+            inflight = loop.run_in_executor(
+                None, post, base, "/measure",
+                {"kernel": "daxpy", "n": 256, "machine": "tiny"})
+            await asyncio.sleep(0.05)
+            await server.drain()
+            status, doc = await inflight
+            assert status == 200 and doc["status"] == "done"
+            with pytest.raises((urllib.error.URLError, OSError)):
+                await loop.run_in_executor(
+                    None, get, base, "/healthz")
+        serve(body)
+
+
+def _sweep_misses() -> float:
+    metric = REGISTRY.to_prometheus()
+    for line in metric.splitlines():
+        if line.startswith('repro_sweep_points_total{outcome="miss"}'):
+            return float(line.split()[1])
+    return 0.0
